@@ -1,0 +1,70 @@
+//! Design-choice ablations and the exhaustive corner exploration:
+//! prints the ablation table, the derived-bounds report, and the n sweep;
+//! benchmarks the exhaustive probe.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skewbound_bench::figures;
+use skewbound_core::replica::Replica;
+use skewbound_shift::exhaustive::{exhaustive_probe, ExhaustiveConfig};
+use skewbound_sim::ids::ProcessId;
+use skewbound_sim::time::{SimDuration, SimTime};
+use skewbound_spec::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let params = common::params();
+
+    println!("\n{}", figures::ablation_timers(&params));
+    println!("{}", figures::derivation(&params));
+    println!(
+        "{}",
+        figures::n_sweep(
+            SimDuration::from_ticks(9_000),
+            SimDuration::from_ticks(2_400),
+            8,
+        )
+    );
+
+    let p = ProcessId::new;
+    let t = SimTime::from_ticks;
+    let script = vec![
+        (p(2), t(0), QueueOp::Enqueue(42)),
+        (p(0), t(40_000), QueueOp::Dequeue),
+        (p(1), t(41_000), QueueOp::Dequeue),
+    ];
+    let config = ExhaustiveConfig::corners(&params);
+    // Correctness first: the honest algorithm passes the whole space.
+    let report = exhaustive_probe(
+        &Queue::<i64>::new(),
+        || Replica::group(Queue::<i64>::new(), &params),
+        &params,
+        &script,
+        &config,
+    );
+    println!(
+        "exhaustive corner exploration: {} runs ({} messages each), all linearizable: {}\n",
+        report.runs,
+        report.messages,
+        report.all_passed()
+    );
+    assert!(report.all_passed());
+
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("exhaustive_corners_448_runs", |b| {
+        b.iter(|| {
+            exhaustive_probe(
+                &Queue::<i64>::new(),
+                || Replica::group(Queue::<i64>::new(), &params),
+                &params,
+                &script,
+                &config,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

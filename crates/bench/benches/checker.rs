@@ -1,0 +1,53 @@
+//! Wall-time of the linearizability checker on histories produced by
+//! Algorithm 1 (the verification cost behind every experiment).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skewbound_core::replica::Replica;
+use skewbound_lin::checker::check_history;
+use skewbound_sim::clock::ClockAssignment;
+use skewbound_sim::delay::UniformDelay;
+use skewbound_sim::engine::Simulation;
+use skewbound_sim::history::History;
+use skewbound_sim::ids::ProcessId;
+use skewbound_sim::workload::ClosedLoop;
+use skewbound_spec::prelude::*;
+
+fn queue_history(ops_per_process: usize) -> History<QueueOp<i64>, QueueResp<i64>> {
+    let params = common::params();
+    let mut driver = ClosedLoop::new(
+        ProcessId::all(params.n()).collect(),
+        ops_per_process,
+        9,
+        |pid, idx, _rng| match idx % 3 {
+            0 => QueueOp::Enqueue((pid.index() * 100 + idx) as i64),
+            1 => QueueOp::Dequeue,
+            _ => QueueOp::Peek,
+        },
+    );
+    let mut sim = Simulation::new(
+        Replica::group(Queue::<i64>::new(), &params),
+        ClockAssignment::zero(params.n()),
+        UniformDelay::new(params.delay_bounds(), 5),
+    );
+    sim.run_with(&mut driver).expect("run");
+    sim.history().clone()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checker");
+    for ops in [4usize, 8, 12] {
+        let history = queue_history(ops);
+        assert!(check_history(&Queue::<i64>::new(), &history).is_linearizable());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(history.len()),
+            &history,
+            |b, h| b.iter(|| check_history(&Queue::<i64>::new(), h)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

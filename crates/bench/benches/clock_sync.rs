@@ -1,0 +1,33 @@
+//! Clock-synchronization premise: achieved skew vs the optimal
+//! (1 - 1/n)u, and the wall-time of a synchronization round.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skewbound_bench::figures;
+use skewbound_clocksync::run_sync_round;
+use skewbound_sim::clock::ClockAssignment;
+use skewbound_sim::delay::DelayBounds;
+use skewbound_sim::time::SimDuration;
+
+fn bench(c: &mut Criterion) {
+    println!(
+        "\n{}",
+        figures::skew_experiment(
+            SimDuration::from_ticks(9_000),
+            SimDuration::from_ticks(2_400),
+            8,
+        )
+    );
+
+    let bounds = DelayBounds::new(SimDuration::from_ticks(9_000), SimDuration::from_ticks(2_400));
+    let mut group = c.benchmark_group("clock_sync");
+    for n in [2usize, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let clocks = ClockAssignment::spread(n, SimDuration::from_ticks(1_000_000));
+            b.iter(|| run_sync_round(&clocks, bounds, 7))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

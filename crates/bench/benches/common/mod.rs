@@ -1,0 +1,16 @@
+//! Shared setup for the criterion benches.
+
+use skewbound_core::params::Params;
+use skewbound_sim::time::SimDuration;
+
+/// The workspace default experiment parameters (see `skewbound-bench`).
+#[allow(dead_code)]
+pub fn params() -> Params {
+    Params::with_optimal_skew(
+        3,
+        SimDuration::from_ticks(9_000),
+        SimDuration::from_ticks(2_400),
+        SimDuration::ZERO,
+    )
+    .expect("valid")
+}

@@ -1,0 +1,34 @@
+//! Theorem C.1 / D.1 / E.1 experiments (Figs. 6-17): prints the probe
+//! verdicts and benchmarks the scenario families.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skewbound_bench::figures;
+use skewbound_core::replica::Replica;
+use skewbound_shift::probe::probe;
+use skewbound_shift::scenarios::{insc_dequeue_family, permute_write_family};
+use skewbound_spec::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let params = common::params();
+
+    println!("\n{}", figures::fig1(&params));
+    println!("{}", figures::thm_c1(&params));
+    println!("{}", figures::thm_d1(&params, params.n()));
+    println!("{}", figures::thm_e1(&params));
+
+    let mut group = c.benchmark_group("lower_bounds");
+    group.bench_function("thmC1_family_honest", |b| {
+        let family = insc_dequeue_family(&params);
+        b.iter(|| probe(&family, || Replica::group(Queue::<i64>::new(), &params)))
+    });
+    group.bench_function("thmD1_family_honest", |b| {
+        let family = permute_write_family(&params, params.n());
+        b.iter(|| probe(&family, || Replica::group(RmwRegister::default(), &params)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Raw engine throughput: wall-time cost of simulating Algorithm 1
+//! workloads at various scales (events processed per simulated workload).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skewbound_core::params::Params;
+use skewbound_core::replica::Replica;
+use skewbound_sim::clock::ClockAssignment;
+use skewbound_sim::delay::UniformDelay;
+use skewbound_sim::engine::Simulation;
+use skewbound_sim::ids::ProcessId;
+use skewbound_sim::time::SimDuration;
+use skewbound_sim::workload::ClosedLoop;
+use skewbound_spec::prelude::*;
+
+fn run_workload(params: &Params, ops_per_process: usize) -> u64 {
+    let n = params.n();
+    let mut driver = ClosedLoop::new(
+        ProcessId::all(n).collect(),
+        ops_per_process,
+        7,
+        |pid, idx, _rng| match idx % 3 {
+            0 => QueueOp::Enqueue((pid.index() * 1_000 + idx) as i64),
+            1 => QueueOp::Dequeue,
+            _ => QueueOp::Peek,
+        },
+    );
+    let mut sim = Simulation::new(
+        Replica::group(Queue::<i64>::new(), params),
+        ClockAssignment::spread(n, params.eps()),
+        UniformDelay::new(params.delay_bounds(), 13),
+    );
+    let report = sim.run_with(&mut driver).expect("run");
+    report.events
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_engine");
+    for (n, ops) in [(3usize, 100usize), (5, 100), (8, 100), (3, 1_000)] {
+        let params = Params::with_optimal_skew(
+            n,
+            SimDuration::from_ticks(9_000),
+            SimDuration::from_ticks(2_400),
+            SimDuration::ZERO,
+        )
+        .expect("valid");
+        let events = run_workload(&params, ops);
+        group.bench_with_input(
+            BenchmarkId::new(format!("n{n}_ops{ops}"), events),
+            &params,
+            |b, p| b.iter(|| run_workload(p, ops)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

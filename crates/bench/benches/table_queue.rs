@@ -1,0 +1,32 @@
+//! Table II experiment: regenerates the queue time-bound table and
+//! benchmarks the underlying measurement workload.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skewbound_bench::measure::{
+    measure_centralized_grid, measure_replica_grid, queue_gen, queue_label,
+};
+use skewbound_bench::report::{table_report, Object};
+use skewbound_spec::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let params = common::params();
+    let report = table_report(Object::Queue, &params, 8);
+    println!("\n{}", report.render());
+    report.verify().expect("Table II claims hold");
+
+    let mut group = c.benchmark_group("table2_queue");
+    group.bench_function("algorithm1_grid", |b| {
+        b.iter(|| measure_replica_grid(Queue::<i64>::new(), &params, 4, queue_gen, queue_label))
+    });
+    group.bench_function("centralized_grid", |b| {
+        b.iter(|| {
+            measure_centralized_grid(Queue::<i64>::new(), &params, 4, queue_gen, queue_label)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

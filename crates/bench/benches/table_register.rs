@@ -1,0 +1,44 @@
+//! Table I experiment: regenerates the register time-bound table and
+//! benchmarks the underlying measurement workload (Algorithm 1 vs the
+//! centralized baseline).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skewbound_bench::measure::{
+    measure_centralized_grid, measure_replica_grid, register_gen, register_label,
+};
+use skewbound_bench::report::{table_report, Object};
+use skewbound_spec::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let params = common::params();
+
+    // Print the regenerated table once, so `cargo bench` output contains
+    // the Table I reproduction.
+    let report = table_report(Object::Register, &params, 8);
+    println!("\n{}", report.render());
+    report.verify().expect("Table I claims hold");
+
+    let mut group = c.benchmark_group("table1_register");
+    group.bench_function("algorithm1_grid", |b| {
+        b.iter(|| {
+            measure_replica_grid(RmwRegister::default(), &params, 4, register_gen, register_label)
+        })
+    });
+    group.bench_function("centralized_grid", |b| {
+        b.iter(|| {
+            measure_centralized_grid(
+                RmwRegister::default(),
+                &params,
+                4,
+                register_gen,
+                register_label,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

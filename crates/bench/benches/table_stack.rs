@@ -1,0 +1,32 @@
+//! Table III experiment: regenerates the stack time-bound table and
+//! benchmarks the underlying measurement workload.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skewbound_bench::measure::{
+    measure_centralized_grid, measure_replica_grid, stack_gen, stack_label,
+};
+use skewbound_bench::report::{table_report, Object};
+use skewbound_spec::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let params = common::params();
+    let report = table_report(Object::Stack, &params, 8);
+    println!("\n{}", report.render());
+    report.verify().expect("Table III claims hold");
+
+    let mut group = c.benchmark_group("table3_stack");
+    group.bench_function("algorithm1_grid", |b| {
+        b.iter(|| measure_replica_grid(Stack::<i64>::new(), &params, 4, stack_gen, stack_label))
+    });
+    group.bench_function("centralized_grid", |b| {
+        b.iter(|| {
+            measure_centralized_grid(Stack::<i64>::new(), &params, 4, stack_gen, stack_label)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Table IV experiment: regenerates the tree time-bound table and
+//! benchmarks the underlying measurement workload.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skewbound_bench::measure::{
+    measure_centralized_grid, measure_replica_grid, tree_gen, tree_label,
+};
+use skewbound_bench::report::{table_report, Object};
+use skewbound_spec::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let params = common::params();
+    let report = table_report(Object::Tree, &params, 8);
+    println!("\n{}", report.render());
+    report.verify().expect("Table IV claims hold");
+
+    let mut group = c.benchmark_group("table4_tree");
+    group.bench_function("algorithm1_grid", |b| {
+        b.iter(|| measure_replica_grid(Tree::new(), &params, 4, tree_gen, tree_label))
+    });
+    group.bench_function("centralized_grid", |b| {
+        b.iter(|| measure_centralized_grid(Tree::new(), &params, 4, tree_gen, tree_label))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

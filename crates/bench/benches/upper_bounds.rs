@@ -1,0 +1,42 @@
+//! Chapter V §D experiment: the X trade-off series (|MOP| = eps + X,
+//! |AOP| = d + eps - X, sum constant d + 2eps) and its wall-time cost.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skewbound_bench::figures;
+use skewbound_core::replica::Replica;
+use skewbound_shift::probe::measure_single_op_latency;
+use skewbound_sim::ids::ProcessId;
+use skewbound_spec::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let params = common::params();
+    println!("\n{}", figures::x_sweep(&params, 5));
+
+    let mut group = c.benchmark_group("upper_bounds");
+    group.bench_function("single_mutator_latency", |b| {
+        b.iter(|| {
+            measure_single_op_latency(
+                || Replica::group(RmwRegister::default(), &params),
+                &params,
+                ProcessId::new(0),
+                RmwOp::Write(1),
+            )
+        })
+    });
+    group.bench_function("single_accessor_latency", |b| {
+        b.iter(|| {
+            measure_single_op_latency(
+                || Replica::group(RmwRegister::default(), &params),
+                &params,
+                ProcessId::new(0),
+                RmwOp::Read,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

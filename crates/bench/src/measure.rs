@@ -1,0 +1,313 @@
+//! Latency measurement workloads for the table experiments.
+//!
+//! For each object of Chapter VI we run closed-loop mixed workloads on
+//! Algorithm 1 and on the centralized baseline, across several admissible
+//! delay models (maximal, minimal, seeded-random) and clock assignments
+//! (perfectly synchronized, maximally skewed within `ε`), and collect the
+//! worst observed invocation-to-response latency per operation kind. The
+//! engine is exact — zero local processing, delays exactly as assigned —
+//! so the measured maxima can be compared against the closed-form bound
+//! formulas tick-for-tick.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use skewbound_core::centralized::Centralized;
+use skewbound_core::params::Params;
+use skewbound_core::replica::Replica;
+use skewbound_sim::actor::Actor;
+use skewbound_sim::clock::ClockAssignment;
+use skewbound_sim::delay::{DelayModel, FixedDelay, UniformDelay};
+use skewbound_sim::engine::Simulation;
+use skewbound_sim::ids::ProcessId;
+use skewbound_sim::time::SimDuration;
+use skewbound_sim::workload::ClosedLoop;
+use skewbound_spec::prelude::*;
+
+/// Worst-case latency observed per operation label.
+pub type MaxLatencies = BTreeMap<&'static str, SimDuration>;
+
+fn clock_assignments(params: &Params) -> Vec<ClockAssignment> {
+    vec![
+        ClockAssignment::zero(params.n()),
+        ClockAssignment::spread(params.n(), params.eps()),
+    ]
+}
+
+/// Runs one closed-loop workload and folds each completed operation's
+/// latency into `acc` under its label.
+#[allow(clippy::too_many_arguments)]
+fn accumulate<A, D, G, L>(
+    actors: Vec<A>,
+    clocks: ClockAssignment,
+    delays: D,
+    ops_per_process: usize,
+    seed: u64,
+    gen: G,
+    label: L,
+    acc: &mut MaxLatencies,
+) where
+    A: Actor,
+    A::Op: Clone,
+    D: DelayModel,
+    G: FnMut(ProcessId, usize, &mut StdRng) -> A::Op,
+    L: Fn(&A::Op) -> &'static str,
+{
+    let n = clocks.len();
+    let mut driver = ClosedLoop::new(ProcessId::all(n).collect(), ops_per_process, seed, gen);
+    let mut sim = Simulation::new(actors, clocks, delays);
+    sim.run_with(&mut driver).expect("measurement run failed");
+    assert!(sim.history().is_complete(), "incomplete measurement run");
+    for rec in sim.history().records() {
+        let lat = rec.latency().expect("complete");
+        let entry = acc.entry(label(&rec.op)).or_insert(SimDuration::ZERO);
+        *entry = (*entry).max(lat);
+    }
+}
+
+/// Measures Algorithm 1 across the standard delay/clock grid:
+/// {fixed-maximal, fixed-minimal, three random seeds} × {zero skew,
+/// maximal skew}.
+pub fn measure_replica_grid<S, G, L>(
+    spec: S,
+    params: &Params,
+    ops_per_process: usize,
+    gen: G,
+    label: L,
+) -> MaxLatencies
+where
+    S: SequentialSpec + Clone,
+    G: FnMut(ProcessId, usize, &mut StdRng) -> S::Op + Clone,
+    L: Fn(&S::Op) -> &'static str + Copy,
+{
+    let bounds = params.delay_bounds();
+    let mut acc = MaxLatencies::new();
+    let mut run_seed = 1u64;
+    for clocks in clock_assignments(params) {
+        accumulate(
+            Replica::group(spec.clone(), params),
+            clocks.clone(),
+            FixedDelay::maximal(bounds),
+            ops_per_process,
+            run_seed,
+            gen.clone(),
+            label,
+            &mut acc,
+        );
+        run_seed += 1;
+        accumulate(
+            Replica::group(spec.clone(), params),
+            clocks.clone(),
+            FixedDelay::minimal(bounds),
+            ops_per_process,
+            run_seed,
+            gen.clone(),
+            label,
+            &mut acc,
+        );
+        run_seed += 1;
+        for delay_seed in [11u64, 22, 33] {
+            accumulate(
+                Replica::group(spec.clone(), params),
+                clocks.clone(),
+                UniformDelay::new(bounds, delay_seed),
+                ops_per_process,
+                run_seed,
+                gen.clone(),
+                label,
+                &mut acc,
+            );
+            run_seed += 1;
+        }
+    }
+    acc
+}
+
+/// Measures the centralized baseline across the same grid.
+pub fn measure_centralized_grid<S, G, L>(
+    spec: S,
+    params: &Params,
+    ops_per_process: usize,
+    gen: G,
+    label: L,
+) -> MaxLatencies
+where
+    S: SequentialSpec + Clone,
+    G: FnMut(ProcessId, usize, &mut StdRng) -> S::Op + Clone,
+    L: Fn(&S::Op) -> &'static str + Copy,
+{
+    let bounds = params.delay_bounds();
+    let mut acc = MaxLatencies::new();
+    let mut run_seed = 1u64;
+    for clocks in clock_assignments(params) {
+        accumulate(
+            Centralized::group(spec.clone(), params.n()),
+            clocks.clone(),
+            FixedDelay::maximal(bounds),
+            ops_per_process,
+            run_seed,
+            gen.clone(),
+            label,
+            &mut acc,
+        );
+        run_seed += 1;
+        for delay_seed in [11u64, 22] {
+            accumulate(
+                Centralized::group(spec.clone(), params.n()),
+                clocks.clone(),
+                UniformDelay::new(bounds, delay_seed),
+                ops_per_process,
+                run_seed,
+                gen.clone(),
+                label,
+                &mut acc,
+            );
+            run_seed += 1;
+        }
+    }
+    acc
+}
+
+// ---------------------------------------------------------------------
+// Per-object workloads (generators + labelers).
+// ---------------------------------------------------------------------
+
+/// Register workload: mixed read/write/RMW.
+#[must_use]
+pub fn register_gen(_pid: ProcessId, idx: usize, _rng: &mut StdRng) -> RmwOp {
+    match idx % 4 {
+        0 => RmwOp::Write(idx as i64),
+        1 => RmwOp::Read,
+        2 => RmwOp::Rmw(RmwKind::FetchAdd(1)),
+        _ => RmwOp::Read,
+    }
+}
+
+/// Labels register ops for the table rows.
+#[must_use]
+pub fn register_label(op: &RmwOp) -> &'static str {
+    match op {
+        RmwOp::Read => "read",
+        RmwOp::Write(_) => "write",
+        RmwOp::Rmw(_) => "read-modify-write",
+    }
+}
+
+/// Queue workload: mixed enqueue/dequeue/peek.
+#[must_use]
+pub fn queue_gen(pid: ProcessId, idx: usize, _rng: &mut StdRng) -> QueueOp {
+    match idx % 4 {
+        0 | 1 => QueueOp::Enqueue((pid.index() * 1000 + idx) as i64),
+        2 => QueueOp::Dequeue,
+        _ => QueueOp::Peek,
+    }
+}
+
+/// Labels queue ops for the table rows.
+#[must_use]
+pub fn queue_label(op: &QueueOp) -> &'static str {
+    match op {
+        QueueOp::Enqueue(_) => "enqueue",
+        QueueOp::Dequeue => "dequeue",
+        QueueOp::Peek => "peek",
+        QueueOp::Len => "len",
+    }
+}
+
+/// Stack workload: mixed push/pop/peek.
+#[must_use]
+pub fn stack_gen(pid: ProcessId, idx: usize, _rng: &mut StdRng) -> StackOp {
+    match idx % 4 {
+        0 | 1 => StackOp::Push((pid.index() * 1000 + idx) as i64),
+        2 => StackOp::Pop,
+        _ => StackOp::Peek,
+    }
+}
+
+/// Labels stack ops for the table rows.
+#[must_use]
+pub fn stack_label(op: &StackOp) -> &'static str {
+    match op {
+        StackOp::Push(_) => "push",
+        StackOp::Pop => "pop",
+        StackOp::Peek => "peek",
+        StackOp::Len => "len",
+    }
+}
+
+/// Tree workload: inserts under random existing-ish parents, deletes,
+/// searches and depth queries.
+#[must_use]
+pub fn tree_gen(pid: ProcessId, idx: usize, _rng: &mut StdRng) -> TreeOp {
+    let node = (pid.index() as u32) * 1_000 + idx as u32 + 1;
+    match idx % 5 {
+        0 => TreeOp::Insert { node, parent: 0 },
+        1 => TreeOp::Insert {
+            node,
+            parent: node.saturating_sub(1),
+        },
+        2 => TreeOp::Delete {
+            node: node.saturating_sub(2),
+        },
+        3 => TreeOp::Search { node: node / 2 },
+        _ => TreeOp::Depth,
+    }
+}
+
+/// Labels tree ops for the table rows.
+#[must_use]
+pub fn tree_label(op: &TreeOp) -> &'static str {
+    match op {
+        TreeOp::Insert { .. } => "insert",
+        TreeOp::Delete { .. } => "delete",
+        TreeOp::Search { .. } => "search",
+        TreeOp::Depth => "depth",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skewbound_core::bounds;
+
+    fn params() -> Params {
+        Params::with_optimal_skew(
+            4,
+            SimDuration::from_ticks(10_000),
+            SimDuration::from_ticks(2_000),
+            SimDuration::ZERO,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn register_measured_matches_formulas() {
+        let p = params();
+        let measured = measure_replica_grid(RmwRegister::default(), &p, 6, register_gen, register_label);
+        assert_eq!(measured["write"], bounds::ub_mop(&p), "write = eps + X");
+        assert_eq!(measured["read"], bounds::ub_aop(&p), "read = d + eps - X");
+        assert!(measured["read-modify-write"] <= bounds::ub_oop(&p));
+    }
+
+    #[test]
+    fn centralized_measured_is_2d_shaped() {
+        let p = params();
+        let measured =
+            measure_centralized_grid(RmwRegister::default(), &p, 6, register_gen, register_label);
+        let two_d = bounds::ub_centralized(&p);
+        for (op, &lat) in &measured {
+            assert!(lat <= two_d, "{op} exceeded 2d");
+        }
+        // Under maximal fixed delays some remote op hits exactly 2d.
+        assert!(measured.values().any(|&l| l == two_d));
+    }
+
+    #[test]
+    fn queue_measured_within_bounds() {
+        let p = params();
+        let measured = measure_replica_grid(Queue::<i64>::new(), &p, 6, queue_gen, queue_label);
+        assert_eq!(measured["enqueue"], bounds::ub_mop(&p));
+        assert!(measured["dequeue"] <= bounds::ub_oop(&p));
+        assert_eq!(measured["peek"], bounds::ub_aop(&p));
+    }
+}

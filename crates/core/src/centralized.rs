@@ -1,0 +1,189 @@
+//! The folklore centralized baseline (`≤ 2d` per operation).
+//!
+//! Chapter I: "a centralized mechanism can perform each operation with
+//! time at most `2d` in the worst case" — the invoking process sends the
+//! operation to a control center (process `p0`), which applies it to the
+//! single authoritative copy and replies. Trivially linearizable (the
+//! center serializes everything), but every remote operation pays a full
+//! round trip regardless of its class. Algorithm 1's point is beating
+//! this for every operation class.
+
+use core::fmt;
+
+use skewbound_sim::actor::{Actor, Context};
+use skewbound_sim::ids::ProcessId;
+use skewbound_spec::seqspec::SequentialSpec;
+
+/// Messages of the centralized scheme.
+pub enum CentralMsg<S: SequentialSpec> {
+    /// Client → center: please execute this operation.
+    Request {
+        /// The operation.
+        op: S::Op,
+    },
+    /// Center → client: the operation's response.
+    Reply {
+        /// The response.
+        resp: S::Resp,
+    },
+}
+
+impl<S: SequentialSpec> Clone for CentralMsg<S> {
+    fn clone(&self) -> Self {
+        match self {
+            CentralMsg::Request { op } => CentralMsg::Request { op: op.clone() },
+            CentralMsg::Reply { resp } => CentralMsg::Reply { resp: resp.clone() },
+        }
+    }
+}
+
+impl<S: SequentialSpec> fmt::Debug for CentralMsg<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CentralMsg::Request { op } => write!(f, "Request({op:?})"),
+            CentralMsg::Reply { resp } => write!(f, "Reply({resp:?})"),
+        }
+    }
+}
+
+/// One process of the centralized scheme. Process `p0` is the center and
+/// owns the only copy; everyone else forwards.
+pub struct Centralized<S: SequentialSpec> {
+    spec: S,
+    /// The authoritative copy (meaningful only at the center).
+    state: S::State,
+}
+
+impl<S: SequentialSpec> fmt::Debug for Centralized<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Centralized")
+            .field("state", &self.state)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S: SequentialSpec + Clone> Centralized<S> {
+    /// Creates one process of the scheme.
+    #[must_use]
+    pub fn new(spec: S) -> Self {
+        let state = spec.initial();
+        Centralized { spec, state }
+    }
+
+    /// One process per replica slot.
+    #[must_use]
+    pub fn group(spec: S, n: usize) -> Vec<Self> {
+        (0..n).map(|_| Centralized::new(spec.clone())).collect()
+    }
+}
+
+impl<S: SequentialSpec> Centralized<S> {
+    /// The id of the control center.
+    pub const CENTER: ProcessId = ProcessId::new(0);
+
+    /// The authoritative state (meaningful at [`Centralized::CENTER`]).
+    #[must_use]
+    pub fn state(&self) -> &S::State {
+        &self.state
+    }
+}
+
+impl<S: SequentialSpec> Actor for Centralized<S> {
+    type Msg = CentralMsg<S>;
+    type Op = S::Op;
+    type Resp = S::Resp;
+    type Timer = ();
+
+    fn on_invoke(&mut self, op: S::Op, ctx: &mut Context<'_, Self>) {
+        if ctx.pid() == Self::CENTER {
+            // The center's own operations are local: zero time.
+            let (next, resp) = self.spec.apply(&self.state, &op);
+            self.state = next;
+            ctx.respond(resp);
+        } else {
+            ctx.send(Self::CENTER, CentralMsg::Request { op });
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: CentralMsg<S>, ctx: &mut Context<'_, Self>) {
+        match msg {
+            CentralMsg::Request { op } => {
+                debug_assert_eq!(ctx.pid(), Self::CENTER, "only the center executes");
+                let (next, resp) = self.spec.apply(&self.state, &op);
+                self.state = next;
+                ctx.send(from, CentralMsg::Reply { resp });
+            }
+            CentralMsg::Reply { resp } => ctx.respond(resp),
+        }
+    }
+
+    fn on_timer(&mut self, _timer: (), _ctx: &mut Context<'_, Self>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skewbound_sim::prelude::*;
+    use skewbound_spec::prelude::*;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn t(x: u64) -> SimTime {
+        SimTime::from_ticks(x)
+    }
+
+    #[test]
+    fn remote_op_takes_round_trip() {
+        let bounds = DelayBounds::new(SimDuration::from_ticks(100), SimDuration::from_ticks(30));
+        let mut sim = Simulation::new(
+            Centralized::group(RmwRegister::default(), 3),
+            ClockAssignment::zero(3),
+            FixedDelay::maximal(bounds),
+        );
+        sim.schedule_invoke(p(1), t(0), RmwOp::Write(5));
+        sim.schedule_invoke(p(2), t(300), RmwOp::Read);
+        sim.run().unwrap();
+        let records = sim.history().records();
+        // Worst case 2d = 200 for every remote op, regardless of class.
+        assert_eq!(records[0].latency().unwrap().as_ticks(), 200);
+        assert_eq!(records[1].latency().unwrap().as_ticks(), 200);
+        assert_eq!(records[1].resp(), Some(&RmwResp::Value(5)));
+    }
+
+    #[test]
+    fn center_local_ops_are_instant() {
+        let bounds = DelayBounds::new(SimDuration::from_ticks(100), SimDuration::from_ticks(30));
+        let mut sim = Simulation::new(
+            Centralized::group(Queue::<i64>::new(), 2),
+            ClockAssignment::zero(2),
+            FixedDelay::maximal(bounds),
+        );
+        sim.schedule_invoke(p(0), t(0), QueueOp::Enqueue(1));
+        sim.run().unwrap();
+        assert_eq!(
+            sim.history().records()[0].latency().unwrap(),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn serializes_everything_at_center() {
+        let bounds = DelayBounds::new(SimDuration::from_ticks(100), SimDuration::from_ticks(30));
+        let mut sim = Simulation::new(
+            Centralized::group(Queue::<i64>::new(), 3),
+            ClockAssignment::zero(3),
+            UniformDelay::new(bounds, 3),
+        );
+        sim.schedule_invoke(p(1), t(0), QueueOp::Enqueue(1));
+        sim.schedule_invoke(p(2), t(500), QueueOp::Enqueue(2));
+        sim.schedule_invoke(p(1), t(1000), QueueOp::Dequeue);
+        sim.run().unwrap();
+        assert_eq!(
+            sim.history().records()[2].resp(),
+            Some(&QueueResp::Value(Some(1)))
+        );
+        assert_eq!(sim.actor(p(0)).state(), &vec![2]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Convenience runners: build a simulation, run a workload, return the
+//! history (and optionally check it).
+//!
+//! These wrappers keep examples, integration tests and benches concise;
+//! everything they do can also be done directly with
+//! [`skewbound_sim::engine::Simulation`].
+
+use skewbound_sim::actor::Actor;
+use skewbound_sim::clock::ClockAssignment;
+use skewbound_sim::delay::DelayModel;
+use skewbound_sim::engine::{SimError, Simulation};
+use skewbound_sim::history::History;
+use skewbound_sim::workload::Driver;
+
+/// Runs `actors` under `clocks`/`delays` with `driver` until quiescence
+/// and returns the complete history.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the engine (event-cap exceeded).
+///
+/// # Panics
+///
+/// Panics if the run ends with an incomplete history, which would indicate
+/// an actor that failed to respond to an invocation — a correctness bug
+/// worth failing loudly on.
+pub fn run_history<A, D, Dr>(
+    actors: Vec<A>,
+    clocks: ClockAssignment,
+    delays: D,
+    driver: &mut Dr,
+) -> Result<History<A::Op, A::Resp>, SimError>
+where
+    A: Actor,
+    D: DelayModel,
+    Dr: Driver<A::Op, A::Resp> + ?Sized,
+{
+    let mut sim = Simulation::new(actors, clocks, delays);
+    sim.run_with(driver)?;
+    assert!(
+        sim.history().is_complete(),
+        "run reached quiescence with pending operations (termination bug)"
+    );
+    Ok(sim.history().clone())
+}
+
+/// Like [`run_history`] but also returns the final simulation for state
+/// inspection.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the engine.
+#[allow(clippy::type_complexity)]
+pub fn run_simulation<A, D, Dr>(
+    actors: Vec<A>,
+    clocks: ClockAssignment,
+    delays: D,
+    driver: &mut Dr,
+) -> Result<(History<A::Op, A::Resp>, Simulation<A, D>), SimError>
+where
+    A: Actor,
+    D: DelayModel,
+    Dr: Driver<A::Op, A::Resp> + ?Sized,
+{
+    let mut sim = Simulation::new(actors, clocks, delays);
+    sim.run_with(driver)?;
+    let history = sim.history().clone();
+    Ok((history, sim))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Params;
+    use crate::replica::Replica;
+    use skewbound_sim::prelude::*;
+    use skewbound_spec::prelude::*;
+
+    #[test]
+    fn run_history_completes_closed_loop() {
+        let params = Params::with_optimal_skew(
+            3,
+            SimDuration::from_ticks(100),
+            SimDuration::from_ticks(30),
+            SimDuration::ZERO,
+        )
+        .unwrap();
+        let mut driver = ClosedLoop::new(
+            ProcessId::all(3).collect(),
+            4,
+            7,
+            |_pid, idx, _rng| {
+                if idx % 2 == 0 {
+                    CounterOp::Add(1)
+                } else {
+                    CounterOp::Read
+                }
+            },
+        );
+        let history = run_history(
+            Replica::group(Counter::default(), &params),
+            ClockAssignment::zero(3),
+            UniformDelay::new(params.delay_bounds(), 3),
+            &mut driver,
+        )
+        .unwrap();
+        assert_eq!(history.len(), 12);
+        assert!(history.is_complete());
+    }
+
+    #[test]
+    fn run_simulation_exposes_state() {
+        let params = Params::with_optimal_skew(
+            2,
+            SimDuration::from_ticks(100),
+            SimDuration::from_ticks(30),
+            SimDuration::ZERO,
+        )
+        .unwrap();
+        let mut script = Script::new().at(
+            ProcessId::new(0),
+            SimTime::ZERO,
+            CounterOp::Add(5),
+        );
+        let (history, sim) = run_simulation(
+            Replica::group(Counter::default(), &params),
+            ClockAssignment::zero(2),
+            FixedDelay::maximal(params.delay_bounds()),
+            &mut script,
+        )
+        .unwrap();
+        assert_eq!(history.len(), 1);
+        assert_eq!(sim.actor(ProcessId::new(0)).local_state(), &5);
+        assert_eq!(sim.actor(ProcessId::new(1)).local_state(), &5);
+    }
+}

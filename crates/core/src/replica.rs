@@ -1,0 +1,650 @@
+//! **Algorithm 1**: the sub-`2d` linearizable implementation (Chapter V).
+//!
+//! Every process keeps a full copy of the object. Operations are grouped
+//! by [`OpClass`]:
+//!
+//! * **`OOP`** (mutator+accessor, e.g. dequeue): the invoker timestamps
+//!   the operation with `⟨local_time, pid⟩`, broadcasts it, and adds it to
+//!   its own priority queue `To_Execute` after `d − u` (the "fastest
+//!   message to itself"). Whenever an operation has sat in `To_Execute`
+//!   for `u + ε` (the *hold* timer), every queued operation with a smaller
+//!   or equal timestamp is executed in timestamp order — by then no
+//!   smaller-timestamped operation can still arrive (Lemma C.8). The
+//!   invoker responds when its own operation executes: at worst
+//!   `(d − u) + (u + ε) = d + ε` after invocation.
+//! * **`MOP`** (pure mutator, e.g. write/enqueue/push): broadcast and
+//!   queue exactly like `OOP`, but respond early — `ε + X` after
+//!   invocation — which is sound because a pure mutator's response reveals
+//!   nothing; waiting `≥ ε` suffices to order non-overlapping mutators.
+//! * **`AOP`** (pure accessor, e.g. read/peek): no broadcast. The
+//!   timestamp is `⟨local_time − X, pid⟩` ("pretend it was invoked `X`
+//!   earlier"), and the response comes `d + ε − X` after invocation, after
+//!   executing every queued operation with a smaller timestamp.
+//!
+//! The resulting worst-case times are `|OOP| ≤ d + ε`, `|MOP| = ε + X`,
+//! `|AOP| = d + ε − X` (Theorems D.1/D.2 of Chapter V).
+//!
+//! [`TimerProfile`] isolates the four wait durations so that the
+//! lower-bound experiments can build *foils* — replicas that wait less
+//! than the theory requires and therefore lose linearizability under
+//! adversarial schedules (see [`crate::foils`]).
+
+use core::fmt;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use skewbound_sim::actor::{Actor, Context};
+use skewbound_sim::time::SimDuration;
+use skewbound_spec::seqspec::{OpClass, SequentialSpec};
+
+use crate::params::Params;
+use crate::timestamp::Timestamp;
+
+/// The four wait durations of Algorithm 1.
+///
+/// [`TimerProfile::from_params`] gives the honest profile; anything
+/// smaller sacrifices correctness (that is the point of the lower bounds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerProfile {
+    /// Wait before adding one's own broadcast op to `To_Execute`
+    /// (paper: `d − u`).
+    pub self_add: SimDuration,
+    /// Hold time in `To_Execute` before execution (paper: `u + ε`).
+    pub hold: SimDuration,
+    /// Pure-mutator response wait (paper: `ε + X`).
+    pub mutator_wait: SimDuration,
+    /// Pure-accessor response wait (paper: `d + ε − X`).
+    pub accessor_wait: SimDuration,
+}
+
+impl TimerProfile {
+    /// The correct profile from the system parameters.
+    #[must_use]
+    pub fn from_params(p: &Params) -> Self {
+        TimerProfile {
+            self_add: p.d() - p.u(),
+            hold: p.u() + p.eps(),
+            mutator_wait: p.eps() + p.x(),
+            accessor_wait: p.d() + p.eps() - p.x(),
+        }
+    }
+
+    /// A uniformly scaled profile (`num/den` of every wait) — used to
+    /// build "too fast" foils. `scaled(p, 1, 1)` equals
+    /// [`TimerProfile::from_params`].
+    #[must_use]
+    pub fn scaled(p: &Params, num: u64, den: u64) -> Self {
+        let base = Self::from_params(p);
+        TimerProfile {
+            self_add: base.self_add.mul_frac(num, den),
+            hold: base.hold.mul_frac(num, den),
+            mutator_wait: base.mutator_wait.mul_frac(num, den),
+            accessor_wait: base.accessor_wait.mul_frac(num, den),
+        }
+    }
+}
+
+/// The broadcast message: an operation and its timestamp.
+pub struct OpMsg<S: SequentialSpec> {
+    /// The operation (with arguments).
+    pub op: S::Op,
+    /// Its global timestamp.
+    pub ts: Timestamp,
+}
+
+impl<S: SequentialSpec> Clone for OpMsg<S> {
+    fn clone(&self) -> Self {
+        OpMsg {
+            op: self.op.clone(),
+            ts: self.ts,
+        }
+    }
+}
+
+impl<S: SequentialSpec> fmt::Debug for OpMsg<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "OpMsg({:?} @ {})", self.op, self.ts)
+    }
+}
+
+/// Timers set by the replica, tagged per the pseudocode's
+/// `set_timer(counter, ⟨op, arg, ts⟩, action)`.
+pub enum ReplicaTimer<S: SequentialSpec> {
+    /// Add one's own broadcast operation to `To_Execute` (action `add`).
+    SelfAdd {
+        /// The operation.
+        op: S::Op,
+        /// Its timestamp.
+        ts: Timestamp,
+    },
+    /// Execute everything with timestamp `≤ ts` (action `execute`).
+    Execute {
+        /// The hold-expired timestamp.
+        ts: Timestamp,
+    },
+    /// Respond to the pending pure mutator (action `respond`).
+    MutatorRespond {
+        /// The (state-independent) mutator acknowledgment.
+        resp: S::Resp,
+    },
+    /// Execute everything smaller, then respond to the pending pure
+    /// accessor (action `respond`).
+    AccessorRespond {
+        /// The accessor operation.
+        op: S::Op,
+        /// Its (shifted) timestamp.
+        ts: Timestamp,
+    },
+}
+
+impl<S: SequentialSpec> Clone for ReplicaTimer<S> {
+    fn clone(&self) -> Self {
+        match self {
+            ReplicaTimer::SelfAdd { op, ts } => ReplicaTimer::SelfAdd {
+                op: op.clone(),
+                ts: *ts,
+            },
+            ReplicaTimer::Execute { ts } => ReplicaTimer::Execute { ts: *ts },
+            ReplicaTimer::MutatorRespond { resp } => ReplicaTimer::MutatorRespond {
+                resp: resp.clone(),
+            },
+            ReplicaTimer::AccessorRespond { op, ts } => ReplicaTimer::AccessorRespond {
+                op: op.clone(),
+                ts: *ts,
+            },
+        }
+    }
+}
+
+impl<S: SequentialSpec> fmt::Debug for ReplicaTimer<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplicaTimer::SelfAdd { op, ts } => write!(f, "SelfAdd({op:?} @ {ts})"),
+            ReplicaTimer::Execute { ts } => write!(f, "Execute(≤ {ts})"),
+            ReplicaTimer::MutatorRespond { .. } => write!(f, "MutatorRespond"),
+            ReplicaTimer::AccessorRespond { op, ts } => {
+                write!(f, "AccessorRespond({op:?} @ {ts})")
+            }
+        }
+    }
+}
+
+/// An entry of the `To_Execute` priority queue.
+struct Queued<S: SequentialSpec> {
+    ts: Timestamp,
+    op: S::Op,
+}
+
+impl<S: SequentialSpec> PartialEq for Queued<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.ts == other.ts
+    }
+}
+impl<S: SequentialSpec> Eq for Queued<S> {}
+impl<S: SequentialSpec> PartialOrd for Queued<S> {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<S: SequentialSpec> Ord for Queued<S> {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        self.ts.cmp(&other.ts)
+    }
+}
+
+/// One process of Algorithm 1.
+///
+/// # Examples
+///
+/// Running a replicated queue under random admissible delays:
+///
+/// ```
+/// use skewbound_core::params::Params;
+/// use skewbound_core::replica::Replica;
+/// use skewbound_sim::prelude::*;
+/// use skewbound_spec::prelude::*;
+///
+/// let params = Params::with_optimal_skew(
+///     3,
+///     SimDuration::from_ticks(100),
+///     SimDuration::from_ticks(30),
+///     SimDuration::ZERO,
+/// )?;
+/// let actors = Replica::group(Queue::<i64>::new(), &params);
+/// let mut sim = Simulation::new(
+///     actors,
+///     ClockAssignment::zero(3),
+///     UniformDelay::new(params.delay_bounds(), 42),
+/// );
+/// sim.schedule_invoke(ProcessId::new(0), SimTime::ZERO, QueueOp::Enqueue(7));
+/// sim.schedule_invoke(
+///     ProcessId::new(1),
+///     SimTime::from_ticks(500),
+///     QueueOp::Dequeue,
+/// );
+/// sim.run().unwrap();
+/// assert_eq!(
+///     sim.history().records()[1].resp(),
+///     Some(&QueueResp::Value(Some(7)))
+/// );
+/// # Ok::<(), skewbound_core::params::ParamError>(())
+/// ```
+pub struct Replica<S: SequentialSpec> {
+    spec: S,
+    x: SimDuration,
+    profile: TimerProfile,
+    local: S::State,
+    to_execute: BinaryHeap<Reverse<Queued<S>>>,
+    /// Timestamp of this process's pending `OOP` operation, if any — the
+    /// response fires when it is executed on the local copy.
+    own_other_pending: Option<Timestamp>,
+    /// Count of operations executed on the local copy (diagnostics).
+    executed: u64,
+    /// Timestamps of executed operations, in execution order. Lemma C.10
+    /// says this sequence is ascending and identical across replicas at
+    /// quiescence; tests assert it.
+    executed_order: Vec<Timestamp>,
+}
+
+impl<S: SequentialSpec> fmt::Debug for Replica<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Replica")
+            .field("local", &self.local)
+            .field("queued", &self.to_execute.len())
+            .field("executed", &self.executed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S: SequentialSpec + Clone> Replica<S> {
+    /// A replica with the honest timer profile from `params`.
+    #[must_use]
+    pub fn new(spec: S, params: &Params) -> Self {
+        Self::with_profile(spec, params.x(), TimerProfile::from_params(params))
+    }
+
+    /// A replica with an explicit timer profile (foils use this).
+    #[must_use]
+    pub fn with_profile(spec: S, x: SimDuration, profile: TimerProfile) -> Self {
+        let local = spec.initial();
+        Replica {
+            spec,
+            x,
+            profile,
+            local,
+            to_execute: BinaryHeap::new(),
+            own_other_pending: None,
+            executed: 0,
+            executed_order: Vec::new(),
+        }
+    }
+
+    /// One replica per process, ready for
+    /// [`Simulation::new`](skewbound_sim::engine::Simulation::new).
+    #[must_use]
+    pub fn group(spec: S, params: &Params) -> Vec<Self> {
+        (0..params.n()).map(|_| Replica::new(spec.clone(), params)).collect()
+    }
+
+    /// A group with an explicit profile (foils).
+    #[must_use]
+    pub fn group_with_profile(
+        spec: S,
+        params: &Params,
+        profile: TimerProfile,
+    ) -> Vec<Self> {
+        (0..params.n())
+            .map(|_| Replica::with_profile(spec.clone(), params.x(), profile))
+            .collect()
+    }
+}
+
+impl<S: SequentialSpec> Replica<S> {
+    /// The current local copy of the object.
+    #[must_use]
+    pub fn local_state(&self) -> &S::State {
+        &self.local
+    }
+
+    /// Number of operations waiting in `To_Execute`.
+    #[must_use]
+    pub fn queued_len(&self) -> usize {
+        self.to_execute.len()
+    }
+
+    /// Number of operations executed on the local copy so far.
+    #[must_use]
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Timestamps of executed operations, in execution order.
+    ///
+    /// Lemma C.10: every replica executes the broadcast operations in
+    /// ascending timestamp order, so at quiescence this sequence is
+    /// identical on all replicas.
+    #[must_use]
+    pub fn executed_order(&self) -> &[Timestamp] {
+        &self.executed_order
+    }
+
+    /// The timer profile in force.
+    #[must_use]
+    pub fn profile(&self) -> &TimerProfile {
+        &self.profile
+    }
+
+    fn enqueue(&mut self, op: S::Op, ts: Timestamp, ctx: &mut Context<'_, Self>) {
+        self.to_execute.push(Reverse(Queued { ts, op }));
+        ctx.set_timer(self.profile.hold, ReplicaTimer::Execute { ts });
+    }
+
+    /// Executes every queued operation with timestamp `≤ bound` (or
+    /// `< bound` when `inclusive` is false) in timestamp order, responding
+    /// if one of them is this process's own pending `OOP` operation.
+    fn execute_up_to(&mut self, bound: Timestamp, inclusive: bool, ctx: &mut Context<'_, Self>) {
+        while let Some(Reverse(head)) = self.to_execute.peek() {
+            let within = if inclusive {
+                head.ts <= bound
+            } else {
+                head.ts < bound
+            };
+            if !within {
+                break;
+            }
+            let Reverse(entry) = self.to_execute.pop().expect("peeked");
+            let (next, resp) = self.spec.apply(&self.local, &entry.op);
+            self.local = next;
+            self.executed += 1;
+            self.executed_order.push(entry.ts);
+            if self.own_other_pending == Some(entry.ts) {
+                self.own_other_pending = None;
+                ctx.respond(resp);
+            }
+        }
+    }
+}
+
+impl<S: SequentialSpec> Actor for Replica<S> {
+    type Msg = OpMsg<S>;
+    type Op = S::Op;
+    type Resp = S::Resp;
+    type Timer = ReplicaTimer<S>;
+
+    fn on_invoke(&mut self, op: S::Op, ctx: &mut Context<'_, Self>) {
+        match self.spec.class(&op) {
+            OpClass::PureAccessor => {
+                let ts = Timestamp::accessor(ctx.clock(), self.x, ctx.pid());
+                ctx.set_timer(
+                    self.profile.accessor_wait,
+                    ReplicaTimer::AccessorRespond { op, ts },
+                );
+            }
+            class => {
+                let ts = Timestamp::new(ctx.clock(), ctx.pid());
+                ctx.broadcast(OpMsg {
+                    op: op.clone(),
+                    ts,
+                });
+                ctx.set_timer(
+                    self.profile.self_add,
+                    ReplicaTimer::SelfAdd {
+                        op: op.clone(),
+                        ts,
+                    },
+                );
+                if class == OpClass::PureMutator {
+                    // A pure mutator's response is state-independent
+                    // (verified by `classify::check_class_consistency`),
+                    // so it can be computed now and delivered at `ε + X`.
+                    let resp = self.spec.apply(&self.local, &op).1;
+                    ctx.set_timer(
+                        self.profile.mutator_wait,
+                        ReplicaTimer::MutatorRespond { resp },
+                    );
+                } else {
+                    self.own_other_pending = Some(ts);
+                }
+            }
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        _from: skewbound_sim::ids::ProcessId,
+        msg: OpMsg<S>,
+        ctx: &mut Context<'_, Self>,
+    ) {
+        self.enqueue(msg.op, msg.ts, ctx);
+    }
+
+    fn on_timer(&mut self, timer: ReplicaTimer<S>, ctx: &mut Context<'_, Self>) {
+        match timer {
+            ReplicaTimer::SelfAdd { op, ts } => self.enqueue(op, ts, ctx),
+            ReplicaTimer::Execute { ts } => self.execute_up_to(ts, true, ctx),
+            ReplicaTimer::MutatorRespond { resp } => ctx.respond(resp),
+            ReplicaTimer::AccessorRespond { op, ts } => {
+                self.execute_up_to(ts, false, ctx);
+                // Pure accessors read without committing state (they are
+                // state-preserving by class consistency).
+                let (_, resp) = self.spec.apply(&self.local, &op);
+                ctx.respond(resp);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skewbound_sim::prelude::*;
+    use skewbound_spec::prelude::*;
+
+    fn params() -> Params {
+        Params::with_optimal_skew(
+            3,
+            SimDuration::from_ticks(100),
+            SimDuration::from_ticks(30),
+            SimDuration::ZERO,
+        )
+        .unwrap()
+    }
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn t(x: u64) -> SimTime {
+        SimTime::from_ticks(x)
+    }
+
+    #[test]
+    fn profile_matches_paper() {
+        let p = params(); // n=3, d=100, u=30 → eps=20
+        let prof = TimerProfile::from_params(&p);
+        assert_eq!(prof.self_add.as_ticks(), 70); // d - u
+        assert_eq!(prof.hold.as_ticks(), 50); // u + eps
+        assert_eq!(prof.mutator_wait.as_ticks(), 20); // eps + 0
+        assert_eq!(prof.accessor_wait.as_ticks(), 120); // d + eps - 0
+    }
+
+    #[test]
+    fn scaled_profile() {
+        let p = params();
+        let prof = TimerProfile::scaled(&p, 1, 2);
+        assert_eq!(prof.self_add.as_ticks(), 35);
+        assert_eq!(prof.hold.as_ticks(), 25);
+        assert_eq!(TimerProfile::scaled(&p, 1, 1), TimerProfile::from_params(&p));
+    }
+
+    #[test]
+    fn mutator_latency_is_eps_plus_x() {
+        let params = params();
+        let mut sim = Simulation::new(
+            Replica::group(RmwRegister::default(), &params),
+            ClockAssignment::zero(3),
+            FixedDelay::maximal(params.delay_bounds()),
+        );
+        sim.schedule_invoke(p(0), t(0), RmwOp::Write(5));
+        sim.run().unwrap();
+        let rec = &sim.history().records()[0];
+        assert_eq!(rec.resp(), Some(&RmwResp::Ack));
+        assert_eq!(rec.latency().unwrap(), params.eps() + params.x());
+    }
+
+    #[test]
+    fn accessor_latency_is_d_plus_eps_minus_x() {
+        let params = params();
+        let mut sim = Simulation::new(
+            Replica::group(RmwRegister::default(), &params),
+            ClockAssignment::zero(3),
+            FixedDelay::maximal(params.delay_bounds()),
+        );
+        sim.schedule_invoke(p(1), t(0), RmwOp::Read);
+        sim.run().unwrap();
+        let rec = &sim.history().records()[0];
+        assert_eq!(rec.resp(), Some(&RmwResp::Value(0)));
+        assert_eq!(rec.latency().unwrap(), params.d() + params.eps() - params.x());
+    }
+
+    #[test]
+    fn oop_latency_at_most_d_plus_eps() {
+        let params = params();
+        let mut sim = Simulation::new(
+            Replica::group(RmwRegister::default(), &params),
+            ClockAssignment::zero(3),
+            FixedDelay::maximal(params.delay_bounds()),
+        );
+        sim.schedule_invoke(p(0), t(0), RmwOp::Rmw(RmwKind::FetchAdd(1)));
+        sim.run().unwrap();
+        let rec = &sim.history().records()[0];
+        assert_eq!(rec.resp(), Some(&RmwResp::Value(0)));
+        assert!(rec.latency().unwrap() <= params.d() + params.eps());
+        // With no concurrent traffic it is exactly d + eps.
+        assert_eq!(rec.latency().unwrap(), params.d() + params.eps());
+    }
+
+    #[test]
+    fn read_after_write_sees_value() {
+        let params = params();
+        let mut sim = Simulation::new(
+            Replica::group(RmwRegister::default(), &params),
+            ClockAssignment::zero(3),
+            UniformDelay::new(params.delay_bounds(), 11),
+        );
+        // Write completes at eps; read invoked well after, on another
+        // process.
+        sim.schedule_invoke(p(0), t(0), RmwOp::Write(42));
+        sim.schedule_invoke(p(2), t(1_000), RmwOp::Read);
+        sim.run().unwrap();
+        assert_eq!(
+            sim.history().records()[1].resp(),
+            Some(&RmwResp::Value(42))
+        );
+    }
+
+    #[test]
+    fn queue_fifo_across_processes() {
+        let params = params();
+        let mut sim = Simulation::new(
+            Replica::group(Queue::<i64>::new(), &params),
+            ClockAssignment::zero(3),
+            UniformDelay::new(params.delay_bounds(), 5),
+        );
+        sim.schedule_invoke(p(0), t(0), QueueOp::Enqueue(1));
+        sim.schedule_invoke(p(1), t(200), QueueOp::Enqueue(2));
+        sim.schedule_invoke(p(2), t(600), QueueOp::Dequeue);
+        sim.schedule_invoke(p(0), t(900), QueueOp::Dequeue);
+        sim.run().unwrap();
+        let records = sim.history().records();
+        assert_eq!(records[2].resp(), Some(&QueueResp::Value(Some(1))));
+        assert_eq!(records[3].resp(), Some(&QueueResp::Value(Some(2))));
+    }
+
+    #[test]
+    fn replicas_converge_to_same_state() {
+        let params = params();
+        let mut sim = Simulation::new(
+            Replica::group(Queue::<i64>::new(), &params),
+            ClockAssignment::spread(3, params.eps()),
+            UniformDelay::new(params.delay_bounds(), 9),
+        );
+        for i in 0..5 {
+            sim.schedule_invoke(p(i % 3), t(u64::from(i) * 300), QueueOp::Enqueue(i64::from(i)));
+        }
+        sim.run().unwrap();
+        let s0 = sim.actor(p(0)).local_state().clone();
+        for i in 1..3 {
+            assert_eq!(&s0, sim.actor(p(i)).local_state(), "replica {i} diverged");
+        }
+        assert_eq!(s0.len(), 5);
+        for i in ProcessId::all(3) {
+            assert_eq!(sim.actor(i).queued_len(), 0);
+            assert_eq!(sim.actor(i).executed(), 5);
+        }
+    }
+
+    #[test]
+    fn concurrent_mutators_ordered_by_timestamp_everywhere() {
+        let params = params();
+        // p1's clock is ahead: its concurrent write gets the larger
+        // timestamp and must win on all replicas.
+        let mut clocks = ClockAssignment::zero(3);
+        clocks.shift(p(1), i64::try_from(params.eps().as_ticks()).unwrap());
+        let mut sim = Simulation::new(
+            Replica::group(RmwRegister::default(), &params),
+            clocks,
+            FixedDelay::maximal(params.delay_bounds()),
+        );
+        sim.schedule_invoke(p(0), t(10), RmwOp::Write(100));
+        sim.schedule_invoke(p(1), t(10), RmwOp::Write(200));
+        sim.run().unwrap();
+        for i in ProcessId::all(3) {
+            assert_eq!(sim.actor(i).local_state(), &200, "replica {i}");
+        }
+    }
+
+    #[test]
+    fn executed_order_ascending_and_identical_everywhere() {
+        // Lemma C.10, executable: replicas execute all broadcast ops in
+        // the same ascending timestamp order.
+        let params = params();
+        let mut sim = Simulation::new(
+            Replica::group(Queue::<i64>::new(), &params),
+            ClockAssignment::spread(3, params.eps()),
+            UniformDelay::new(params.delay_bounds(), 77),
+        );
+        for i in 0..6u64 {
+            sim.schedule_invoke(
+                p((i % 3) as u32),
+                t(i * 400),
+                QueueOp::Enqueue(i as i64),
+            );
+        }
+        sim.run().unwrap();
+        let order0 = sim.actor(p(0)).executed_order().to_vec();
+        assert_eq!(order0.len(), 6);
+        assert!(order0.windows(2).all(|w| w[0] < w[1]), "ascending");
+        for i in 1..3 {
+            assert_eq!(sim.actor(p(i)).executed_order(), &order0[..], "replica {i}");
+        }
+    }
+
+    #[test]
+    fn accessor_does_not_mutate_local_copy() {
+        let params = params();
+        let mut sim = Simulation::new(
+            Replica::group(Queue::<i64>::new(), &params),
+            ClockAssignment::zero(3),
+            FixedDelay::maximal(params.delay_bounds()),
+        );
+        sim.schedule_invoke(p(0), t(0), QueueOp::Enqueue(7));
+        sim.schedule_invoke(p(1), t(500), QueueOp::Peek);
+        sim.schedule_invoke(p(2), t(1000), QueueOp::Peek);
+        sim.run().unwrap();
+        let records = sim.history().records();
+        assert_eq!(records[1].resp(), Some(&QueueResp::Value(Some(7))));
+        assert_eq!(records[2].resp(), Some(&QueueResp::Value(Some(7))));
+        assert_eq!(sim.actor(p(1)).local_state(), &vec![7]);
+    }
+}

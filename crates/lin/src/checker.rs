@@ -1,0 +1,479 @@
+//! The linearizability checker.
+//!
+//! Linearizability (Chapter III §B.4): a complete history is linearizable
+//! when there exists a permutation `π` of all operations such that
+//!
+//! 1. `π` is legal for the object's sequential specification, and
+//! 2. if `op1`'s response occurs before `op2`'s invocation in real time,
+//!    then `op1` appears before `op2` in `π`.
+//!
+//! The checker is a Wing & Gong-style depth-first search over the set of
+//! "taken" operations: at each step, any not-yet-taken operation all of
+//! whose real-time predecessors are taken may be linearized next, provided
+//! its recorded response matches what the specification returns. A
+//! `(taken-set, state)` memo table prunes re-exploration, which makes the
+//! search practical for the history sizes the experiments produce.
+
+use std::collections::HashSet;
+
+use skewbound_sim::history::History;
+use skewbound_sim::ids::OpId;
+use skewbound_spec::seqspec::SequentialSpec;
+
+/// Search limits for the checker.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckLimits {
+    /// Maximum number of DFS node expansions before giving up.
+    pub max_nodes: u64,
+}
+
+impl Default for CheckLimits {
+    fn default() -> Self {
+        CheckLimits {
+            max_nodes: 5_000_000,
+        }
+    }
+}
+
+/// Outcome of a linearizability check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckOutcome {
+    /// The history is linearizable; a witness order is attached.
+    Linearizable(Linearization),
+    /// No legal real-time-respecting permutation exists.
+    NotLinearizable(Violation),
+    /// The search hit its node limit before deciding.
+    Unknown {
+        /// Nodes expanded before giving up.
+        nodes: u64,
+    },
+}
+
+impl CheckOutcome {
+    /// `true` for [`CheckOutcome::Linearizable`].
+    #[must_use]
+    pub fn is_linearizable(&self) -> bool {
+        matches!(self, CheckOutcome::Linearizable(_))
+    }
+
+    /// `true` for [`CheckOutcome::NotLinearizable`].
+    #[must_use]
+    pub fn is_violation(&self) -> bool {
+        matches!(self, CheckOutcome::NotLinearizable(_))
+    }
+}
+
+/// A witness linearization: operation ids in linearized order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Linearization {
+    /// Operation ids in the order of the witness permutation `π`.
+    pub order: Vec<OpId>,
+}
+
+/// Evidence of non-linearizability.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Total operations in the history.
+    pub total_ops: usize,
+    /// The longest legal prefix the search ever built (ids in order) —
+    /// useful for diagnosing *where* histories go wrong.
+    pub longest_prefix: Vec<OpId>,
+    /// Nodes expanded during the exhaustive search.
+    pub nodes: u64,
+}
+
+/// Checks a complete history against `spec`.
+///
+/// # Panics
+///
+/// Panics if the history is incomplete (a pending invocation has no
+/// response — the engine only produces complete histories at quiescence)
+/// or has more than 128 operations (the taken-set is a `u128` bitmask;
+/// split longer workloads into epochs for checking).
+#[must_use]
+pub fn check_history<S: SequentialSpec>(
+    spec: &S,
+    history: &History<S::Op, S::Resp>,
+) -> CheckOutcome {
+    check_history_with(spec, history, CheckLimits::default())
+}
+
+/// [`check_history`] with explicit limits.
+///
+/// # Panics
+///
+/// Same conditions as [`check_history`].
+#[must_use]
+pub fn check_history_with<S: SequentialSpec>(
+    spec: &S,
+    history: &History<S::Op, S::Resp>,
+    limits: CheckLimits,
+) -> CheckOutcome {
+    assert!(
+        history.is_complete(),
+        "linearizability is defined over complete histories"
+    );
+    let n = history.len();
+    assert!(n <= 128, "checker supports at most 128 operations, got {n}");
+    if n == 0 {
+        return CheckOutcome::Linearizable(Linearization { order: Vec::new() });
+    }
+
+    let records = history.records();
+    // precedes[i] = bitmask of operations that must come before op i
+    // (their response is before i's invocation).
+    let mut predecessors = vec![0u128; n];
+    for (i, a) in records.iter().enumerate() {
+        for (j, b) in records.iter().enumerate() {
+            if i != j && a.precedes(b) {
+                predecessors[j] |= 1u128 << i;
+            }
+        }
+    }
+
+    let full: u128 = if n == 128 { u128::MAX } else { (1u128 << n) - 1 };
+    let mut seen: HashSet<(u128, S::State)> = HashSet::new();
+    let mut stack: Vec<(u128, S::State, Vec<OpId>)> =
+        vec![(0, spec.initial(), Vec::new())];
+    let mut nodes = 0u64;
+    let mut longest_prefix: Vec<OpId> = Vec::new();
+
+    while let Some((taken, state, order)) = stack.pop() {
+        nodes += 1;
+        if nodes > limits.max_nodes {
+            return CheckOutcome::Unknown { nodes };
+        }
+        if taken == full {
+            return CheckOutcome::Linearizable(Linearization { order });
+        }
+        if order.len() > longest_prefix.len() {
+            longest_prefix = order.clone();
+        }
+        for (i, rec) in records.iter().enumerate() {
+            let bit = 1u128 << i;
+            if taken & bit != 0 {
+                continue;
+            }
+            // All real-time predecessors must already be linearized.
+            if predecessors[i] & !taken != 0 {
+                continue;
+            }
+            let (next_state, resp) = spec.apply(&state, &rec.op);
+            if Some(&resp) != rec.resp() {
+                continue;
+            }
+            let next_taken = taken | bit;
+            if seen.insert((next_taken, next_state.clone())) {
+                let mut next_order = order.clone();
+                next_order.push(rec.id);
+                stack.push((next_taken, next_state, next_order));
+            }
+        }
+    }
+
+    CheckOutcome::NotLinearizable(Violation {
+        total_ops: n,
+        longest_prefix,
+        nodes,
+    })
+}
+
+/// Brute-force reference checker: enumerates *all* permutations that
+/// respect real time and tests each for legality. Exponential; only for
+/// cross-validating [`check_history`] on tiny histories in tests.
+///
+/// # Panics
+///
+/// Panics if the history is incomplete or longer than 8 operations.
+#[must_use]
+pub fn check_history_brute_force<S: SequentialSpec>(
+    spec: &S,
+    history: &History<S::Op, S::Resp>,
+) -> bool {
+    assert!(history.is_complete(), "complete histories only");
+    let n = history.len();
+    assert!(n <= 8, "brute force capped at 8 operations");
+    let records = history.records();
+    let mut indices: Vec<usize> = (0..n).collect();
+    // Enumerate permutations via Heap's algorithm.
+    fn heaps(k: usize, arr: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if k == 1 {
+            out.push(arr.clone());
+            return;
+        }
+        for i in 0..k {
+            heaps(k - 1, arr, out);
+            if k.is_multiple_of(2) {
+                arr.swap(i, k - 1);
+            } else {
+                arr.swap(0, k - 1);
+            }
+        }
+    }
+    let mut perms = Vec::new();
+    if n == 0 {
+        return true;
+    }
+    heaps(n, &mut indices, &mut perms);
+
+    'perm: for perm in perms {
+        // Real-time order respected?
+        for (pos_a, &a) in perm.iter().enumerate() {
+            for &b in &perm[pos_a + 1..] {
+                if records[b].precedes(&records[a]) {
+                    continue 'perm;
+                }
+            }
+        }
+        // Legal?
+        let mut state = spec.initial();
+        let mut ok = true;
+        for &i in &perm {
+            let (s2, r) = spec.apply(&state, &records[i].op);
+            if Some(&r) != records[i].resp() {
+                ok = false;
+                break;
+            }
+            state = s2;
+        }
+        if ok {
+            return true;
+        }
+    }
+    false
+}
+
+/// Verifies that a claimed linearization is valid for `history` under
+/// `spec`: it contains every operation exactly once, respects real time,
+/// and is legal. Used to validate checker witnesses.
+#[must_use]
+pub fn validate_linearization<S: SequentialSpec>(
+    spec: &S,
+    history: &History<S::Op, S::Resp>,
+    lin: &Linearization,
+) -> bool {
+    let n = history.len();
+    if lin.order.len() != n {
+        return false;
+    }
+    let mut used = vec![false; n];
+    let mut state = spec.initial();
+    let mut seen: Vec<&skewbound_sim::history::OpRecord<S::Op, S::Resp>> = Vec::new();
+    for id in &lin.order {
+        let Some(rec) = history.get(*id) else {
+            return false;
+        };
+        let idx = id.as_u64() as usize;
+        if used[idx] {
+            return false;
+        }
+        used[idx] = true;
+        // Real-time check: no remaining (later-in-π) op precedes rec.
+        for earlier in &seen {
+            if rec.precedes(earlier) {
+                return false;
+            }
+        }
+        seen.push(rec);
+        let (s2, r) = spec.apply(&state, &rec.op);
+        if Some(&r) != rec.resp() {
+            return false;
+        }
+        state = s2;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skewbound_sim::ids::ProcessId;
+    use skewbound_sim::time::SimTime;
+    use skewbound_spec::prelude::*;
+
+    fn t(x: u64) -> SimTime {
+        SimTime::from_ticks(x)
+    }
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    /// Build a complete register history from (pid, invoke, respond, op, resp).
+    #[allow(clippy::type_complexity)]
+    fn reg_history(
+        entries: &[(u32, u64, u64, RegOp<i64>, RegResp<i64>)],
+    ) -> History<RegOp<i64>, RegResp<i64>> {
+        let mut h = History::new();
+        let mut ids = Vec::new();
+        for (pid, inv, _resp_t, op, _r) in entries {
+            ids.push(h.record_invoke(p(*pid), op.clone(), t(*inv)));
+        }
+        for (i, (_, _, resp_t, _, r)) in entries.iter().enumerate() {
+            h.record_response(ids[i], r.clone(), t(*resp_t));
+        }
+        h
+    }
+
+    #[test]
+    fn empty_history_linearizable() {
+        let h: History<RegOp<i64>, RegResp<i64>> = History::new();
+        assert!(check_history(&RwRegister::new(0), &h).is_linearizable());
+    }
+
+    #[test]
+    fn sequential_legal_history() {
+        let h = reg_history(&[
+            (0, 0, 1, RegOp::Write(1), RegResp::Ack),
+            (0, 2, 3, RegOp::Read, RegResp::Value(1)),
+        ]);
+        let out = check_history(&RwRegister::new(0), &h);
+        let CheckOutcome::Linearizable(lin) = &out else {
+            panic!("expected linearizable, got {out:?}");
+        };
+        assert!(validate_linearization(&RwRegister::new(0), &h, lin));
+    }
+
+    #[test]
+    fn fig1_incorrect_history_rejected() {
+        // Fig. 1(a): both writes complete before the read is invoked, but
+        // the read returns the older value.
+        let h = reg_history(&[
+            (0, 0, 1, RegOp::Write(0), RegResp::Ack),
+            (0, 2, 3, RegOp::Write(1), RegResp::Ack),
+            (1, 4, 5, RegOp::Read, RegResp::Value(0)),
+        ]);
+        let out = check_history(&RwRegister::new(0), &h);
+        assert!(out.is_violation(), "{out:?}");
+        assert!(!check_history_brute_force(&RwRegister::new(0), &h));
+    }
+
+    #[test]
+    fn fig1b_overlapping_write_accepted() {
+        // Fig. 1(b): write(1) overlaps the read, so
+        // write(0) ∘ read(0) ∘ write(1) is a valid linearization.
+        let h = reg_history(&[
+            (0, 0, 1, RegOp::Write(0), RegResp::Ack),
+            (0, 2, 10, RegOp::Write(1), RegResp::Ack),
+            (1, 4, 5, RegOp::Read, RegResp::Value(0)),
+        ]);
+        let out = check_history(&RwRegister::new(0), &h);
+        assert!(out.is_linearizable(), "{out:?}");
+        assert!(check_history_brute_force(&RwRegister::new(0), &h));
+    }
+
+    #[test]
+    fn overlapping_ops_may_linearize_either_way() {
+        // Two concurrent writes then reads that agree on one order.
+        let h = reg_history(&[
+            (0, 0, 10, RegOp::Write(1), RegResp::Ack),
+            (1, 0, 10, RegOp::Write(2), RegResp::Ack),
+            (2, 11, 12, RegOp::Read, RegResp::Value(1)),
+        ]);
+        assert!(check_history(&RwRegister::new(0), &h).is_linearizable());
+        let h2 = reg_history(&[
+            (0, 0, 10, RegOp::Write(1), RegResp::Ack),
+            (1, 0, 10, RegOp::Write(2), RegResp::Ack),
+            (2, 11, 12, RegOp::Read, RegResp::Value(2)),
+        ]);
+        assert!(check_history(&RwRegister::new(0), &h2).is_linearizable());
+    }
+
+    #[test]
+    fn reads_disagreeing_on_write_order_rejected() {
+        // Concurrent writes, then two sequential reads observing
+        // *different* final orders — impossible.
+        let h = reg_history(&[
+            (0, 0, 10, RegOp::Write(1), RegResp::Ack),
+            (1, 0, 10, RegOp::Write(2), RegResp::Ack),
+            (2, 11, 12, RegOp::Read, RegResp::Value(1)),
+            (2, 13, 14, RegOp::Read, RegResp::Value(2)),
+        ]);
+        let out = check_history(&RwRegister::new(0), &h);
+        assert!(out.is_violation(), "{out:?}");
+        assert!(!check_history_brute_force(&RwRegister::new(0), &h));
+    }
+
+    #[test]
+    fn queue_duplicate_dequeue_rejected() {
+        // Theorem C.1's shape: one element, two non-overlapping dequeues
+        // both returning it.
+        let q: Queue<i64> = Queue::new();
+        let mut h: History<QueueOp<i64>, QueueResp<i64>> = History::new();
+        let a = h.record_invoke(p(0), QueueOp::Enqueue(5), t(0));
+        h.record_response(a, QueueResp::Ack, t(1));
+        let b = h.record_invoke(p(1), QueueOp::Dequeue, t(2));
+        h.record_response(b, QueueResp::Value(Some(5)), t(3));
+        let c = h.record_invoke(p(2), QueueOp::Dequeue, t(4));
+        h.record_response(c, QueueResp::Value(Some(5)), t(5));
+        assert!(check_history(&q, &h).is_violation());
+    }
+
+    #[test]
+    fn queue_concurrent_dequeues_one_winner_ok() {
+        let q: Queue<i64> = Queue::new();
+        let mut h: History<QueueOp<i64>, QueueResp<i64>> = History::new();
+        let a = h.record_invoke(p(0), QueueOp::Enqueue(5), t(0));
+        h.record_response(a, QueueResp::Ack, t(1));
+        let b = h.record_invoke(p(1), QueueOp::Dequeue, t(2));
+        let c = h.record_invoke(p(2), QueueOp::Dequeue, t(2));
+        h.record_response(b, QueueResp::Value(Some(5)), t(6));
+        h.record_response(c, QueueResp::Value(None), t(6));
+        assert!(check_history(&q, &h).is_linearizable());
+    }
+
+    #[test]
+    fn violation_reports_longest_prefix() {
+        let h = reg_history(&[
+            (0, 0, 1, RegOp::Write(0), RegResp::Ack),
+            (0, 2, 3, RegOp::Write(1), RegResp::Ack),
+            (1, 4, 5, RegOp::Read, RegResp::Value(0)),
+        ]);
+        let CheckOutcome::NotLinearizable(v) = check_history(&RwRegister::new(0), &h) else {
+            panic!("expected violation");
+        };
+        assert_eq!(v.total_ops, 3);
+        assert_eq!(v.longest_prefix.len(), 2);
+    }
+
+    #[test]
+    fn node_limit_returns_unknown() {
+        // Many concurrent writes explode the search; with a 1-node limit
+        // the checker must give up rather than mislabel.
+        let mut entries = Vec::new();
+        for i in 0..6u32 {
+            entries.push((i, 0, 100, RegOp::Write(i64::from(i)), RegResp::Ack));
+        }
+        let h = reg_history(&entries);
+        let out = check_history_with(
+            &RwRegister::new(0),
+            &h,
+            CheckLimits { max_nodes: 1 },
+        );
+        assert!(matches!(out, CheckOutcome::Unknown { .. }));
+    }
+
+    #[test]
+    fn memoization_handles_many_commuting_ops() {
+        // 60 sequential increment-style writes of the same value: the
+        // memo table must collapse the state space.
+        let mut entries = Vec::new();
+        for i in 0..60u64 {
+            entries.push((0u32, 2 * i, 2 * i + 1, RegOp::Write(7), RegResp::Ack));
+        }
+        let h = reg_history(&entries);
+        assert!(check_history(&RwRegister::new(0), &h).is_linearizable());
+    }
+
+    #[test]
+    fn validate_rejects_wrong_order() {
+        let h = reg_history(&[
+            (0, 0, 1, RegOp::Write(1), RegResp::Ack),
+            (0, 2, 3, RegOp::Read, RegResp::Value(1)),
+        ]);
+        let bad = Linearization {
+            order: vec![skewbound_sim::ids::OpId::new(1), skewbound_sim::ids::OpId::new(0)],
+        };
+        assert!(!validate_linearization(&RwRegister::new(0), &h, &bad));
+    }
+}

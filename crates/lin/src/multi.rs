@@ -1,0 +1,194 @@
+//! Multi-object histories and locality-based checking.
+//!
+//! The thesis's linearizability definition is per-object: a permutation
+//! of *all* operations whose restriction to each object is legal
+//! (Chapter III §B.4). By Herlihy & Wing's locality theorem this is
+//! equivalent to every per-object sub-history being linearizable on its
+//! own — which is also dramatically cheaper to check, because the search
+//! spaces multiply instead of compound.
+//!
+//! [`split_history`] projects a history onto object keys;
+//! [`check_multi_object`] applies the decomposition to
+//! [`MultiObject`](skewbound_spec::combinators::MultiObject) histories.
+
+use std::collections::BTreeMap;
+
+use skewbound_sim::history::History;
+use skewbound_spec::combinators::IndexedOp;
+use skewbound_spec::seqspec::SequentialSpec;
+
+use crate::checker::{check_history_with, CheckLimits, CheckOutcome};
+
+/// Splits a complete history into per-key sub-histories, preserving
+/// invocation order and real times. Keys are returned in ascending
+/// order.
+///
+/// # Panics
+///
+/// Panics if the history is incomplete.
+pub fn split_history<O, R, K, F>(history: &History<O, R>, mut key: F) -> Vec<(K, History<O, R>)>
+where
+    O: Clone,
+    R: Clone,
+    K: Ord + Clone,
+    F: FnMut(&O) -> K,
+{
+    assert!(history.is_complete(), "complete histories only");
+    let mut buckets: BTreeMap<K, History<O, R>> = BTreeMap::new();
+    for rec in history.records() {
+        let k = key(&rec.op);
+        let sub = buckets.entry(k).or_default();
+        let id = sub.record_invoke(rec.pid, rec.op.clone(), rec.invoked_at);
+        let (resp, at) = rec.response.clone().expect("complete");
+        sub.record_response(id, resp, at);
+    }
+    buckets.into_iter().collect()
+}
+
+/// Per-object outcome of a locality-based multi-object check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiOutcome {
+    /// The outcome for each object index that appeared in the history.
+    pub per_object: Vec<(usize, CheckOutcome)>,
+}
+
+impl MultiOutcome {
+    /// `true` when every object's sub-history is linearizable — by
+    /// locality, exactly when the whole multi-object history is.
+    #[must_use]
+    pub fn is_linearizable(&self) -> bool {
+        self.per_object
+            .iter()
+            .all(|(_, o)| o.is_linearizable())
+    }
+
+    /// Indices of objects whose sub-histories are violations.
+    #[must_use]
+    pub fn violating_objects(&self) -> Vec<usize> {
+        self.per_object
+            .iter()
+            .filter(|(_, o)| o.is_violation())
+            .map(|(i, _)| *i)
+            .collect()
+    }
+}
+
+/// Checks a [`MultiObject`](skewbound_spec::combinators::MultiObject)
+/// history by locality: each object's sub-history is checked against the
+/// inner spec independently.
+///
+/// # Panics
+///
+/// Panics if the history is incomplete.
+#[must_use]
+pub fn check_multi_object<S: SequentialSpec>(
+    inner: &S,
+    history: &History<IndexedOp<S::Op>, S::Resp>,
+) -> MultiOutcome {
+    check_multi_object_with(inner, history, CheckLimits::default())
+}
+
+/// [`check_multi_object`] with explicit limits.
+///
+/// # Panics
+///
+/// Panics if the history is incomplete.
+#[must_use]
+pub fn check_multi_object_with<S: SequentialSpec>(
+    inner: &S,
+    history: &History<IndexedOp<S::Op>, S::Resp>,
+    limits: CheckLimits,
+) -> MultiOutcome {
+    let per_object = split_history(history, |op| op.index)
+        .into_iter()
+        .map(|(index, sub)| {
+            let projected = sub.map(|op| op.op.clone(), Clone::clone);
+            (index, check_history_with(inner, &projected, limits))
+        })
+        .collect();
+    MultiOutcome { per_object }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::check_history;
+    use skewbound_sim::ids::ProcessId;
+    use skewbound_sim::time::SimTime;
+    use skewbound_spec::combinators::MultiObject;
+    use skewbound_spec::prelude::*;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn t(x: u64) -> SimTime {
+        SimTime::from_ticks(x)
+    }
+
+    fn at(index: usize, op: QueueOp<i64>) -> IndexedOp<QueueOp<i64>> {
+        IndexedOp { index, op }
+    }
+
+    fn two_queue_history(dup: bool) -> History<IndexedOp<QueueOp<i64>>, QueueResp<i64>> {
+        let mut h = History::new();
+        let ids = [
+            h.record_invoke(p(0), at(0, QueueOp::Enqueue(1)), t(0)),
+            h.record_invoke(p(1), at(1, QueueOp::Enqueue(9)), t(0)),
+            h.record_invoke(p(0), at(1, QueueOp::Dequeue), t(10)),
+            h.record_invoke(p(1), at(1, QueueOp::Dequeue), t(20)),
+            h.record_invoke(p(2), at(0, QueueOp::Dequeue), t(30)),
+        ];
+        h.record_response(ids[0], QueueResp::Ack, t(5));
+        h.record_response(ids[1], QueueResp::Ack, t(5));
+        h.record_response(ids[2], QueueResp::Value(Some(9)), t(15));
+        h.record_response(
+            ids[3],
+            QueueResp::Value(if dup { Some(9) } else { None }),
+            t(25),
+        );
+        h.record_response(ids[4], QueueResp::Value(Some(1)), t(35));
+        h
+    }
+
+    #[test]
+    fn split_partitions_by_key() {
+        let h = two_queue_history(false);
+        let parts = split_history(&h, |op| op.index);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].0, 0);
+        assert_eq!(parts[0].1.len(), 2);
+        assert_eq!(parts[1].1.len(), 3);
+    }
+
+    #[test]
+    fn locality_agrees_with_full_check() {
+        let inner: Queue<i64> = Queue::new();
+        let full_spec = MultiObject::new(inner, 2);
+        for dup in [false, true] {
+            let h = two_queue_history(dup);
+            let local = check_multi_object(&inner, &h);
+            let full = check_history(&full_spec, &h);
+            assert_eq!(
+                local.is_linearizable(),
+                full.is_linearizable(),
+                "locality must agree with the monolithic check (dup = {dup})"
+            );
+        }
+    }
+
+    #[test]
+    fn violation_blame_is_isolated() {
+        let inner: Queue<i64> = Queue::new();
+        let out = check_multi_object(&inner, &two_queue_history(true));
+        assert!(!out.is_linearizable());
+        assert_eq!(out.violating_objects(), vec![1]);
+    }
+
+    #[test]
+    fn empty_history_linearizable() {
+        let inner: Queue<i64> = Queue::new();
+        let h: History<IndexedOp<QueueOp<i64>>, QueueResp<i64>> = History::new();
+        assert!(check_multi_object(&inner, &h).is_linearizable());
+    }
+}

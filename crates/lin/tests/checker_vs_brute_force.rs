@@ -1,0 +1,86 @@
+//! Property test: the DFS checker agrees with the brute-force reference on
+//! randomly generated small histories (both legal-looking and corrupted).
+
+use proptest::prelude::*;
+use skewbound_lin::checker::{check_history, check_history_brute_force, CheckOutcome};
+use skewbound_sim::history::History;
+use skewbound_sim::ids::ProcessId;
+use skewbound_sim::time::SimTime;
+use skewbound_spec::prelude::*;
+
+/// A random operation description: process, invoke time, duration, op
+/// index, and (possibly wrong) response seed.
+#[derive(Debug, Clone)]
+struct RawOp {
+    pid: u32,
+    invoke: u64,
+    dur: u64,
+    op_sel: u8,
+    resp_seed: i64,
+}
+
+fn raw_op_strategy() -> impl Strategy<Value = RawOp> {
+    (0u32..3, 0u64..30, 1u64..15, 0u8..4, -1i64..3).prop_map(
+        |(pid, invoke, dur, op_sel, resp_seed)| RawOp {
+            pid,
+            invoke,
+            dur,
+            op_sel,
+            resp_seed,
+        },
+    )
+}
+
+/// Builds a complete register history. Per-process invocations are made
+/// non-overlapping by serializing each process's ops.
+fn build_history(raw: Vec<RawOp>) -> History<RegOp<i64>, RegResp<i64>> {
+    let mut h = History::new();
+    // Serialize per process: each process's next op starts after its
+    // previous response.
+    let mut next_free = [0u64; 3];
+    let mut entries = Vec::new();
+    for r in raw {
+        let start = r.invoke.max(next_free[r.pid as usize]);
+        let end = start + r.dur;
+        next_free[r.pid as usize] = end + 1;
+        let (op, resp) = match r.op_sel {
+            0 => (RegOp::Write(r.resp_seed), RegResp::Value(r.resp_seed)), // wrong resp type sometimes
+            1 => (RegOp::Write(r.resp_seed), RegResp::Ack),
+            2 => (RegOp::Read, RegResp::Value(r.resp_seed)),
+            _ => (RegOp::Read, RegResp::Value(0)),
+        };
+        entries.push((r.pid, start, end, op, resp));
+    }
+    entries.sort_by_key(|e| e.1);
+    let mut ids = Vec::new();
+    for (pid, start, _end, op, _resp) in &entries {
+        ids.push(h.record_invoke(ProcessId::new(*pid), op.clone(), SimTime::from_ticks(*start)));
+    }
+    for (i, (_pid, _start, end, _op, resp)) in entries.iter().enumerate() {
+        h.record_response(ids[i], resp.clone(), SimTime::from_ticks(*end));
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn dfs_matches_brute_force(raw in proptest::collection::vec(raw_op_strategy(), 0..6)) {
+        let h = build_history(raw);
+        let spec = RwRegister::new(0);
+        let brute = check_history_brute_force(&spec, &h);
+        match check_history(&spec, &h) {
+            CheckOutcome::Linearizable(lin) => {
+                prop_assert!(brute, "DFS said linearizable, brute force disagrees");
+                prop_assert!(skewbound_lin::validate_linearization(&spec, &h, &lin));
+            }
+            CheckOutcome::NotLinearizable(_) => {
+                prop_assert!(!brute, "DFS said violation, brute force disagrees");
+            }
+            CheckOutcome::Unknown { .. } => {
+                prop_assert!(false, "tiny histories must be decided");
+            }
+        }
+    }
+}

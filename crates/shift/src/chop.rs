@@ -1,0 +1,291 @@
+//! Chopping: the heart of the *modified* time shift (Chapter IV §B,
+//! Lemma B.1).
+//!
+//! After a shift that pushes exactly one pairwise delay `d_{i,j}` out of
+//! range, `chop(R, δ)` cuts every view to a prefix inside which the
+//! invalid message is never received:
+//!
+//! * let `m` be the first message from `p_i` to `p_j`, sent at `t_s`, and
+//!   `t* = t_s + min(d_{i,j}, δ)` for a chosen `δ ∈ [d − u, d]`;
+//! * `V_j` ends just before `t*`;
+//! * every other `V_k` ends just before `t* + D_{j,k}`, where `D` is the
+//!   shortest-path distance from `p_j` in the complete digraph weighted by
+//!   the pairwise delays.
+//!
+//! Lemma B.1: the result is an admissible run — verified here by
+//! [`Run::check_admissible`] rather than trusted.
+
+use skewbound_sim::delay::DelayBounds;
+use skewbound_sim::ids::ProcessId;
+
+use crate::run::{Message, Run, RunTime, StepKind, View};
+
+/// Pairwise message delays as a plain matrix (`delays[i][j]` = delay of
+/// messages from `p_i` to `p_j`; the diagonal is ignored).
+pub type DelayMatrix = Vec<Vec<i64>>;
+
+/// All-pairs shortest-path distances over the complete digraph weighted
+/// by `m` (Floyd–Warshall). `result[a][b]` is the cheapest relay distance
+/// `D_{a,b}`; the diagonal is zero.
+///
+/// # Panics
+///
+/// Panics if `m` is not square.
+#[must_use]
+pub fn shortest_paths(m: &DelayMatrix) -> DelayMatrix {
+    let n = m.len();
+    for row in m {
+        assert_eq!(row.len(), n, "delay matrix must be square");
+    }
+    let mut d = vec![vec![i64::MAX / 4; n]; n];
+    for (i, row) in m.iter().enumerate() {
+        for (j, &w) in row.iter().enumerate() {
+            if i == j {
+                d[i][j] = 0;
+            } else {
+                d[i][j] = w;
+            }
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                let via = d[i][k] + d[k][j];
+                if via < d[i][j] {
+                    d[i][j] = via;
+                }
+            }
+        }
+    }
+    d
+}
+
+/// `chop(R, δ)` of Lemma B.1.
+///
+/// `matrix` must describe the (pairwise-uniform) delays of `run`, with
+/// `invalid = (i, j)` the unique out-of-range pair. `delta` is the `δ`
+/// parameter, which must lie in `[d − u, d]`.
+///
+/// Returns the chopped run. If no message from `i` to `j` exists, the run
+/// is returned unchanged (there is nothing to cut).
+///
+/// # Panics
+///
+/// Panics if `delta ∉ [d − u, d]` or the matrix shape mismatches.
+#[must_use]
+pub fn chop(
+    run: &Run,
+    matrix: &DelayMatrix,
+    invalid: (ProcessId, ProcessId),
+    delta: i64,
+    bounds: DelayBounds,
+) -> Run {
+    let d = i64::try_from(bounds.max().as_ticks()).expect("d fits i64");
+    let d_minus_u = i64::try_from(bounds.min().as_ticks()).expect("d-u fits i64");
+    assert!(
+        (d_minus_u..=d).contains(&delta),
+        "delta {delta} outside [{d_minus_u}, {d}]"
+    );
+    assert_eq!(matrix.len(), run.n(), "matrix must cover all processes");
+
+    let (i, j) = invalid;
+    // First message from i to j.
+    let Some(first) = run
+        .messages()
+        .iter()
+        .filter(|m| m.from == i && m.to == j)
+        .min_by_key(|m| m.sent_at)
+    else {
+        return run.clone();
+    };
+    let ts = first.sent_at;
+    let d_ij = matrix[i.index()][j.index()];
+    let t_star = RunTime(ts.0 + d_ij.min(delta));
+
+    let dist = shortest_paths(matrix);
+    let mut ends = vec![RunTime(0); run.n()];
+    for k in 0..run.n() {
+        ends[k] = if k == j.index() {
+            t_star
+        } else {
+            RunTime(t_star.0 + dist[j.index()][k])
+        };
+    }
+
+    // Keep messages sent inside the new prefix; mark late receptions
+    // undelivered. Dropped messages' indices must disappear from steps,
+    // so build a remap.
+    let mut keep = Vec::new();
+    let mut remap = vec![usize::MAX; run.messages().len()];
+    for (idx, m) in run.messages().iter().enumerate() {
+        if m.sent_at < ends[m.from.index()] {
+            remap[idx] = keep.len();
+            let recv_at = match m.recv_at {
+                Some(r) if r < ends[m.to.index()] => Some(r),
+                _ => None,
+            };
+            keep.push(Message {
+                from: m.from,
+                to: m.to,
+                sent_at: m.sent_at,
+                recv_at,
+            });
+        }
+    }
+
+    let views = run
+        .views()
+        .iter()
+        .enumerate()
+        .map(|(k, v)| {
+            let steps = v
+                .steps
+                .iter()
+                .filter(|s| s.at < ends[k])
+                .filter_map(|s| {
+                    let kind = match &s.kind {
+                        StepKind::Send(m) => {
+                            debug_assert_ne!(remap[*m], usize::MAX, "send inside prefix");
+                            StepKind::Send(remap[*m])
+                        }
+                        StepKind::Recv(m) => {
+                            if remap[*m] == usize::MAX || keep[remap[*m]].recv_at.is_none() {
+                                return None;
+                            }
+                            StepKind::Recv(remap[*m])
+                        }
+                        other => other.clone(),
+                    };
+                    Some(crate::run::Step { at: s.at, kind })
+                })
+                .collect();
+            View {
+                offset: v.offset,
+                steps,
+                end: ends[k],
+            }
+        })
+        .collect();
+
+    Run::new(views, keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shiftop::shift_run;
+    use skewbound_sim::time::SimDuration;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn bounds() -> DelayBounds {
+        DelayBounds::new(SimDuration::from_ticks(10), SimDuration::from_ticks(4))
+    }
+
+    #[test]
+    fn floyd_warshall_relays() {
+        // 0 → 1 direct is 10, but 0 → 2 → 1 is 3 + 3 = 6.
+        let m = vec![vec![0, 10, 3], vec![10, 0, 10], vec![10, 3, 0]];
+        let d = shortest_paths(&m);
+        assert_eq!(d[0][1], 6);
+        assert_eq!(d[0][2], 3);
+        assert_eq!(d[1][0], 10);
+        assert_eq!(d[0][0], 0);
+    }
+
+    /// Reproduces the Fig. 4(b) → Fig. 5 pipeline: shift breaks one
+    /// delay, chop restores admissibility (Lemma B.1).
+    #[test]
+    fn chop_restores_admissibility_after_modified_shift() {
+        // Original run: both directions at d = 10.
+        let mut v0 = View::new(0, RunTime(100));
+        let mut v1 = View::new(0, RunTime(100));
+        v1.push(RunTime(0), StepKind::Send(0));
+        v0.push(RunTime(10), StepKind::Recv(0));
+        v0.push(RunTime(10), StepKind::Send(1));
+        v1.push(RunTime(20), StepKind::Recv(1));
+        let run = Run::new(
+            vec![v0, v1],
+            vec![
+                Message {
+                    from: p(1),
+                    to: p(0),
+                    sent_at: RunTime(0),
+                    recv_at: Some(RunTime(10)),
+                },
+                Message {
+                    from: p(0),
+                    to: p(1),
+                    sent_at: RunTime(10),
+                    recv_at: Some(RunTime(20)),
+                },
+            ],
+        );
+        run.check_admissible(bounds(), 4).unwrap();
+
+        // Modified shift: p1 later by u = 4. d_{0,1} becomes 14 (invalid).
+        let shifted = shift_run(&run, &[0, 4]);
+        assert!(shifted.check_admissible(bounds(), 4).is_err());
+
+        let matrix = vec![vec![0, 14], vec![6, 0]];
+        let chopped = chop(&shifted, &matrix, (p(0), p(1)), 6, bounds());
+        chopped.check_admissible(bounds(), 4).unwrap();
+        // p1's view ends at t_s + min(14, δ=6) = 10 + 6 = 16, so the
+        // invalid reception (at 24) is gone.
+        assert_eq!(chopped.view(p(1)).end, RunTime(16));
+        assert_eq!(chopped.messages()[1].recv_at, None);
+        // p0's view ends at 16 + D_{1,0} = 16 + 6 = 22.
+        assert_eq!(chopped.view(p(0)).end, RunTime(22));
+        // The valid message is untouched.
+        assert_eq!(chopped.messages()[0].delay(), Some(6));
+    }
+
+    #[test]
+    fn chop_uses_relay_distances() {
+        // Three processes; direct j→k is slow (10) but j→i→k is 6+... the
+        // frontier must use the shortest path.
+        let matrix = vec![
+            vec![0, 14, 3], // p0: invalid toward p1, fast toward p2
+            vec![6, 0, 10],
+            vec![10, 3, 0],
+        ];
+        // A minimal run: p0 sends to p1 at time 0.
+        let mut v0 = View::new(0, RunTime(100));
+        v0.push(RunTime(0), StepKind::Send(0));
+        let v1 = View::new(0, RunTime(100));
+        let v2 = View::new(0, RunTime(100));
+        let run = Run::new(
+            vec![v0, v1, v2],
+            vec![Message {
+                from: p(0),
+                to: p(1),
+                sent_at: RunTime(0),
+                recv_at: Some(RunTime(14)),
+            }],
+        );
+        let chopped = chop(&run, &matrix, (p(0), p(1)), 8, bounds());
+        // t* = 0 + min(14, 8) = 8. V1 ends at 8.
+        assert_eq!(chopped.view(p(1)).end, RunTime(8));
+        // D_{1,0} = 6 direct; D_{1,2} = min(10, 6 + 3) = 9.
+        assert_eq!(chopped.view(p(0)).end, RunTime(14));
+        assert_eq!(chopped.view(p(2)).end, RunTime(17));
+        chopped.check_admissible(bounds(), 0).unwrap();
+    }
+
+    #[test]
+    fn chop_without_target_message_is_identity() {
+        let run = Run::new(vec![View::new(0, RunTime(5)), View::new(0, RunTime(5))], vec![]);
+        let matrix = vec![vec![0, 10], vec![10, 0]];
+        assert_eq!(chop(&run, &matrix, (p(0), p(1)), 8, bounds()), run);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn chop_validates_delta() {
+        let run = Run::new(vec![View::new(0, RunTime(5)), View::new(0, RunTime(5))], vec![]);
+        let matrix = vec![vec![0, 10], vec![10, 0]];
+        let _ = chop(&run, &matrix, (p(0), p(1)), 3, bounds());
+    }
+}

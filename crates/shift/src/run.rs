@@ -1,0 +1,492 @@
+//! Runs as data: timed views, messages, and admissibility (Chapter III).
+//!
+//! The lower-bound proofs manipulate *runs* — one timed view per process
+//! plus a message table — as mathematical objects: shifting them in time,
+//! chopping prefixes, and appending. This module is that formalism made
+//! executable. Events carry opaque labels (the proofs never inspect
+//! payloads, only times and message identities).
+//!
+//! Times here are **signed** ([`RunTime`]): time shifts routinely move
+//! events before the original time origin, and only the final, chopped
+//! and extended runs need non-negative times again.
+
+use core::fmt;
+
+use skewbound_sim::delay::DelayBounds;
+use skewbound_sim::ids::ProcessId;
+
+/// A (possibly negative) real time inside a run under manipulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RunTime(pub i64);
+
+impl RunTime {
+    /// Adds a signed amount.
+    #[must_use]
+    pub fn shifted(self, by: i64) -> RunTime {
+        RunTime(self.0 + by)
+    }
+}
+
+impl fmt::Display for RunTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// What happened at one step of a view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepKind {
+    /// An operation invocation (label for humans, e.g. `"deq@p0"`).
+    Invoke(String),
+    /// An operation response.
+    Respond(String),
+    /// Sending message `msg` (index into the run's message table).
+    Send(usize),
+    /// Receiving message `msg`.
+    Recv(usize),
+    /// A timer going off.
+    Timer(String),
+}
+
+/// One step of a timed view: a real time plus what happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step {
+    /// Real time of the step.
+    pub at: RunTime,
+    /// The event.
+    pub kind: StepKind,
+}
+
+/// A timed view of one process: its clock offset, its steps in time
+/// order, and where the view ends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct View {
+    /// Clock offset `c_i` (clock = real + offset).
+    pub offset: i64,
+    /// Steps in nondecreasing time order.
+    pub steps: Vec<Step>,
+    /// The view covers real times `< end` (events at or after `end` were
+    /// chopped away or never happened).
+    pub end: RunTime,
+}
+
+impl View {
+    /// An empty view with clock offset `offset` ending at `end`.
+    #[must_use]
+    pub fn new(offset: i64, end: RunTime) -> Self {
+        View {
+            offset,
+            steps: Vec::new(),
+            end,
+        }
+    }
+
+    /// Appends a step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the step is out of time order or at/after the view end.
+    pub fn push(&mut self, at: RunTime, kind: StepKind) {
+        if let Some(last) = self.steps.last() {
+            assert!(at >= last.at, "steps must be in time order");
+        }
+        assert!(at < self.end, "step at {at} not before view end {}", self.end);
+        self.steps.push(Step { at, kind });
+    }
+
+    /// The clock reading at real time `t`.
+    #[must_use]
+    pub fn clock_at(&self, t: RunTime) -> i64 {
+        t.0 + self.offset
+    }
+}
+
+/// A message in the run's message table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Message {
+    /// Sender.
+    pub from: ProcessId,
+    /// Recipient.
+    pub to: ProcessId,
+    /// Send real time.
+    pub sent_at: RunTime,
+    /// Delivery real time; `None` when the message is not received in the
+    /// run (admissibility then requires the recipient's view to end before
+    /// `sent_at + d`).
+    pub recv_at: Option<RunTime>,
+}
+
+impl Message {
+    /// The message delay, if delivered.
+    #[must_use]
+    pub fn delay(&self) -> Option<i64> {
+        self.recv_at.map(|r| r.0 - self.sent_at.0)
+    }
+}
+
+/// A run: one view per process plus the message table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Run {
+    views: Vec<View>,
+    msgs: Vec<Message>,
+}
+
+/// Why a run fails admissibility.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissibilityError {
+    /// A delivered message's delay is outside `[d − u, d]`.
+    DelayOutOfRange {
+        /// Index into the message table.
+        msg: usize,
+        /// The offending delay.
+        delay: i64,
+    },
+    /// An undelivered message's recipient view extends to `sent + d` or
+    /// beyond (the message "should" have arrived inside the view).
+    UndeliveredTooLate {
+        /// Index into the message table.
+        msg: usize,
+    },
+    /// Two processes' clock offsets differ by more than `ε`.
+    SkewTooLarge {
+        /// Observed maximum skew.
+        skew: i64,
+    },
+    /// A `Send`/`Recv` step references a message inconsistently (wrong
+    /// process, wrong time, missing, or received without being sent).
+    MalformedMessage {
+        /// Index into the message table.
+        msg: usize,
+        /// Human-readable description.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for AdmissibilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissibilityError::DelayOutOfRange { msg, delay } => {
+                write!(f, "message #{msg} has delay {delay} outside bounds")
+            }
+            AdmissibilityError::UndeliveredTooLate { msg } => write!(
+                f,
+                "message #{msg} is undelivered but its recipient's view reaches sent + d"
+            ),
+            AdmissibilityError::SkewTooLarge { skew } => {
+                write!(f, "clock skew {skew} exceeds the bound")
+            }
+            AdmissibilityError::MalformedMessage { msg, what } => {
+                write!(f, "message #{msg} is malformed: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdmissibilityError {}
+
+impl Run {
+    /// A run over `n` processes with the given views.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `views` is empty.
+    #[must_use]
+    pub fn new(views: Vec<View>, msgs: Vec<Message>) -> Self {
+        assert!(!views.is_empty(), "a run needs at least one process");
+        Run { views, msgs }
+    }
+
+    /// Number of processes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.views.len()
+    }
+
+    /// The view of process `pid`.
+    #[must_use]
+    pub fn view(&self, pid: ProcessId) -> &View {
+        &self.views[pid.index()]
+    }
+
+    /// All views, indexed by process.
+    #[must_use]
+    pub fn views(&self) -> &[View] {
+        &self.views
+    }
+
+    /// The message table.
+    #[must_use]
+    pub fn messages(&self) -> &[Message] {
+        &self.msgs
+    }
+
+    /// Maximum pairwise clock skew.
+    #[must_use]
+    pub fn max_skew(&self) -> i64 {
+        let min = self.views.iter().map(|v| v.offset).min().unwrap_or(0);
+        let max = self.views.iter().map(|v| v.offset).max().unwrap_or(0);
+        max - min
+    }
+
+    /// Checks the three admissibility conditions of Chapter III §B.3
+    /// plus message-table integrity.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`AdmissibilityError`] found.
+    pub fn check_admissible(
+        &self,
+        bounds: DelayBounds,
+        eps: i64,
+    ) -> Result<(), AdmissibilityError> {
+        let d = i64::try_from(bounds.max().as_ticks()).expect("d fits i64");
+        let d_minus_u = i64::try_from(bounds.min().as_ticks()).expect("d-u fits i64");
+
+        for (idx, m) in self.msgs.iter().enumerate() {
+            // Integrity: sender view contains the send (time within view).
+            if m.sent_at >= self.views[m.from.index()].end {
+                return Err(AdmissibilityError::MalformedMessage {
+                    msg: idx,
+                    what: "sent after the sender's view ends",
+                });
+            }
+            match m.recv_at {
+                Some(recv) => {
+                    let delay = recv.0 - m.sent_at.0;
+                    if delay < d_minus_u || delay > d {
+                        return Err(AdmissibilityError::DelayOutOfRange { msg: idx, delay });
+                    }
+                    if recv >= self.views[m.to.index()].end {
+                        return Err(AdmissibilityError::MalformedMessage {
+                            msg: idx,
+                            what: "received after the recipient's view ends",
+                        });
+                    }
+                }
+                None => {
+                    // The recipient's view must end before sent + d.
+                    if self.views[m.to.index()].end > RunTime(m.sent_at.0 + d) {
+                        return Err(AdmissibilityError::UndeliveredTooLate { msg: idx });
+                    }
+                }
+            }
+        }
+
+        let skew = self.max_skew();
+        if skew > eps {
+            return Err(AdmissibilityError::SkewTooLarge { skew });
+        }
+        Ok(())
+    }
+
+    /// `true` when every message is delivered (a *complete* run in the
+    /// message-delivery sense).
+    #[must_use]
+    pub fn all_delivered(&self) -> bool {
+        self.msgs.iter().all(|m| m.recv_at.is_some())
+    }
+
+    /// Appends `later` to `self` (Chapter III's appending operation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two runs have different process counts, different
+    /// clock offsets (the clock function must be unchanged), or if
+    /// `later`'s first step at some process is not after `self`'s view
+    /// end there.
+    #[must_use]
+    pub fn append(&self, later: &Run) -> Run {
+        assert_eq!(self.n(), later.n(), "process counts differ");
+        let mut views = Vec::with_capacity(self.n());
+        for (a, b) in self.views.iter().zip(&later.views) {
+            assert_eq!(a.offset, b.offset, "clock functions must match");
+            if let Some(first) = b.steps.first() {
+                assert!(
+                    first.at >= a.end,
+                    "appended view starts at {} before the prefix ends at {}",
+                    first.at,
+                    a.end
+                );
+            }
+            let mut steps = a.steps.clone();
+            // Message indices in `later` refer to its own table; re-base.
+            let base = self.msgs.len();
+            steps.extend(b.steps.iter().map(|s| Step {
+                at: s.at,
+                kind: match &s.kind {
+                    StepKind::Send(i) => StepKind::Send(i + base),
+                    StepKind::Recv(i) => StepKind::Recv(i + base),
+                    other => other.clone(),
+                },
+            }));
+            views.push(View {
+                offset: a.offset,
+                steps,
+                end: b.end,
+            });
+        }
+        let mut msgs = self.msgs.clone();
+        msgs.extend(later.msgs.iter().copied());
+        Run::new(views, msgs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skewbound_sim::time::SimDuration;
+
+    fn bounds() -> DelayBounds {
+        DelayBounds::new(SimDuration::from_ticks(10), SimDuration::from_ticks(4))
+    }
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    /// Two processes exchanging one message each way.
+    fn ping_pong_run(d1: i64, d2: i64) -> Run {
+        let mut v0 = View::new(0, RunTime(100));
+        let mut v1 = View::new(0, RunTime(100));
+        v0.push(RunTime(0), StepKind::Send(0));
+        v1.push(RunTime(d1), StepKind::Recv(0));
+        v1.push(RunTime(d1), StepKind::Send(1));
+        v0.push(RunTime(d1 + d2), StepKind::Recv(1));
+        Run::new(
+            vec![v0, v1],
+            vec![
+                Message {
+                    from: p(0),
+                    to: p(1),
+                    sent_at: RunTime(0),
+                    recv_at: Some(RunTime(d1)),
+                },
+                Message {
+                    from: p(1),
+                    to: p(0),
+                    sent_at: RunTime(d1),
+                    recv_at: Some(RunTime(d1 + d2)),
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn admissible_ping_pong() {
+        let run = ping_pong_run(10, 6);
+        run.check_admissible(bounds(), 0).unwrap();
+        assert!(run.all_delivered());
+    }
+
+    #[test]
+    fn delay_out_of_range_detected() {
+        let run = ping_pong_run(11, 6);
+        assert_eq!(
+            run.check_admissible(bounds(), 0),
+            Err(AdmissibilityError::DelayOutOfRange { msg: 0, delay: 11 })
+        );
+        let run = ping_pong_run(5, 6);
+        assert!(matches!(
+            run.check_admissible(bounds(), 0),
+            Err(AdmissibilityError::DelayOutOfRange { msg: 0, delay: 5 })
+        ));
+    }
+
+    #[test]
+    fn undelivered_message_requires_early_view_end() {
+        // p0 sends at 0; message never delivered; p1's view ends at 8 < 10. OK.
+        let mut v0 = View::new(0, RunTime(100));
+        let v1 = View::new(0, RunTime(8));
+        v0.push(RunTime(0), StepKind::Send(0));
+        let run = Run::new(
+            vec![v0.clone(), v1],
+            vec![Message {
+                from: p(0),
+                to: p(1),
+                sent_at: RunTime(0),
+                recv_at: None,
+            }],
+        );
+        run.check_admissible(bounds(), 0).unwrap();
+        assert!(!run.all_delivered());
+
+        // p1's view extends to 20 ≥ 10: inadmissible.
+        let v1_long = View::new(0, RunTime(20));
+        let run2 = Run::new(
+            vec![v0, v1_long],
+            vec![Message {
+                from: p(0),
+                to: p(1),
+                sent_at: RunTime(0),
+                recv_at: None,
+            }],
+        );
+        assert_eq!(
+            run2.check_admissible(bounds(), 0),
+            Err(AdmissibilityError::UndeliveredTooLate { msg: 0 })
+        );
+    }
+
+    #[test]
+    fn skew_checked() {
+        let v0 = View::new(0, RunTime(10));
+        let v1 = View::new(7, RunTime(10));
+        let run = Run::new(vec![v0, v1], vec![]);
+        assert_eq!(run.max_skew(), 7);
+        assert!(run.check_admissible(bounds(), 7).is_ok());
+        assert_eq!(
+            run.check_admissible(bounds(), 6),
+            Err(AdmissibilityError::SkewTooLarge { skew: 7 })
+        );
+    }
+
+    #[test]
+    fn clock_reading() {
+        let v = View::new(-3, RunTime(10));
+        assert_eq!(v.clock_at(RunTime(5)), 2);
+    }
+
+    #[test]
+    fn append_concatenates() {
+        let mut a0 = View::new(1, RunTime(10));
+        a0.push(RunTime(2), StepKind::Invoke("x".into()));
+        let a = Run::new(vec![a0, View::new(0, RunTime(10))], vec![]);
+
+        let mut b0 = View::new(1, RunTime(30));
+        b0.push(RunTime(15), StepKind::Send(0));
+        let mut b1 = View::new(0, RunTime(30));
+        b1.push(RunTime(24), StepKind::Recv(0));
+        let b = Run::new(
+            vec![b0, b1],
+            vec![Message {
+                from: p(0),
+                to: p(1),
+                sent_at: RunTime(15),
+                recv_at: Some(RunTime(24)),
+            }],
+        );
+
+        let joined = a.append(&b);
+        assert_eq!(joined.view(p(0)).steps.len(), 2);
+        assert_eq!(joined.messages().len(), 1);
+        joined.check_admissible(bounds(), 1).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "clock functions must match")]
+    fn append_requires_same_clocks() {
+        let a = Run::new(vec![View::new(0, RunTime(10))], vec![]);
+        let b = Run::new(vec![View::new(5, RunTime(20))], vec![]);
+        let _ = a.append(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "before the prefix ends")]
+    fn append_requires_later_steps() {
+        let a = Run::new(vec![View::new(0, RunTime(10))], vec![]);
+        let mut b0 = View::new(0, RunTime(20));
+        b0.push(RunTime(5), StepKind::Timer("t".into()));
+        let b = Run::new(vec![b0], vec![]);
+        let _ = a.append(&b);
+    }
+}

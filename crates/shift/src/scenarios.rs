@@ -1,0 +1,712 @@
+//! Adversarial scenario families from the lower-bound proofs.
+//!
+//! Each theorem's proof constructs a family of admissible runs — specific
+//! clock offsets, pairwise delay matrices and invocation times — such that
+//! any implementation responding faster than the bound produces a
+//! non-linearizable history in at least one member of the family. These
+//! builders emit those runs as *simulator scenarios*; the runs that the
+//! proofs obtain by shift + chop + extend are encoded directly in their
+//! final, admissible form (the matrices below are the "chop-extended"
+//! versions; the `shiftop`/`chop` modules verify the underlying run
+//! algebra separately).
+//!
+//! * [`insc_dequeue_family`] / [`insc_pop_family`] / [`insc_rmw_family`] —
+//!   Theorem C.1 (strongly immediately non-self-commuting, bound
+//!   `d + min{ε, u, d/3}`): runs `R1`, `R2`, `R3` of Figs. 7–9;
+//! * [`permute_write_family`] — Theorem D.1 (eventually
+//!   non-self-last-permuting, bound `(1 − 1/k)u`): the circulant run `R1`
+//!   of Figs. 10–11 plus the shifted `R2(z)` of Figs. 13–14 for every
+//!   candidate last-writer `z`;
+//! * [`pair_enqueue_peek_family`] / [`pair_push_peek_family`] —
+//!   Theorem E.1 (non-overwriting pure mutator + pure accessor, bound
+//!   `d + min{ε, u, d/3}` on the sum): runs `R1`, `R2` of Figs. 16–17.
+
+use skewbound_core::params::Params;
+use skewbound_lin::checker::{check_history, CheckOutcome};
+use skewbound_sim::actor::Actor;
+use skewbound_sim::clock::ClockAssignment;
+use skewbound_sim::delay::MatrixDelay;
+use skewbound_sim::engine::{SimError, Simulation};
+use skewbound_sim::history::History;
+use skewbound_sim::ids::ProcessId;
+use skewbound_sim::time::{SimDuration, SimTime};
+use skewbound_spec::prelude::*;
+
+/// One adversarial run: clocks, delays, and a scripted workload.
+pub struct Scenario<S: SequentialSpec> {
+    /// Scenario name (e.g. `"thmC1/R2"`).
+    pub name: String,
+    /// The object under test.
+    pub spec: S,
+    /// Adversarial clock offsets.
+    pub clocks: ClockAssignment,
+    /// Adversarial (pairwise-uniform) delays.
+    pub delays: MatrixDelay,
+    /// Scripted invocations `(process, real time, op)`.
+    pub script: Vec<(ProcessId, SimTime, S::Op)>,
+}
+
+impl<S: SequentialSpec> core::fmt::Debug for Scenario<S> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Scenario")
+            .field("name", &self.name)
+            .field("ops", &self.script.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// The verdict of running one scenario against one implementation.
+#[derive(Debug)]
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub name: String,
+    /// The checker's verdict on the produced history.
+    pub outcome: CheckOutcome,
+    /// Worst operation latency observed in the run.
+    pub max_latency: Option<SimDuration>,
+}
+
+impl ScenarioReport {
+    /// `true` when the history was linearizable.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.outcome.is_linearizable()
+    }
+}
+
+impl<S: SequentialSpec + Clone> Scenario<S> {
+    /// Runs the scenario against the given actors (one per process) and
+    /// returns the complete history.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actors.len()` differs from the scenario's process count.
+    pub fn run_with<A>(&self, actors: Vec<A>) -> Result<History<S::Op, S::Resp>, SimError>
+    where
+        A: Actor<Op = S::Op, Resp = S::Resp>,
+    {
+        assert_eq!(actors.len(), self.clocks.len(), "actor count mismatch");
+        let mut sim = Simulation::new(actors, self.clocks.clone(), self.delays.clone());
+        for (pid, at, op) in &self.script {
+            sim.schedule_invoke(*pid, *at, op.clone());
+        }
+        sim.run()?;
+        Ok(sim.history().clone())
+    }
+
+    /// Runs the scenario and checks the history for linearizability.
+    ///
+    /// # Panics
+    ///
+    /// Panics on engine errors (scenarios are small and bounded).
+    pub fn check_with<A>(&self, actors: Vec<A>) -> ScenarioReport
+    where
+        A: Actor<Op = S::Op, Resp = S::Resp>,
+    {
+        let history = self.run_with(actors).expect("scenario run failed");
+        ScenarioReport {
+            name: self.name.clone(),
+            outcome: check_history(&self.spec, &history),
+            max_latency: history.max_latency(),
+        }
+    }
+}
+
+fn p(i: u32) -> ProcessId {
+    ProcessId::new(i)
+}
+
+fn off(d: SimDuration) -> i64 {
+    i64::try_from(d.as_ticks()).expect("duration fits i64")
+}
+
+// ---------------------------------------------------------------------
+// Theorem C.1: strongly immediately non-self-commuting operations.
+// ---------------------------------------------------------------------
+
+/// Generic Theorem C.1 family: `setup` operations establish `ρ` (executed
+/// sequentially by `p2`, well spaced), then `p0` and `p1` concurrently
+/// invoke `op_i` / `op_j` under the three run shapes of the proof.
+///
+/// # Panics
+///
+/// Panics if `params.n() < 3`.
+pub fn insc_family<S: SequentialSpec + Clone>(
+    params: &Params,
+    spec: S,
+    setup: Vec<S::Op>,
+    op_i: S::Op,
+    op_j: S::Op,
+    label: &str,
+) -> Vec<Scenario<S>> {
+    let n = params.n();
+    assert!(n >= 3, "Theorem C.1 requires n >= 3");
+    let d = params.d();
+    let m = params.m();
+    let bounds = params.delay_bounds();
+    let gap = d * 4;
+    let t0 = gap * (setup.len() as u64 + 2);
+
+    let mut script_base: Vec<(ProcessId, SimTime, S::Op)> = Vec::new();
+    for (idx, op) in setup.iter().enumerate() {
+        script_base.push((p(2), SimTime::ZERO + gap * idx as u64, op.clone()));
+    }
+
+    let pi = p(0);
+    let pj = p(1);
+
+    // R1 (Fig. 7): p_j's clock runs m behind; p_i invokes at t0, p_j at
+    // t0 + m (both at local time t0). Delays: d everywhere except
+    // d_{k,i} = d_{j,k} = d − m.
+    let r1_delays = MatrixDelay::from_fn(n, bounds, |from, to| {
+        if (from != pi && from != pj && to == pi) || (from == pj && to != pi && to != pj) {
+            d - m
+        } else {
+            d
+        }
+    });
+    let mut r1_clocks = ClockAssignment::zero(n);
+    r1_clocks.shift(pj, -off(m));
+    let mut r1_script = script_base.clone();
+    r1_script.push((pi, SimTime::ZERO + t0, op_i.clone()));
+    r1_script.push((pj, SimTime::ZERO + t0 + m, op_j.clone()));
+
+    // R2 (Fig. 8, after shift x_j = −m, chopped and extended): all clocks
+    // equal; both invoked at t0. Delays: d_{i,j} = d − m, d_{j,i} = d,
+    // d_{i,k} = d, d_{k,i} = d − m, d_{j,k} = d, d_{k,j} = d − m.
+    let r2_delays = MatrixDelay::from_fn(n, bounds, |from, to| {
+        if (from == pi && to == pj) || (from != pi && from != pj && (to == pi || to == pj)) {
+            d - m
+        } else {
+            d
+        }
+    });
+    let r2_clocks = ClockAssignment::zero(n);
+    let mut r2_script = script_base.clone();
+    r2_script.push((pi, SimTime::ZERO + t0, op_i.clone()));
+    r2_script.push((pj, SimTime::ZERO + t0, op_j.clone()));
+
+    // R3 (Fig. 9, after shift x_i = +m, chopped and extended): p_i's
+    // clock runs m behind; p_i invokes at t0 + m, p_j at t0. Delays:
+    // d_{i,k} = d − m, d_{k,j} = d − m, everything else d.
+    let r3_delays = MatrixDelay::from_fn(n, bounds, |from, to| {
+        if (from == pi && to != pj && to != pi) || (from != pi && from != pj && to == pj) {
+            d - m
+        } else {
+            d
+        }
+    });
+    let mut r3_clocks = ClockAssignment::zero(n);
+    r3_clocks.shift(pi, -off(m));
+    let mut r3_script = script_base.clone();
+    r3_script.push((pi, SimTime::ZERO + t0 + m, op_i));
+    r3_script.push((pj, SimTime::ZERO + t0, op_j));
+
+    vec![
+        Scenario {
+            name: format!("{label}/R1"),
+            spec: spec.clone(),
+            clocks: r1_clocks,
+            delays: r1_delays,
+            script: r1_script,
+        },
+        Scenario {
+            name: format!("{label}/R2"),
+            spec: spec.clone(),
+            clocks: r2_clocks,
+            delays: r2_delays,
+            script: r2_script,
+        },
+        Scenario {
+            name: format!("{label}/R3"),
+            spec,
+            clocks: r3_clocks,
+            delays: r3_delays,
+            script: r3_script,
+        },
+    ]
+}
+
+/// Theorem C.1 family for `dequeue` on a queue holding one element.
+#[must_use]
+pub fn insc_dequeue_family(params: &Params) -> Vec<Scenario<Queue<i64>>> {
+    insc_family(
+        params,
+        Queue::new(),
+        vec![QueueOp::Enqueue(42)],
+        QueueOp::Dequeue,
+        QueueOp::Dequeue,
+        "thmC1-dequeue",
+    )
+}
+
+/// Theorem C.1 family for `pop` on a stack holding one element.
+#[must_use]
+pub fn insc_pop_family(params: &Params) -> Vec<Scenario<Stack<i64>>> {
+    insc_family(
+        params,
+        Stack::new(),
+        vec![StackOp::Push(42)],
+        StackOp::Pop,
+        StackOp::Pop,
+        "thmC1-pop",
+    )
+}
+
+/// Theorem C.1 family for read-modify-write (two swaps) on a register.
+#[must_use]
+pub fn insc_rmw_family(params: &Params) -> Vec<Scenario<RmwRegister>> {
+    insc_family(
+        params,
+        RmwRegister::default(),
+        vec![RmwOp::Write(0)],
+        RmwOp::Rmw(RmwKind::Swap(1)),
+        RmwOp::Rmw(RmwKind::Swap(2)),
+        "thmC1-rmw",
+    )
+}
+
+/// Theorem C.1 family for `pop_front` on a deque holding one element.
+#[must_use]
+pub fn insc_pop_front_family(params: &Params) -> Vec<Scenario<Deque<i64>>> {
+    insc_family(
+        params,
+        Deque::new(),
+        vec![DequeOp::PushBack(42)],
+        DequeOp::PopFront,
+        DequeOp::PopFront,
+        "thmC1-popfront",
+    )
+}
+
+/// Theorem C.1 family for `pop_back` on a deque holding one element.
+#[must_use]
+pub fn insc_pop_back_family(params: &Params) -> Vec<Scenario<Deque<i64>>> {
+    insc_family(
+        params,
+        Deque::new(),
+        vec![DequeOp::PushBack(42)],
+        DequeOp::PopBack,
+        DequeOp::PopBack,
+        "thmC1-popback",
+    )
+}
+
+// ---------------------------------------------------------------------
+// Theorem D.1: eventually non-self-last-permuting operations.
+// ---------------------------------------------------------------------
+
+/// The shift amount `x_i = u·(2·((z−i) mod k) − (k−1)) / (2k)` of
+/// Theorem D.1 Step 2, in ticks.
+fn permute_shift(u: u64, k: usize, z: usize, i: usize) -> i64 {
+    let r = (z + k - i) % k;
+    let num = 2 * r as i64 - (k as i64 - 1);
+    num * u as i64 / (2 * k as i64)
+}
+
+/// Generic Theorem D.1 family: `k` processes concurrently invoke
+/// `make_op(i)` under the circulant run `R1` and the shifted runs
+/// `R2(z)`; afterwards one process executes `verification(j)` for
+/// `j = 0..verification_ops` sequentially (well spaced) to pin the
+/// resulting state.
+///
+/// # Panics
+///
+/// Panics if `k < 2`, `k > params.n()`, `u` is not divisible by `2k`
+/// (needed so the proof's shift amounts are exact in integer ticks), or
+/// the shifted skew would exceed `params.eps()`.
+pub fn permute_family<S, F, V>(
+    params: &Params,
+    k: usize,
+    spec: S,
+    mut make_op: F,
+    verification_ops: usize,
+    mut verification: V,
+    label: &str,
+) -> Vec<Scenario<S>>
+where
+    S: SequentialSpec + Clone,
+    F: FnMut(usize) -> S::Op,
+    V: FnMut(usize) -> S::Op,
+{
+    let n = params.n();
+    assert!(k >= 2 && k <= n, "need 2 <= k <= n");
+    let u = params.u().as_ticks();
+    assert!(
+        u.is_multiple_of(2 * k as u64),
+        "u = {u} must be divisible by 2k = {} for exact shift amounts",
+        2 * k
+    );
+    let skew = SimDuration::from_ticks(u).mul_frac(k as u64 - 1, k as u64);
+    assert!(
+        skew <= params.eps(),
+        "shifted skew (1 - 1/k)u = {skew:?} exceeds eps = {:?}",
+        params.eps()
+    );
+    let bounds = params.delay_bounds();
+    let d = params.d();
+    // Base time large enough that negative shifts stay positive.
+    let t0 = SimTime::ZERO + d * 4;
+    let verify_start = t0 + params.u() * 4 + d;
+    // Space sequential verification ops beyond any op's upper bound.
+    let verify_gap = (d + params.eps()) * 3;
+
+    let ops: Vec<S::Op> = (0..k).map(&mut make_op).collect();
+    let verify: Vec<S::Op> = (0..verification_ops).map(&mut verification).collect();
+    let add_verification = |script: &mut Vec<(ProcessId, SimTime, S::Op)>| {
+        for (j, op) in verify.iter().enumerate() {
+            script.push((p(0), verify_start + verify_gap * j as u64, op.clone()));
+        }
+    };
+
+    let mut scenarios = Vec::new();
+
+    // R1: circulant delays, equal clocks, all ops at t0.
+    {
+        let mut script: Vec<(ProcessId, SimTime, S::Op)> = ops
+            .iter()
+            .enumerate()
+            .map(|(i, op)| (p(i as u32), t0, op.clone()))
+            .collect();
+        add_verification(&mut script);
+        scenarios.push(Scenario {
+            name: format!("{label}/R1"),
+            spec: spec.clone(),
+            clocks: ClockAssignment::zero(n),
+            delays: MatrixDelay::circulant(n, k, bounds),
+            script,
+        });
+    }
+
+    // R2(z) = shift(R1, x⃗) for each designated non-last invoker z.
+    for z in 0..k {
+        let xs: Vec<i64> = (0..n)
+            .map(|i| if i < k { permute_shift(u, k, z, i) } else { 0 })
+            .collect();
+        let circ = MatrixDelay::circulant(n, k, bounds);
+        let delays = MatrixDelay::from_fn(n, bounds, |from, to| {
+            let base = circ.pair(from, to);
+            let shifted = off(base) - xs[from.index()] + xs[to.index()];
+            SimDuration::from_ticks(u64::try_from(shifted).expect("delay >= 0"))
+        });
+        let mut clocks = ClockAssignment::zero(n);
+        for (i, &x) in xs.iter().enumerate() {
+            clocks.shift(p(i as u32), -x);
+        }
+        let mut script: Vec<(ProcessId, SimTime, S::Op)> = ops
+            .iter()
+            .enumerate()
+            .map(|(i, op)| {
+                let at = SimTime::from_ticks(
+                    u64::try_from(t0.as_ticks() as i64 + xs[i]).expect("t0 large enough"),
+                );
+                (p(i as u32), at, op.clone())
+            })
+            .collect();
+        add_verification(&mut script);
+        scenarios.push(Scenario {
+            name: format!("{label}/R2(z={z})"),
+            spec: spec.clone(),
+            clocks,
+            delays,
+            script,
+        });
+    }
+
+    scenarios
+}
+
+/// Theorem D.1 family for `k` concurrent `write`s on a register, with a
+/// trailing `read` to pin the final state.
+///
+/// Members: the circulant run `R1` (all writes at the same instant, equal
+/// clocks) and, for each candidate last-writer `z`, the shifted run
+/// `R2(z)` in which `write_z` provably cannot be linearized last — so an
+/// implementation whose mutators respond faster than `(1 − 1/k)u` has no
+/// consistent last writer across the family.
+///
+/// # Panics
+///
+/// Same conditions as [`permute_family`].
+#[must_use]
+pub fn permute_write_family(params: &Params, k: usize) -> Vec<Scenario<RmwRegister>> {
+    permute_family(
+        params,
+        k,
+        RmwRegister::default(),
+        |i| RmwOp::Write(i as i64 + 1),
+        1,
+        |_| RmwOp::Read,
+        "thmD1",
+    )
+}
+
+/// Theorem D.1 family for `k` concurrent `enqueue`s, drained by `k`
+/// sequential dequeues that observe the full insertion order (enqueue is
+/// eventually non-self-**any**-permuting, so every order is
+/// distinguishable).
+///
+/// # Panics
+///
+/// Same conditions as [`permute_family`].
+#[must_use]
+pub fn permute_enqueue_family(params: &Params, k: usize) -> Vec<Scenario<Queue<i64>>> {
+    permute_family(
+        params,
+        k,
+        Queue::new(),
+        |i| QueueOp::Enqueue(i as i64 + 1),
+        k,
+        |_| QueueOp::Dequeue,
+        "thmD1-enqueue",
+    )
+}
+
+/// Theorem D.1 family for `k` concurrent `push`es, drained by `k`
+/// sequential pops.
+///
+/// # Panics
+///
+/// Same conditions as [`permute_family`].
+#[must_use]
+pub fn permute_push_family(params: &Params, k: usize) -> Vec<Scenario<Stack<i64>>> {
+    permute_family(
+        params,
+        k,
+        Stack::new(),
+        |i| StackOp::Push(i as i64 + 1),
+        k,
+        |_| StackOp::Pop,
+        "thmD1-push",
+    )
+}
+
+// ---------------------------------------------------------------------
+// Theorem E.1: non-overwriting pure mutator + pure accessor pairs.
+// ---------------------------------------------------------------------
+
+/// Generic Theorem E.1 family: `p0` and `p1` concurrently invoke the
+/// mutators `op1` / `op2`; once both have responded (the caller supplies
+/// the candidate's mutator latency `w_m`), `p0` and `p1` invoke the
+/// accessor, and `p2` invokes it `m` later.
+///
+/// # Panics
+///
+/// Panics if `params.n() < 3`.
+pub fn pair_family<S: SequentialSpec + Clone>(
+    params: &Params,
+    spec: S,
+    op1: S::Op,
+    op2: S::Op,
+    accessor: S::Op,
+    mutator_latency: SimDuration,
+    label: &str,
+) -> Vec<Scenario<S>> {
+    let n = params.n();
+    assert!(n >= 3, "Theorem E.1 requires n >= 3");
+    let d = params.d();
+    let m = params.m();
+    let bounds = params.delay_bounds();
+    let t0 = SimTime::ZERO + d * 2;
+    let pi = p(0);
+    let pj = p(1);
+    let pk = p(2);
+
+    // R1 (Fig. 16): equal clocks; both mutators at t0. Delays:
+    // d_{i,k} = d_{i,l} = d_{j,k} = d_{j,l} = d, and d − m for
+    // i↔j and everyone → i, everyone → j.
+    let r1_delays = MatrixDelay::from_fn(n, bounds, |_from, to| {
+        if to == pi || to == pj {
+            d - m
+        } else {
+            d
+        }
+    });
+    // "Immediately after" the mutators respond: one tick later, so the
+    // invocation does not race the response at the same instant.
+    let tick = SimDuration::from_ticks(1);
+    let tmax1 = t0 + mutator_latency + tick;
+    let mut r1_script = vec![
+        (pi, t0, op1.clone()),
+        (pj, t0, op2.clone()),
+        (pi, tmax1, accessor.clone()),
+        (pj, tmax1, accessor.clone()),
+        (pk, tmax1 + m, accessor.clone()),
+    ];
+    r1_script.sort_by_key(|(_, at, _)| *at);
+
+    // R2 (Fig. 17, shift x_j = +m, chopped and extended): p_j's clock
+    // runs m behind; op2 invoked at t0 + m. Delays: everything toward
+    // p_i and p_j is d (extended), p_j's outgoing messages to p_k/p_l
+    // are d − m, p_i's outgoing to k/l stay d, and k/l → each other d.
+    let r2_delays = MatrixDelay::from_fn(n, bounds, |from, to| {
+        if (from == pj && to != pi) || (to == pi && from != pj) {
+            d - m
+        } else {
+            d
+        }
+    });
+    let mut r2_clocks = ClockAssignment::zero(n);
+    r2_clocks.shift(pj, -off(m));
+    let tmax2 = t0 + m + mutator_latency + tick;
+    let mut r2_script = vec![
+        (pi, t0, op1),
+        (pj, t0 + m, op2),
+        (pi, tmax2, accessor.clone()),
+        (pj, tmax2, accessor.clone()),
+        (pk, tmax2 + m, accessor),
+    ];
+    r2_script.sort_by_key(|(_, at, _)| *at);
+
+    vec![
+        Scenario {
+            name: format!("{label}/R1"),
+            spec: spec.clone(),
+            clocks: ClockAssignment::zero(n),
+            delays: r1_delays,
+            script: r1_script,
+        },
+        Scenario {
+            name: format!("{label}/R2"),
+            spec,
+            clocks: r2_clocks,
+            delays: r2_delays,
+            script: r2_script,
+        },
+    ]
+}
+
+/// Theorem E.1 family for `enqueue` + `peek` on a queue.
+#[must_use]
+pub fn pair_enqueue_peek_family(
+    params: &Params,
+    mutator_latency: SimDuration,
+) -> Vec<Scenario<Queue<i64>>> {
+    pair_family(
+        params,
+        Queue::new(),
+        QueueOp::Enqueue(1),
+        QueueOp::Enqueue(2),
+        QueueOp::Peek,
+        mutator_latency,
+        "thmE1-queue",
+    )
+}
+
+/// Theorem E.1 family for `push` + `peek` on a stack.
+#[must_use]
+pub fn pair_push_peek_family(
+    params: &Params,
+    mutator_latency: SimDuration,
+) -> Vec<Scenario<Stack<i64>>> {
+    pair_family(
+        params,
+        Stack::new(),
+        StackOp::Push(1),
+        StackOp::Push(2),
+        StackOp::Peek,
+        mutator_latency,
+        "thmE1-stack",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> Params {
+        // d = 9000, u = 2400, n = 3 → eps = 1600, m = 1600.
+        Params::with_optimal_skew(
+            3,
+            SimDuration::from_ticks(9_000),
+            SimDuration::from_ticks(2_400),
+            SimDuration::ZERO,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn insc_family_shapes() {
+        let fam = insc_dequeue_family(&params());
+        assert_eq!(fam.len(), 3);
+        // R1: p1's clock behind by m.
+        assert_eq!(
+            fam[0].clocks.offset(p(1)).as_ticks(),
+            -1_600
+        );
+        // R2: equal clocks, simultaneous invocations.
+        assert_eq!(fam[1].clocks.max_skew(), SimDuration::ZERO);
+        let last_two: Vec<_> = fam[1].script.iter().rev().take(2).collect();
+        assert_eq!(last_two[0].1, last_two[1].1);
+        // All delay entries validated on construction (MatrixDelay
+        // asserts), so reaching here means admissible matrices.
+    }
+
+    #[test]
+    fn permute_shift_amounts_match_step_2_2() {
+        // The gap between the designated z and its successor must be
+        // (1 − 1/k)·u.
+        let u = 2_400u64;
+        for k in [2usize, 3, 4] {
+            if !u.is_multiple_of(2 * k as u64) {
+                continue;
+            }
+            for z in 0..k {
+                let succ = (z + 1) % k;
+                let gap = permute_shift(u, k, z, succ) - permute_shift(u, k, z, z);
+                assert_eq!(
+                    gap,
+                    (u as i64) * (k as i64 - 1) / k as i64,
+                    "k={k} z={z}"
+                );
+                // And z is the earliest invoker.
+                for i in 0..k {
+                    assert!(permute_shift(u, k, z, i) >= permute_shift(u, k, z, z));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn permute_family_admissible() {
+        let fam = permute_write_family(&params(), 3);
+        assert_eq!(fam.len(), 4); // R1 + R2(z) for z ∈ {0,1,2}
+        for sc in &fam {
+            // Clock skew within eps.
+            assert!(
+                sc.clocks.max_skew() <= params().eps(),
+                "{}: skew {:?}",
+                sc.name,
+                sc.clocks.max_skew()
+            );
+            // Script times are all representable and ordered sanely.
+            assert_eq!(sc.script.len(), 4);
+        }
+    }
+
+    #[test]
+    fn pair_family_shapes() {
+        let fam = pair_enqueue_peek_family(&params(), SimDuration::from_ticks(1_600));
+        assert_eq!(fam.len(), 2);
+        assert_eq!(fam[0].script.len(), 5);
+        assert_eq!(fam[1].clocks.offset(p(1)).as_ticks(), -1_600);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn permute_family_requires_exact_shifts() {
+        // u = 2400 is not divisible by 2k = 14.
+        let p7 = Params::with_optimal_skew(
+            7,
+            SimDuration::from_ticks(9_000),
+            SimDuration::from_ticks(2_400),
+            SimDuration::ZERO,
+        )
+        .unwrap();
+        let _ = permute_write_family(&p7, 7);
+    }
+}

@@ -1,0 +1,192 @@
+//! The standard time shift (Chapter IV §A).
+//!
+//! `shift(R, x⃗)` moves every step of process `p_i`'s view `x_i` later in
+//! real time while *preserving clock readings* (the clock offset drops by
+//! `x_i`). No process can tell the difference — each still sees the same
+//! events at the same clock times — but message delays change by
+//! formula (4.1):
+//!
+//! ```text
+//! d'_{i,j} = d_{i,j} − x_i + x_j
+//! ```
+//!
+//! If the new delays are still admissible the shifted run is admissible
+//! (Claim B.3 — shifting preserves run-ness but not necessarily
+//! admissibility), which is exactly the lever the lower-bound proofs pull.
+
+use crate::run::{Message, Run, Step, View};
+
+/// Shifts view `v` by `x`: step times move `x` later, the clock offset
+/// drops by `x` so clock readings are unchanged (Claim B.1).
+#[must_use]
+pub fn shift_view(v: &View, x: i64) -> View {
+    View {
+        offset: v.offset - x,
+        steps: v
+            .steps
+            .iter()
+            .map(|s| Step {
+                at: s.at.shifted(x),
+                kind: s.kind.clone(),
+            })
+            .collect(),
+        end: v.end.shifted(x),
+    }
+}
+
+/// Shifts run `r` by the vector `x` (one amount per process), adjusting
+/// message send/receive times to match the shifted endpoints.
+///
+/// # Panics
+///
+/// Panics if `x.len() != r.n()`.
+#[must_use]
+pub fn shift_run(r: &Run, x: &[i64]) -> Run {
+    assert_eq!(x.len(), r.n(), "one shift amount per process");
+    let views = r
+        .views()
+        .iter()
+        .enumerate()
+        .map(|(i, v)| shift_view(v, x[i]))
+        .collect();
+    let msgs = r
+        .messages()
+        .iter()
+        .map(|m| Message {
+            from: m.from,
+            to: m.to,
+            sent_at: m.sent_at.shifted(x[m.from.index()]),
+            recv_at: m.recv_at.map(|t| t.shifted(x[m.to.index()])),
+        })
+        .collect();
+    Run::new(views, msgs)
+}
+
+/// Formula (4.1): the delay of a message from `i` to `j` after shifting.
+#[must_use]
+pub fn shifted_delay(d_ij: i64, x_i: i64, x_j: i64) -> i64 {
+    d_ij - x_i + x_j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::{RunTime, StepKind};
+    use skewbound_sim::delay::DelayBounds;
+    use skewbound_sim::ids::ProcessId;
+    use skewbound_sim::time::SimDuration;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn bounds() -> DelayBounds {
+        // d = 10, u = 4.
+        DelayBounds::new(SimDuration::from_ticks(10), SimDuration::from_ticks(4))
+    }
+
+    /// The Fig. 4(a) example: both directions at d − u/2 = 8; shifting p1
+    /// by u/2 = 2 sends one direction to d and the other to d − u. Still
+    /// admissible.
+    #[test]
+    fn fig4a_standard_shift_stays_admissible() {
+        let mut v0 = View::new(0, RunTime(100));
+        let mut v1 = View::new(0, RunTime(100));
+        v1.push(RunTime(0), StepKind::Send(0)); // p1 → p0
+        v0.push(RunTime(8), StepKind::Recv(0));
+        v0.push(RunTime(8), StepKind::Send(1)); // p0 → p1
+        v1.push(RunTime(16), StepKind::Recv(1));
+        let run = Run::new(
+            vec![v0, v1],
+            vec![
+                Message {
+                    from: p(1),
+                    to: p(0),
+                    sent_at: RunTime(0),
+                    recv_at: Some(RunTime(8)),
+                },
+                Message {
+                    from: p(0),
+                    to: p(1),
+                    sent_at: RunTime(8),
+                    recv_at: Some(RunTime(16)),
+                },
+            ],
+        );
+        run.check_admissible(bounds(), 2).unwrap();
+
+        // Shift p1 later by u/2 = 2.
+        let shifted = shift_run(&run, &[0, 2]);
+        shifted.check_admissible(bounds(), 2).unwrap();
+        // p1 → p0 delay became 8 − 2 = 6 = d − u; p0 → p1 became 10 = d.
+        assert_eq!(shifted.messages()[0].delay(), Some(6));
+        assert_eq!(shifted.messages()[1].delay(), Some(10));
+    }
+
+    /// The Fig. 4(b) example: both directions already at d; shifting p1 by
+    /// u produces d + u > d in one direction — NOT admissible. (The
+    /// modified shift fixes this by chopping; see `chop`.)
+    #[test]
+    fn fig4b_modified_shift_breaks_admissibility() {
+        let mut v0 = View::new(0, RunTime(100));
+        let mut v1 = View::new(0, RunTime(100));
+        v1.push(RunTime(0), StepKind::Send(0));
+        v0.push(RunTime(10), StepKind::Recv(0));
+        v0.push(RunTime(10), StepKind::Send(1));
+        v1.push(RunTime(20), StepKind::Recv(1));
+        let run = Run::new(
+            vec![v0, v1],
+            vec![
+                Message {
+                    from: p(1),
+                    to: p(0),
+                    sent_at: RunTime(0),
+                    recv_at: Some(RunTime(10)),
+                },
+                Message {
+                    from: p(0),
+                    to: p(1),
+                    sent_at: RunTime(10),
+                    recv_at: Some(RunTime(20)),
+                },
+            ],
+        );
+        run.check_admissible(bounds(), 4).unwrap();
+
+        let shifted = shift_run(&run, &[0, 4]);
+        // p0 → p1 is now d + u = 14: inadmissible.
+        assert_eq!(shifted.messages()[1].delay(), Some(14));
+        assert!(shifted.check_admissible(bounds(), 4).is_err());
+        // p1 → p0 became d − u = 6: fine.
+        assert_eq!(shifted.messages()[0].delay(), Some(6));
+    }
+
+    #[test]
+    fn clock_readings_preserved() {
+        let mut v = View::new(3, RunTime(50));
+        v.push(RunTime(7), StepKind::Timer("t".into()));
+        let before = v.clock_at(v.steps[0].at);
+        let shifted = shift_view(&v, 5);
+        let after = shifted.clock_at(shifted.steps[0].at);
+        assert_eq!(before, after, "shift must be invisible to the process");
+        assert_eq!(shifted.steps[0].at, RunTime(12));
+        assert_eq!(shifted.offset, -2);
+    }
+
+    #[test]
+    fn shift_roundtrip_identity() {
+        let mut v0 = View::new(0, RunTime(30));
+        v0.push(RunTime(1), StepKind::Invoke("a".into()));
+        let run = Run::new(vec![v0, View::new(2, RunTime(30))], vec![]);
+        let there = shift_run(&run, &[4, -3]);
+        let back = shift_run(&there, &[-4, 3]);
+        assert_eq!(run, back);
+    }
+
+    #[test]
+    fn formula_4_1() {
+        assert_eq!(shifted_delay(10, 0, 2), 12);
+        assert_eq!(shifted_delay(10, 2, 0), 8);
+        assert_eq!(shifted_delay(10, 3, 3), 10);
+    }
+}

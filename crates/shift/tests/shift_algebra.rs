@@ -1,0 +1,191 @@
+//! Property tests for the run/shift/chop algebra on randomly generated
+//! runs (Claims B.1 and B.3, Lemma B.1).
+
+use proptest::prelude::*;
+use skewbound_shift::{chop, shift_run, shortest_paths, Message, Run, RunTime, View};
+use skewbound_sim::delay::DelayBounds;
+use skewbound_sim::ids::ProcessId;
+use skewbound_sim::time::SimDuration;
+
+const D: i64 = 100;
+const U: i64 = 40;
+
+fn bounds() -> DelayBounds {
+    DelayBounds::new(
+        SimDuration::from_ticks(D as u64),
+        SimDuration::from_ticks(U as u64),
+    )
+}
+
+/// A random run over `n` processes with pairwise-uniform admissible
+/// delays and one message per ordered pair.
+fn arb_run() -> impl Strategy<Value = (Run, Vec<Vec<i64>>)> {
+    (2usize..=4).prop_flat_map(|n| {
+        let matrix = proptest::collection::vec(
+            proptest::collection::vec(D - U..=D, n),
+            n,
+        );
+        let offsets = proptest::collection::vec(-20i64..=20, n);
+        (Just(n), matrix, offsets).prop_map(|(_n, matrix, offsets)| {
+            let mut views: Vec<View> = offsets
+                .iter()
+                .map(|&o| View::new(o, RunTime(10_000)))
+                .collect();
+            let mut msgs = Vec::new();
+            for (i, row) in matrix.iter().enumerate() {
+                for (j, &delay) in row.iter().enumerate() {
+                    if i == j {
+                        continue;
+                    }
+                    let sent = RunTime((i * 7 + j * 3) as i64);
+                    let recv = RunTime(sent.0 + delay);
+                    let idx = msgs.len();
+                    views[i].push(sent, skewbound_shift::StepKind::Send(idx));
+                    msgs.push(Message {
+                        from: ProcessId::new(i as u32),
+                        to: ProcessId::new(j as u32),
+                        sent_at: sent,
+                        recv_at: Some(recv),
+                    });
+                }
+            }
+            // Recv steps appended per view in time order.
+            let mut recvs: Vec<(usize, RunTime, usize)> = msgs
+                .iter()
+                .enumerate()
+                .map(|(idx, m)| (m.to.index(), m.recv_at.unwrap(), idx))
+                .collect();
+            recvs.sort_by_key(|&(_, at, _)| at);
+            for (to, at, idx) in recvs {
+                views[to].push(at, skewbound_shift::StepKind::Recv(idx));
+            }
+            (Run::new(views, msgs), matrix)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random pairwise-uniform runs with in-range delays and ≤ 40-tick
+    /// offsets are admissible for eps = 40.
+    #[test]
+    fn generated_runs_admissible((run, _matrix) in arb_run()) {
+        run.check_admissible(bounds(), 40).unwrap();
+    }
+
+    /// Claim B.1/B.3: shifting and shifting back is the identity, and a
+    /// uniform shift (same x everywhere) preserves admissibility.
+    #[test]
+    fn shift_roundtrip_and_uniform_invariance(
+        (run, _matrix) in arb_run(),
+        xs in proptest::collection::vec(-30i64..=30, 4),
+        uniform in 0i64..=50,
+    ) {
+        let n = run.n();
+        let xs: Vec<i64> = xs.into_iter().take(n).chain(std::iter::repeat(0)).take(n).collect();
+        let there = shift_run(&run, &xs);
+        let back_xs: Vec<i64> = xs.iter().map(|x| -x).collect();
+        prop_assert_eq!(shift_run(&there, &back_xs), run.clone());
+
+        let uni = vec![uniform; n];
+        let shifted = shift_run(&run, &uni);
+        shifted.check_admissible(bounds(), 40).unwrap();
+    }
+
+    /// Lemma B.1, executably: shift one process far enough to break one
+    /// incoming delay, then chop — the result must be admissible.
+    #[test]
+    fn chop_always_restores_admissibility((run, matrix) in arb_run()) {
+        let n = run.n();
+        // Shift p1 later by u + 10: every delay *into* p1 grows by u+10,
+        // so d_{0,1} certainly leaves the range.
+        let shift_amt = U + 10;
+        let mut xs = vec![0i64; n];
+        xs[1] = shift_amt;
+        let shifted = shift_run(&run, &xs);
+        prop_assert!(shifted.check_admissible(bounds(), 60).is_err());
+
+        // Shifted matrix.
+        let mut new_matrix = matrix.clone();
+        for (i, row) in new_matrix.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = *cell - xs[i] + xs[j];
+            }
+        }
+        // Clamp *other* invalid entries to the range: Lemma B.1 assumes a
+        // single invalid pair, so rebuild a matrix where only (0,1) is
+        // out of range and delays from p1 (which shrank) are clamped up.
+        for (i, row) in new_matrix.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                if i == j { continue; }
+                if !(i == 0 && j == 1) {
+                    *cell = (*cell).clamp(D - U, D);
+                }
+            }
+        }
+        // Rebuild the run so delays match the cleaned matrix exactly.
+        let mut views: Vec<View> = (0..n)
+            .map(|i| View::new(shifted.view(ProcessId::new(i as u32)).offset, RunTime(20_000)))
+            .collect();
+        let mut msgs = Vec::new();
+        for (i, row) in new_matrix.iter().enumerate() {
+            for (j, &delay) in row.iter().enumerate() {
+                if i == j { continue; }
+                let sent = RunTime((i * 7 + j * 3) as i64 + xs[i]);
+                let recv = RunTime(sent.0 + delay);
+                let idx = msgs.len();
+                views[i].push(sent, skewbound_shift::StepKind::Send(idx));
+                msgs.push(Message {
+                    from: ProcessId::new(i as u32),
+                    to: ProcessId::new(j as u32),
+                    sent_at: sent,
+                    recv_at: Some(recv),
+                });
+            }
+        }
+        let mut recvs: Vec<(usize, RunTime, usize)> = msgs
+            .iter()
+            .enumerate()
+            .map(|(idx, m)| (m.to.index(), m.recv_at.unwrap(), idx))
+            .collect();
+        recvs.sort_by_key(|&(_, at, _)| at);
+        for (to, at, idx) in recvs {
+            views[to].push(at, skewbound_shift::StepKind::Recv(idx));
+        }
+        let dirty = Run::new(views, msgs);
+
+        let delta = D - U; // δ = d − u
+        let chopped = chop(
+            &dirty,
+            &new_matrix,
+            (ProcessId::new(0), ProcessId::new(1)),
+            delta,
+            bounds(),
+        );
+        // Lemma B.1 concerns the delay clauses; the clock functions are
+        // whatever the shift produced (the theorems bound their shift
+        // amounts separately), so check with the run's own skew.
+        let eps = chopped.max_skew();
+        chopped.check_admissible(bounds(), eps).unwrap();
+    }
+
+    /// Floyd–Warshall sanity: distances are no larger than direct edges
+    /// and satisfy the triangle inequality.
+    #[test]
+    fn shortest_paths_properties((_, matrix) in arb_run()) {
+        let dist = shortest_paths(&matrix);
+        let n = matrix.len();
+        for i in 0..n {
+            prop_assert_eq!(dist[i][i], 0);
+            for j in 0..n {
+                if i != j {
+                    prop_assert!(dist[i][j] <= matrix[i][j]);
+                }
+                for k in 0..n {
+                    prop_assert!(dist[i][j] <= dist[i][k] + dist[k][j]);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! The process state machine abstraction.
+//!
+//! Chapter III models each process as a state machine whose transition
+//! function consumes `(current state, input event, clock time)` and emits
+//! `(new state, output events)`, where input events are operation
+//! invocations, message receipts and timer expirations, and output events
+//! are at most one operation response plus at most one message per peer and
+//! new timer settings.
+//!
+//! [`Actor`] is that transition function in sans-io form: handlers mutate
+//! `self` (the state) and record outputs through a [`Context`]. The same
+//! actor therefore runs unchanged under the deterministic discrete-event
+//! engine ([`crate::engine`]) and the real-thread runtime ([`crate::rt`]).
+
+use core::fmt;
+
+use crate::ids::{ProcessId, TimerId};
+use crate::time::{ClockTime, SimDuration};
+
+/// A process in the message-passing system.
+///
+/// Handlers must be deterministic functions of the actor state, the input
+/// event and the local clock reading — exactly the model in which the
+/// thesis's bounds are proved. In particular they must not read wall-clock
+/// time or other ambient state.
+///
+/// Local processing takes zero simulated time, matching the model.
+pub trait Actor: Sized {
+    /// Messages exchanged between processes.
+    type Msg: Clone + fmt::Debug;
+    /// Operation invocations from the application layer.
+    type Op: Clone + fmt::Debug;
+    /// Operation responses to the application layer.
+    type Resp: Clone + fmt::Debug;
+    /// Timer tags. The thesis attaches `⟨op, arg, ts⟩` plus an action to
+    /// each timer; actors encode that here.
+    type Timer: Clone + fmt::Debug;
+
+    /// Called once at real time zero, before any other event.
+    fn on_start(&mut self, ctx: &mut Context<'_, Self>) {
+        let _ = ctx;
+    }
+
+    /// The application layer invoked `op` at this process.
+    ///
+    /// The runtime guarantees at most one operation is pending per process
+    /// (the application-layer constraint of Chapter III §A).
+    fn on_invoke(&mut self, op: Self::Op, ctx: &mut Context<'_, Self>);
+
+    /// A message from `from` was delivered.
+    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, ctx: &mut Context<'_, Self>);
+
+    /// A timer set earlier via [`Context::set_timer`] went off.
+    fn on_timer(&mut self, timer: Self::Timer, ctx: &mut Context<'_, Self>);
+}
+
+/// Output buffer filled by one handler activation.
+#[derive(Debug)]
+pub(crate) struct Effects<A: Actor> {
+    pub(crate) sends: Vec<(ProcessId, A::Msg)>,
+    pub(crate) timers: Vec<(TimerId, SimDuration, A::Timer)>,
+    pub(crate) cancels: Vec<TimerId>,
+    pub(crate) response: Option<A::Resp>,
+}
+
+impl<A: Actor> Effects<A> {
+    pub(crate) fn new() -> Self {
+        Effects {
+            sends: Vec::new(),
+            timers: Vec::new(),
+            cancels: Vec::new(),
+            response: None,
+        }
+    }
+}
+
+/// Handler-side view of the runtime: local clock, message sends, timers and
+/// the operation response.
+///
+/// A `Context` is only valid for the duration of one handler call; all
+/// effects take place after the handler returns, at the same instant of
+/// simulated time (local processing is instantaneous).
+pub struct Context<'a, A: Actor> {
+    pid: ProcessId,
+    n: usize,
+    clock: ClockTime,
+    next_timer_id: &'a mut u64,
+    effects: &'a mut Effects<A>,
+}
+
+impl<A: Actor> fmt::Debug for Context<'_, A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Context")
+            .field("pid", &self.pid)
+            .field("n", &self.n)
+            .field("clock", &self.clock)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a, A: Actor> Context<'a, A> {
+    pub(crate) fn new(
+        pid: ProcessId,
+        n: usize,
+        clock: ClockTime,
+        next_timer_id: &'a mut u64,
+        effects: &'a mut Effects<A>,
+    ) -> Self {
+        Context {
+            pid,
+            n,
+            clock,
+            next_timer_id,
+            effects,
+        }
+    }
+
+    /// This process's id.
+    #[must_use]
+    pub fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// Total number of processes in the system.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The local clock reading (real time plus this process's offset).
+    ///
+    /// This is the *only* notion of time a process may observe.
+    #[must_use]
+    pub fn clock(&self) -> ClockTime {
+        self.clock
+    }
+
+    /// Sends `msg` to process `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is this process (the model has no self-messages;
+    /// Algorithm 1 uses a `d − u` self-add timer instead) or out of range.
+    pub fn send(&mut self, to: ProcessId, msg: A::Msg) {
+        assert!(to != self.pid, "{to}: processes do not send to themselves");
+        assert!(to.index() < self.n, "{to} out of range (n = {})", self.n);
+        self.effects.sends.push((to, msg));
+    }
+
+    /// Sends `msg` to every *other* process (self excluded, per the model).
+    pub fn broadcast(&mut self, msg: A::Msg)
+    where
+        A::Msg: Clone,
+    {
+        for to in ProcessId::all(self.n) {
+            if to != self.pid {
+                self.effects.sends.push((to, msg.clone()));
+            }
+        }
+    }
+
+    /// Sets a timer that fires `delay` later (clocks have no drift, so a
+    /// clock-time delay equals a real-time delay). Returns an id usable
+    /// with [`Context::cancel_timer`].
+    ///
+    /// A zero delay fires at the current instant, after all effects of the
+    /// current handler are applied.
+    pub fn set_timer(&mut self, delay: SimDuration, timer: A::Timer) -> TimerId {
+        let id = TimerId::new(*self.next_timer_id);
+        *self.next_timer_id += 1;
+        self.effects.timers.push((id, delay, timer));
+        id
+    }
+
+    /// Cancels a pending timer. Cancelling an already-fired or unknown
+    /// timer is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.effects.cancels.push(id);
+    }
+
+    /// Responds to the pending operation at this process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handler already responded in this activation. The
+    /// engine additionally verifies an operation is actually pending.
+    pub fn respond(&mut self, resp: A::Resp) {
+        assert!(
+            self.effects.response.is_none(),
+            "{}: handler produced two responses in one step",
+            self.pid
+        );
+        self.effects.response = Some(resp);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Echo;
+
+    impl Actor for Echo {
+        type Msg = u32;
+        type Op = u32;
+        type Resp = u32;
+        type Timer = ();
+
+        fn on_invoke(&mut self, op: u32, ctx: &mut Context<'_, Self>) {
+            ctx.respond(op);
+        }
+
+        fn on_message(&mut self, _from: ProcessId, _msg: u32, _ctx: &mut Context<'_, Self>) {}
+
+        fn on_timer(&mut self, _timer: (), _ctx: &mut Context<'_, Self>) {}
+    }
+
+    fn ctx_harness<F: FnOnce(&mut Context<'_, Echo>)>(f: F) -> Effects<Echo> {
+        let mut effects = Effects::new();
+        let mut next = 0;
+        {
+            let mut ctx = Context::new(
+                ProcessId::new(0),
+                3,
+                ClockTime::from_ticks(5),
+                &mut next,
+                &mut effects,
+            );
+            f(&mut ctx);
+        }
+        effects
+    }
+
+    #[test]
+    fn broadcast_excludes_self() {
+        let effects = ctx_harness(|ctx| ctx.broadcast(7));
+        let targets: Vec<_> = effects.sends.iter().map(|(to, _)| to.index()).collect();
+        assert_eq!(targets, vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not send to themselves")]
+    fn self_send_rejected() {
+        ctx_harness(|ctx| ctx.send(ProcessId::new(0), 1));
+    }
+
+    #[test]
+    fn timer_ids_are_unique() {
+        let effects = ctx_harness(|ctx| {
+            let a = ctx.set_timer(SimDuration::from_ticks(1), ());
+            let b = ctx.set_timer(SimDuration::from_ticks(2), ());
+            assert_ne!(a, b);
+        });
+        assert_eq!(effects.timers.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "two responses")]
+    fn double_response_rejected() {
+        ctx_harness(|ctx| {
+            ctx.respond(1);
+            ctx.respond(2);
+        });
+    }
+
+    #[test]
+    fn clock_visible_to_handler() {
+        ctx_harness(|ctx| assert_eq!(ctx.clock(), ClockTime::from_ticks(5)));
+    }
+}

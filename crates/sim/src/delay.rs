@@ -1,0 +1,525 @@
+//! Message-delay models for the partially synchronous network.
+//!
+//! The admissibility condition requires every delivered message to take
+//! between `d − u` and `d` real time (Chapter III §B.3). The engine asks a
+//! [`DelayModel`] for each message's delay and validates the answer against
+//! the bounds, so a buggy model cannot silently produce an inadmissible run.
+//!
+//! The lower-bound proofs rely on *specific* delay assignments, e.g. the
+//! pairwise-uniform matrices of Theorems C.1/E.1 and the circulant matrix
+//! `d_{i,j} = d − ((i−j) mod k)/k · u` of Theorem D.1; [`MatrixDelay`]
+//! expresses those. [`ScriptedDelay`] additionally overrides individual
+//! messages by send index, which the *modified* time shift scenarios use.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ids::ProcessId;
+use crate::time::{SimDuration, SimTime};
+
+/// The network's delay bounds: every message takes between `d − u` and `d`.
+///
+/// # Examples
+///
+/// ```
+/// use skewbound_sim::delay::DelayBounds;
+/// use skewbound_sim::time::SimDuration;
+///
+/// let b = DelayBounds::new(SimDuration::from_ticks(100), SimDuration::from_ticks(30));
+/// assert_eq!(b.min().as_ticks(), 70);
+/// assert!(b.contains(SimDuration::from_ticks(85)));
+/// assert!(!b.contains(SimDuration::from_ticks(101)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DelayBounds {
+    d: SimDuration,
+    u: SimDuration,
+}
+
+impl DelayBounds {
+    /// Creates bounds with maximum delay `d` and uncertainty `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u > d` (the minimum delay `d − u` would be negative) or
+    /// if `d` is zero.
+    #[must_use]
+    pub fn new(d: SimDuration, u: SimDuration) -> Self {
+        assert!(!d.is_zero(), "delay bound d must be positive");
+        assert!(u <= d, "uncertainty u must not exceed d");
+        DelayBounds { d, u }
+    }
+
+    /// The maximum message delay `d`.
+    #[must_use]
+    pub const fn max(self) -> SimDuration {
+        self.d
+    }
+
+    /// The delay uncertainty `u`.
+    #[must_use]
+    pub const fn uncertainty(self) -> SimDuration {
+        self.u
+    }
+
+    /// The minimum message delay `d − u`.
+    #[must_use]
+    pub fn min(self) -> SimDuration {
+        self.d - self.u
+    }
+
+    /// `true` when `delay ∈ [d − u, d]`.
+    #[must_use]
+    pub fn contains(self, delay: SimDuration) -> bool {
+        self.min() <= delay && delay <= self.d
+    }
+}
+
+/// Everything a [`DelayModel`] may condition a delay on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsgMeta {
+    /// Sending process.
+    pub from: ProcessId,
+    /// Receiving process.
+    pub to: ProcessId,
+    /// Real time at which the message was sent.
+    pub sent_at: SimTime,
+    /// Zero-based index of this message among all messages sent from
+    /// `from` to `to` in this run.
+    pub pair_seq: u64,
+}
+
+/// Assigns a delay to every message.
+///
+/// Implementations are the run *adversary*: within `[d − u, d]` they may
+/// pick any value, including the worst-case patterns of the lower-bound
+/// proofs. Returned delays are validated by the engine; an out-of-range
+/// delay aborts the run with a clear panic rather than producing an
+/// inadmissible history.
+pub trait DelayModel {
+    /// The delay for the message described by `meta`.
+    fn delay(&mut self, meta: MsgMeta) -> SimDuration;
+
+    /// The bounds this model promises to respect.
+    fn bounds(&self) -> DelayBounds;
+}
+
+/// Every message takes exactly the same delay.
+#[derive(Debug, Clone)]
+pub struct FixedDelay {
+    bounds: DelayBounds,
+    delay: SimDuration,
+}
+
+impl FixedDelay {
+    /// All messages take exactly `delay`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay ∉ [d − u, d]`.
+    #[must_use]
+    pub fn new(bounds: DelayBounds, delay: SimDuration) -> Self {
+        assert!(
+            bounds.contains(delay),
+            "fixed delay {delay:?} outside bounds [{:?}, {:?}]",
+            bounds.min(),
+            bounds.max()
+        );
+        FixedDelay { bounds, delay }
+    }
+
+    /// All messages take the maximum delay `d`.
+    #[must_use]
+    pub fn maximal(bounds: DelayBounds) -> Self {
+        FixedDelay::new(bounds, bounds.max())
+    }
+
+    /// All messages take the minimum delay `d − u`.
+    #[must_use]
+    pub fn minimal(bounds: DelayBounds) -> Self {
+        FixedDelay::new(bounds, bounds.min())
+    }
+}
+
+impl DelayModel for FixedDelay {
+    fn delay(&mut self, _meta: MsgMeta) -> SimDuration {
+        self.delay
+    }
+
+    fn bounds(&self) -> DelayBounds {
+        self.bounds
+    }
+}
+
+/// Delays drawn uniformly at random from `[d − u, d]`, seeded for
+/// reproducibility.
+#[derive(Debug)]
+pub struct UniformDelay {
+    bounds: DelayBounds,
+    rng: StdRng,
+}
+
+impl UniformDelay {
+    /// Creates a model seeded with `seed`.
+    #[must_use]
+    pub fn new(bounds: DelayBounds, seed: u64) -> Self {
+        UniformDelay {
+            bounds,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl DelayModel for UniformDelay {
+    fn delay(&mut self, _meta: MsgMeta) -> SimDuration {
+        let lo = self.bounds.min().as_ticks();
+        let hi = self.bounds.max().as_ticks();
+        SimDuration::from_ticks(self.rng.gen_range(lo..=hi))
+    }
+
+    fn bounds(&self) -> DelayBounds {
+        self.bounds
+    }
+}
+
+/// Pairwise-uniform delays: a fixed delay per ordered process pair, the
+/// shape every proof in Chapter IV uses ("a run with pairwise uniform
+/// message delays").
+#[derive(Debug, Clone)]
+pub struct MatrixDelay {
+    bounds: DelayBounds,
+    matrix: Vec<Vec<SimDuration>>,
+}
+
+impl MatrixDelay {
+    /// Builds the matrix by evaluating `f(from, to)` for every ordered
+    /// pair. Diagonal entries are never used (processes do not message
+    /// themselves) and are filled with `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any off-diagonal `f(i, j) ∉ [d − u, d]`.
+    #[must_use]
+    pub fn from_fn<F>(n: usize, bounds: DelayBounds, mut f: F) -> Self
+    where
+        F: FnMut(ProcessId, ProcessId) -> SimDuration,
+    {
+        let mut matrix = vec![vec![bounds.max(); n]; n];
+        for i in ProcessId::all(n) {
+            for j in ProcessId::all(n) {
+                if i == j {
+                    continue;
+                }
+                let delay = f(i, j);
+                assert!(
+                    bounds.contains(delay),
+                    "delay {delay:?} for {i}->{j} outside [{:?}, {:?}]",
+                    bounds.min(),
+                    bounds.max()
+                );
+                matrix[i.index()][j.index()] = delay;
+            }
+        }
+        MatrixDelay { bounds, matrix }
+    }
+
+    /// The delay assigned to the ordered pair `from → to`.
+    #[must_use]
+    pub fn pair(&self, from: ProcessId, to: ProcessId) -> SimDuration {
+        self.matrix[from.index()][to.index()]
+    }
+
+    /// The circulant matrix of Theorem D.1 over the first `k` processes:
+    /// `d_{i,j} = d − ((i − j) mod k)/k · u` for `i, j < k`, and the
+    /// midpoint `d − u/2` for any pair involving a process `≥ k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` or `k > n`.
+    #[must_use]
+    pub fn circulant(n: usize, k: usize, bounds: DelayBounds) -> Self {
+        assert!(k >= 2, "circulant requires k >= 2");
+        assert!(k <= n, "k must not exceed n");
+        let d = bounds.max();
+        let u = bounds.uncertainty();
+        let mid = d - u / 2;
+        Self::from_fn(n, bounds, |i, j| {
+            if i.index() < k && j.index() < k {
+                let r = (i.index() + k - j.index()) % k;
+                d - u.mul_frac(r as u64, k as u64)
+            } else {
+                mid
+            }
+        })
+    }
+}
+
+impl DelayModel for MatrixDelay {
+    fn delay(&mut self, meta: MsgMeta) -> SimDuration {
+        self.pair(meta.from, meta.to)
+    }
+
+    fn bounds(&self) -> DelayBounds {
+        self.bounds
+    }
+}
+
+/// Bimodal delays: most messages take the fast path (`d − u`), a seeded
+/// fraction take the slow path (`d`) — a crude but useful model of a LAN
+/// with a congested tail, stressing implementations with realistic
+/// *mixtures* rather than uniform noise.
+#[derive(Debug)]
+pub struct BimodalDelay {
+    bounds: DelayBounds,
+    slow_percent: u8,
+    rng: StdRng,
+}
+
+impl BimodalDelay {
+    /// Creates a model where `slow_percent`% of messages take the maximum
+    /// delay `d` and the rest take the minimum `d − u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slow_percent > 100`.
+    #[must_use]
+    pub fn new(bounds: DelayBounds, slow_percent: u8, seed: u64) -> Self {
+        assert!(slow_percent <= 100, "percentage out of range");
+        BimodalDelay {
+            bounds,
+            slow_percent,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl DelayModel for BimodalDelay {
+    fn delay(&mut self, _meta: MsgMeta) -> SimDuration {
+        if self.rng.gen_range(0..100) < self.slow_percent {
+            self.bounds.max()
+        } else {
+            self.bounds.min()
+        }
+    }
+
+    fn bounds(&self) -> DelayBounds {
+        self.bounds
+    }
+}
+
+/// A base model plus per-message overrides keyed by
+/// `(from, to, pair_seq)`.
+///
+/// The modified-time-shift scenarios need control over *individual*
+/// messages ("the first message from `p_i` to `p_j` takes `d`, the second
+/// `d − u`"); this model expresses that while delegating everything else
+/// to a base model.
+pub struct ScriptedDelay<M> {
+    base: M,
+    overrides: HashMap<(ProcessId, ProcessId, u64), SimDuration>,
+}
+
+impl<M: std::fmt::Debug> std::fmt::Debug for ScriptedDelay<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScriptedDelay")
+            .field("base", &self.base)
+            .field("overrides", &self.overrides.len())
+            .finish()
+    }
+}
+
+impl<M: DelayModel> ScriptedDelay<M> {
+    /// Wraps `base` with no overrides.
+    #[must_use]
+    pub fn new(base: M) -> Self {
+        ScriptedDelay {
+            base,
+            overrides: HashMap::new(),
+        }
+    }
+
+    /// Overrides the `seq`-th message (zero-based) from `from` to `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is outside the base model's bounds.
+    pub fn set(&mut self, from: ProcessId, to: ProcessId, seq: u64, delay: SimDuration) {
+        let bounds = self.base.bounds();
+        assert!(
+            bounds.contains(delay),
+            "scripted delay {delay:?} outside [{:?}, {:?}]",
+            bounds.min(),
+            bounds.max()
+        );
+        self.overrides.insert((from, to, seq), delay);
+    }
+
+    /// Builder-style variant of [`ScriptedDelay::set`].
+    #[must_use]
+    pub fn with(mut self, from: ProcessId, to: ProcessId, seq: u64, delay: SimDuration) -> Self {
+        self.set(from, to, seq, delay);
+        self
+    }
+}
+
+impl<M: DelayModel> DelayModel for ScriptedDelay<M> {
+    fn delay(&mut self, meta: MsgMeta) -> SimDuration {
+        if let Some(&d) = self.overrides.get(&(meta.from, meta.to, meta.pair_seq)) {
+            d
+        } else {
+            self.base.delay(meta)
+        }
+    }
+
+    fn bounds(&self) -> DelayBounds {
+        self.base.bounds()
+    }
+}
+
+impl<M: DelayModel + ?Sized> DelayModel for Box<M> {
+    fn delay(&mut self, meta: MsgMeta) -> SimDuration {
+        (**self).delay(meta)
+    }
+
+    fn bounds(&self) -> DelayBounds {
+        (**self).bounds()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bounds() -> DelayBounds {
+        DelayBounds::new(SimDuration::from_ticks(100), SimDuration::from_ticks(40))
+    }
+
+    fn meta(from: u32, to: u32, seq: u64) -> MsgMeta {
+        MsgMeta {
+            from: ProcessId::new(from),
+            to: ProcessId::new(to),
+            sent_at: SimTime::ZERO,
+            pair_seq: seq,
+        }
+    }
+
+    #[test]
+    fn bounds_range() {
+        let b = bounds();
+        assert_eq!(b.min(), SimDuration::from_ticks(60));
+        assert!(b.contains(SimDuration::from_ticks(60)));
+        assert!(b.contains(SimDuration::from_ticks(100)));
+        assert!(!b.contains(SimDuration::from_ticks(59)));
+    }
+
+    #[test]
+    #[should_panic(expected = "u must not exceed d")]
+    fn bounds_reject_u_gt_d() {
+        let _ = DelayBounds::new(SimDuration::from_ticks(10), SimDuration::from_ticks(11));
+    }
+
+    #[test]
+    fn fixed_delay_constant() {
+        let mut m = FixedDelay::new(bounds(), SimDuration::from_ticks(80));
+        assert_eq!(m.delay(meta(0, 1, 0)), SimDuration::from_ticks(80));
+        assert_eq!(m.delay(meta(1, 0, 5)), SimDuration::from_ticks(80));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside bounds")]
+    fn fixed_delay_validates() {
+        let _ = FixedDelay::new(bounds(), SimDuration::from_ticks(10));
+    }
+
+    #[test]
+    fn uniform_delay_in_range_and_deterministic() {
+        let mut a = UniformDelay::new(bounds(), 7);
+        let mut b = UniformDelay::new(bounds(), 7);
+        for i in 0..200 {
+            let da = a.delay(meta(0, 1, i));
+            let db = b.delay(meta(0, 1, i));
+            assert_eq!(da, db, "same seed must give same delays");
+            assert!(bounds().contains(da));
+        }
+    }
+
+    #[test]
+    fn matrix_delay_per_pair() {
+        let m = MatrixDelay::from_fn(3, bounds(), |i, j| {
+            if i.index() < j.index() {
+                SimDuration::from_ticks(100)
+            } else {
+                SimDuration::from_ticks(60)
+            }
+        });
+        let mut m = m;
+        assert_eq!(m.delay(meta(0, 2, 0)), SimDuration::from_ticks(100));
+        assert_eq!(m.delay(meta(2, 0, 0)), SimDuration::from_ticks(60));
+    }
+
+    #[test]
+    fn circulant_matches_theorem_d1() {
+        // k = 4, d = 100, u = 40: d_{i,j} = 100 − ((i−j) mod 4)·10.
+        let b = bounds();
+        let m = MatrixDelay::circulant(5, 4, b);
+        let p = |i: u32| ProcessId::new(i);
+        assert_eq!(m.pair(p(1), p(0)), SimDuration::from_ticks(90)); // r=1
+        assert_eq!(m.pair(p(0), p(1)), SimDuration::from_ticks(70)); // r=3
+        assert_eq!(m.pair(p(3), p(1)), SimDuration::from_ticks(80)); // r=2
+        // Pairs involving p4 (index ≥ k) take the midpoint d − u/2 = 80.
+        assert_eq!(m.pair(p(4), p(0)), SimDuration::from_ticks(80));
+        assert_eq!(m.pair(p(2), p(4)), SimDuration::from_ticks(80));
+        // Every entry admissible.
+        for i in ProcessId::all(5) {
+            for j in ProcessId::all(5) {
+                if i != j {
+                    assert!(b.contains(m.pair(i, j)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bimodal_mixes_extremes_only() {
+        let mut m = BimodalDelay::new(bounds(), 30, 5);
+        let mut fast = 0;
+        let mut slow = 0;
+        for i in 0..400 {
+            match m.delay(meta(0, 1, i)).as_ticks() {
+                60 => fast += 1,
+                100 => slow += 1,
+                other => panic!("unexpected delay {other}"),
+            }
+        }
+        // Roughly 30% slow; loose bounds to stay seed-robust.
+        assert!((60..=180).contains(&slow), "slow = {slow}");
+        assert_eq!(fast + slow, 400);
+    }
+
+    #[test]
+    fn scripted_overrides_only_selected_message() {
+        let mut m = ScriptedDelay::new(FixedDelay::maximal(bounds())).with(
+            ProcessId::new(0),
+            ProcessId::new(1),
+            1,
+            SimDuration::from_ticks(60),
+        );
+        assert_eq!(m.delay(meta(0, 1, 0)), SimDuration::from_ticks(100));
+        assert_eq!(m.delay(meta(0, 1, 1)), SimDuration::from_ticks(60));
+        assert_eq!(m.delay(meta(0, 1, 2)), SimDuration::from_ticks(100));
+        assert_eq!(m.delay(meta(1, 0, 1)), SimDuration::from_ticks(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "scripted delay")]
+    fn scripted_validates_override() {
+        let _ = ScriptedDelay::new(FixedDelay::maximal(bounds())).with(
+            ProcessId::new(0),
+            ProcessId::new(1),
+            0,
+            SimDuration::from_ticks(5),
+        );
+    }
+}

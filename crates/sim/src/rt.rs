@@ -1,0 +1,715 @@
+//! A real-thread runtime for the same [`Actor`] state machines.
+//!
+//! The discrete-event engine is the measurement instrument; this runtime
+//! exists to demonstrate that the shared-object implementations are not
+//! simulator-bound: each process runs on an OS thread, messages travel
+//! through crossbeam channels with injected delays drawn from the same
+//! `[d − u, d]` bounds, and clocks are wall-clock readings plus per-process
+//! offsets. One tick is interpreted as one microsecond.
+//!
+//! Two entry points:
+//!
+//! * [`RtCluster`] — an interactive cluster: obtain an [`RtClient`] per
+//!   process and call [`RtClient::invoke`] like a blocking RPC;
+//! * [`run_threaded`] — batch mode: execute a timed script and return the
+//!   observed [`History`].
+//!
+//! Because the OS scheduler adds real, unbounded noise, this runtime is
+//! suitable for functional demonstrations (histories can still be checked
+//! for linearizability) but not for measuring the tight time bounds — the
+//! injected delay is a *lower* bound on actual delivery latency. Scheduling
+//! noise can also perturb the relative order of closely spaced events, so
+//! prefer workloads whose correctness does not hinge on exact tie-breaks.
+
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::actor::{Actor, Context, Effects};
+use crate::clock::ClockAssignment;
+use crate::delay::DelayBounds;
+use crate::history::History;
+use crate::ids::{OpId, ProcessId, TimerId};
+use crate::time::{SimDuration, SimTime};
+
+/// A scripted invocation for [`run_threaded`].
+#[derive(Debug, Clone)]
+pub struct RtInvocation<O> {
+    /// Target process.
+    pub pid: ProcessId,
+    /// Wall-clock offset from the start of the run, in ticks (µs).
+    pub at: SimDuration,
+    /// The operation.
+    pub op: O,
+}
+
+enum Input<A: Actor> {
+    Invoke(OpId, A::Op),
+    Deliver(ProcessId, A::Msg),
+    Shutdown,
+}
+
+enum RouterMsg<M> {
+    Send {
+        from: ProcessId,
+        to: ProcessId,
+        msg: M,
+        deliver_at: Instant,
+    },
+    Shutdown,
+}
+
+struct HeapEntry<M> {
+    deliver_at: Instant,
+    seq: u64,
+    to: ProcessId,
+    from: ProcessId,
+    msg: M,
+}
+
+impl<M> PartialEq for HeapEntry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_at == other.deliver_at && self.seq == other.seq
+    }
+}
+impl<M> Eq for HeapEntry<M> {}
+impl<M> PartialOrd for HeapEntry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for HeapEntry<M> {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        (other.deliver_at, other.seq).cmp(&(self.deliver_at, self.seq))
+    }
+}
+
+fn ticks_to_duration(d: SimDuration) -> Duration {
+    Duration::from_micros(d.as_ticks())
+}
+
+fn instant_to_sim(epoch: Instant, at: Instant) -> SimTime {
+    let micros = at.saturating_duration_since(epoch).as_micros();
+    SimTime::from_ticks(u64::try_from(micros).expect("run too long"))
+}
+
+/// A running cluster of actor threads plus the delay-injecting router.
+///
+/// # Examples
+///
+/// ```no_run
+/// use std::time::Duration;
+/// use skewbound_sim::prelude::*;
+/// use skewbound_sim::rt::RtCluster;
+///
+/// # #[derive(Debug)] struct Echo;
+/// # impl Actor for Echo {
+/// #     type Msg = (); type Op = u32; type Resp = u32; type Timer = ();
+/// #     fn on_invoke(&mut self, op: u32, ctx: &mut Context<'_, Self>) { ctx.respond(op + 1); }
+/// #     fn on_message(&mut self, _: ProcessId, _: (), _: &mut Context<'_, Self>) {}
+/// #     fn on_timer(&mut self, _: (), _: &mut Context<'_, Self>) {}
+/// # }
+/// let bounds = DelayBounds::new(SimDuration::from_ticks(2_000), SimDuration::from_ticks(1_000));
+/// let mut cluster = RtCluster::start(
+///     vec![Echo, Echo],
+///     &ClockAssignment::zero(2),
+///     bounds,
+///     7,
+/// );
+/// let mut client = cluster.client(ProcessId::new(0));
+/// assert_eq!(client.invoke(41), 42);
+/// drop(client);
+/// let history = cluster.shutdown(Duration::from_millis(10));
+/// assert!(history.is_complete());
+/// ```
+pub struct RtCluster<A: Actor> {
+    epoch: Instant,
+    proc_txs: Vec<Sender<Input<A>>>,
+    router_tx: Sender<RouterMsg<A::Msg>>,
+    history: Arc<Mutex<History<A::Op, A::Resp>>>,
+    resp_rxs: Vec<Option<Receiver<A::Resp>>>,
+    done_rx: Receiver<()>,
+    worker_handles: Vec<JoinHandle<()>>,
+    router_handle: Option<JoinHandle<()>>,
+}
+
+impl<A: Actor> core::fmt::Debug for RtCluster<A> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("RtCluster")
+            .field("n", &self.proc_txs.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A per-process handle for blocking invocations on an [`RtCluster`].
+pub struct RtClient<A: Actor> {
+    pid: ProcessId,
+    epoch: Instant,
+    proc_tx: Sender<Input<A>>,
+    resp_rx: Receiver<A::Resp>,
+    history: Arc<Mutex<History<A::Op, A::Resp>>>,
+}
+
+impl<A: Actor> core::fmt::Debug for RtClient<A> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("RtClient").field("pid", &self.pid).finish()
+    }
+}
+
+impl<A: Actor> RtClient<A> {
+    /// Invokes `op` at this client's process and blocks until the
+    /// response arrives (mirroring the one-pending-op application model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster has shut down or a worker died, or if no
+    /// response arrives within 30 seconds.
+    pub fn invoke(&mut self, op: A::Op) -> A::Resp {
+        let op_id = self.history.lock().record_invoke(
+            self.pid,
+            op.clone(),
+            instant_to_sim(self.epoch, Instant::now()),
+        );
+        self.proc_tx
+            .send(Input::Invoke(op_id, op))
+            .expect("cluster has shut down");
+        self.resp_rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("no response within 30s")
+    }
+}
+
+impl<A> RtCluster<A>
+where
+    A: Actor + Send + 'static,
+    A::Msg: Send + 'static,
+    A::Op: Send + 'static,
+    A::Resp: Send + 'static,
+    A::Timer: Send + 'static,
+{
+    /// Starts one thread per actor plus the router, injecting message
+    /// delays drawn uniformly from `bounds` (seeded by `seed`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actors` is empty or its length differs from `clocks`.
+    #[must_use]
+    pub fn start(
+        actors: Vec<A>,
+        clocks: &ClockAssignment,
+        bounds: DelayBounds,
+        seed: u64,
+    ) -> Self {
+        assert!(!actors.is_empty(), "at least one process required");
+        assert_eq!(actors.len(), clocks.len(), "clocks must cover all processes");
+        assert!(
+            clocks.is_drift_free(),
+            "the real-thread runtime does not emulate clock drift"
+        );
+        let n = actors.len();
+        let epoch = Instant::now();
+        let history: Arc<Mutex<History<A::Op, A::Resp>>> = Arc::new(Mutex::new(History::new()));
+        let (done_tx, done_rx) = unbounded::<()>();
+        let (router_tx, router_rx) = unbounded::<RouterMsg<A::Msg>>();
+
+        let mut proc_txs = Vec::with_capacity(n);
+        let mut proc_rxs = Vec::with_capacity(n);
+        let mut resp_txs = Vec::with_capacity(n);
+        let mut resp_rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = bounded::<Input<A>>(1024);
+            proc_txs.push(tx);
+            proc_rxs.push(rx);
+            let (rtx, rrx) = unbounded::<A::Resp>();
+            resp_txs.push(rtx);
+            resp_rxs.push(Some(rrx));
+        }
+
+        let router_handle = {
+            let proc_txs = proc_txs.clone();
+            thread::spawn(move || {
+                let mut heap: BinaryHeap<HeapEntry<A::Msg>> = BinaryHeap::new();
+                let mut seq = 0u64;
+                loop {
+                    let timeout = heap
+                        .peek()
+                        .map(|e| e.deliver_at.saturating_duration_since(Instant::now()))
+                        .unwrap_or(Duration::from_secs(3600));
+                    match router_rx.recv_timeout(timeout) {
+                        Ok(RouterMsg::Send {
+                            from,
+                            to,
+                            msg,
+                            deliver_at,
+                        }) => {
+                            heap.push(HeapEntry {
+                                deliver_at,
+                                seq,
+                                to,
+                                from,
+                                msg,
+                            });
+                            seq += 1;
+                        }
+                        Ok(RouterMsg::Shutdown) => break,
+                        Err(RecvTimeoutError::Timeout) => {}
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                    while let Some(e) = heap.peek() {
+                        if e.deliver_at > Instant::now() {
+                            break;
+                        }
+                        let e = heap.pop().expect("peeked");
+                        // A closed worker means shutdown is in progress.
+                        let _ = proc_txs[e.to.index()].send(Input::Deliver(e.from, e.msg));
+                    }
+                }
+            })
+        };
+
+        let mut worker_handles = Vec::with_capacity(n);
+        for (idx, mut actor) in actors.into_iter().enumerate() {
+            let pid = ProcessId::new(u32::try_from(idx).expect("too many processes"));
+            let rx = proc_rxs.remove(0);
+            let router_tx = router_tx.clone();
+            let history = Arc::clone(&history);
+            let done_tx = done_tx.clone();
+            let resp_tx = resp_txs[idx].clone();
+            let offset = clocks.offset(pid);
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+
+            worker_handles.push(thread::spawn(move || {
+                worker_loop(
+                    pid, n, epoch, offset, &mut actor, &rx, &router_tx, &history, &done_tx,
+                    &resp_tx, &mut rng, bounds,
+                );
+            }));
+        }
+
+        RtCluster {
+            epoch,
+            proc_txs,
+            router_tx,
+            history,
+            resp_rxs,
+            done_rx,
+            worker_handles,
+            router_handle: Some(router_handle),
+        }
+    }
+
+    /// Number of processes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.proc_txs.len()
+    }
+
+    /// Takes the blocking client for process `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the client was already taken or `pid` is out of range.
+    #[must_use]
+    pub fn client(&mut self, pid: ProcessId) -> RtClient<A> {
+        let resp_rx = self.resp_rxs[pid.index()]
+            .take()
+            .expect("client already taken");
+        RtClient {
+            pid,
+            epoch: self.epoch,
+            proc_tx: self.proc_txs[pid.index()].clone(),
+            resp_rx,
+            history: Arc::clone(&self.history),
+        }
+    }
+
+    /// Fire-and-forget invocation: the response is recorded in the
+    /// history (and consumes one [`RtCluster::wait_for`] credit) but not
+    /// returned. Useful for timed scripts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster has shut down.
+    pub fn invoke_async(&self, pid: ProcessId, op: A::Op) {
+        let op_id = self.history.lock().record_invoke(
+            pid,
+            op.clone(),
+            instant_to_sim(self.epoch, Instant::now()),
+        );
+        self.proc_txs[pid.index()]
+            .send(Input::Invoke(op_id, op))
+            .expect("cluster has shut down");
+    }
+
+    /// Blocks until `count` operation responses have occurred since the
+    /// cluster started (including ones answered through clients).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the responses do not arrive within 30 seconds each.
+    pub fn wait_for(&self, count: usize) {
+        for _ in 0..count {
+            self.done_rx
+                .recv_timeout(Duration::from_secs(30))
+                .expect("timed out waiting for responses");
+        }
+    }
+
+    /// Waits `settle` (for in-flight messages), stops all threads, and
+    /// returns the observed history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panicked.
+    #[must_use]
+    pub fn shutdown(mut self, settle: Duration) -> History<A::Op, A::Resp> {
+        thread::sleep(settle);
+        for tx in &self.proc_txs {
+            let _ = tx.send(Input::Shutdown);
+        }
+        let _ = self.router_tx.send(RouterMsg::Shutdown);
+        for h in self.worker_handles.drain(..) {
+            h.join().expect("worker thread panicked");
+        }
+        if let Some(h) = self.router_handle.take() {
+            h.join().expect("router thread panicked");
+        }
+        let history = self.history.lock().clone();
+        history
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_loop<A: Actor>(
+    pid: ProcessId,
+    n: usize,
+    epoch: Instant,
+    offset: crate::time::ClockOffset,
+    actor: &mut A,
+    rx: &Receiver<Input<A>>,
+    router_tx: &Sender<RouterMsg<A::Msg>>,
+    history: &Arc<Mutex<History<A::Op, A::Resp>>>,
+    done_tx: &Sender<()>,
+    resp_tx: &Sender<A::Resp>,
+    rng: &mut StdRng,
+    bounds: DelayBounds,
+) {
+    struct PendingTimer<T> {
+        fire_at: Instant,
+        id: TimerId,
+        timer: T,
+    }
+
+    let mut timers: Vec<PendingTimer<A::Timer>> = Vec::new();
+    let mut next_timer_id = 0u64;
+    let mut pending_op: Option<OpId> = None;
+    let mut shutdown = false;
+
+    #[allow(clippy::too_many_arguments)]
+    fn apply<A: Actor>(
+        pid: ProcessId,
+        effects: Effects<A>,
+        router_tx: &Sender<RouterMsg<A::Msg>>,
+        history: &Arc<Mutex<History<A::Op, A::Resp>>>,
+        done_tx: &Sender<()>,
+        resp_tx: &Sender<A::Resp>,
+        timers: &mut Vec<PendingTimer<A::Timer>>,
+        pending_op: &mut Option<OpId>,
+        rng: &mut StdRng,
+        bounds: DelayBounds,
+        epoch: Instant,
+    ) {
+        let Effects {
+            sends,
+            timers: new_timers,
+            cancels,
+            response,
+        } = effects;
+        for (to, msg) in sends {
+            let ticks = rng.gen_range(bounds.min().as_ticks()..=bounds.max().as_ticks());
+            let deliver_at = Instant::now() + ticks_to_duration(SimDuration::from_ticks(ticks));
+            let _ = router_tx.send(RouterMsg::Send {
+                from: pid,
+                to,
+                msg,
+                deliver_at,
+            });
+        }
+        for (id, delay, timer) in new_timers {
+            timers.push(PendingTimer {
+                fire_at: Instant::now() + ticks_to_duration(delay),
+                id,
+                timer,
+            });
+        }
+        for id in cancels {
+            timers.retain(|t| t.id != id);
+        }
+        if let Some(resp) = response {
+            let op_id = pending_op
+                .take()
+                .unwrap_or_else(|| panic!("{pid}: response with no pending op"));
+            history
+                .lock()
+                .record_response(op_id, resp.clone(), instant_to_sim(epoch, Instant::now()));
+            let _ = resp_tx.send(resp);
+            let _ = done_tx.send(());
+        }
+    }
+
+    loop {
+        // Fire due timers first.
+        loop {
+            let now = Instant::now();
+            let due = timers
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.fire_at <= now)
+                .min_by_key(|(_, t)| (t.fire_at, t.id))
+                .map(|(i, _)| i);
+            let Some(i) = due else { break };
+            let t = timers.swap_remove(i);
+            let mut effects = Effects::new();
+            {
+                let clock = instant_to_sim(epoch, Instant::now()).to_clock(offset);
+                let mut ctx = Context::new(pid, n, clock, &mut next_timer_id, &mut effects);
+                actor.on_timer(t.timer, &mut ctx);
+            }
+            apply(
+                pid, effects, router_tx, history, done_tx, resp_tx, &mut timers,
+                &mut pending_op, rng, bounds, epoch,
+            );
+        }
+        if shutdown && timers.is_empty() {
+            break;
+        }
+        let timeout = timers
+            .iter()
+            .map(|t| t.fire_at)
+            .min()
+            .map(|at| at.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_millis(50));
+        match rx.recv_timeout(timeout) {
+            Ok(Input::Shutdown) => shutdown = true,
+            Ok(input) => {
+                let mut effects = Effects::new();
+                {
+                    let clock = instant_to_sim(epoch, Instant::now()).to_clock(offset);
+                    let mut ctx = Context::new(pid, n, clock, &mut next_timer_id, &mut effects);
+                    match input {
+                        Input::Invoke(op_id, op) => {
+                            assert!(
+                                pending_op.is_none(),
+                                "{pid}: invocation while an operation is pending"
+                            );
+                            pending_op = Some(op_id);
+                            actor.on_invoke(op, &mut ctx);
+                        }
+                        Input::Deliver(from, msg) => {
+                            actor.on_message(from, msg, &mut ctx);
+                        }
+                        Input::Shutdown => unreachable!("handled above"),
+                    }
+                }
+                apply(
+                    pid, effects, router_tx, history, done_tx, resp_tx, &mut timers,
+                    &mut pending_op, rng, bounds, epoch,
+                );
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+}
+
+/// Runs `actors` on real threads, injecting message delays drawn uniformly
+/// from `bounds` (seeded by `seed`), executing `script`, and returning the
+/// observed [`History`].
+///
+/// The runtime shuts down `settle` after the last scripted invocation's
+/// response; in-flight messages beyond that point are dropped, so choose
+/// `settle` comfortably above `d`.
+///
+/// # Panics
+///
+/// Panics if `actors` is empty, its length differs from `clocks`, or a
+/// worker thread panics (e.g. an actor invariant fails).
+pub fn run_threaded<A>(
+    actors: Vec<A>,
+    clocks: &ClockAssignment,
+    bounds: DelayBounds,
+    seed: u64,
+    script: Vec<RtInvocation<A::Op>>,
+    settle: Duration,
+) -> History<A::Op, A::Resp>
+where
+    A: Actor + Send + 'static,
+    A::Msg: Send + 'static,
+    A::Op: Send + Sync + 'static,
+    A::Resp: Send + 'static,
+    A::Timer: Send + 'static,
+{
+    let cluster = RtCluster::start(actors, clocks, bounds, seed);
+    let epoch = cluster.epoch;
+    let mut script = script;
+    script.sort_by_key(|inv| inv.at);
+    let total_ops = script.len();
+    for inv in script {
+        let target = epoch + ticks_to_duration(inv.at);
+        let now = Instant::now();
+        if target > now {
+            thread::sleep(target - now);
+        }
+        cluster.invoke_async(inv.pid, inv.op);
+    }
+    cluster.wait_for(total_ops);
+    cluster.shutdown(settle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Each process forwards its op value to the next process and responds
+    /// when the ring token returns.
+    #[derive(Debug, Default)]
+    struct Ring;
+
+    impl Actor for Ring {
+        type Msg = u32;
+        type Op = u32;
+        type Resp = u32;
+        type Timer = ();
+
+        fn on_invoke(&mut self, op: u32, ctx: &mut Context<'_, Self>) {
+            let next = ProcessId::new((ctx.pid().as_u32() + 1) % ctx.n() as u32);
+            ctx.send(next, op);
+        }
+
+        fn on_message(&mut self, _from: ProcessId, msg: u32, ctx: &mut Context<'_, Self>) {
+            if ctx.pid() == ProcessId::new(0) {
+                ctx.respond(msg);
+            } else {
+                let next = ProcessId::new((ctx.pid().as_u32() + 1) % ctx.n() as u32);
+                ctx.send(next, msg);
+            }
+        }
+
+        fn on_timer(&mut self, _t: (), _ctx: &mut Context<'_, Self>) {}
+    }
+
+    #[test]
+    fn ring_completes_on_threads() {
+        let bounds = DelayBounds::new(
+            SimDuration::from_ticks(2000), // 2 ms
+            SimDuration::from_ticks(1000),
+        );
+        let history = run_threaded(
+            vec![Ring, Ring, Ring],
+            &ClockAssignment::zero(3),
+            bounds,
+            7,
+            vec![RtInvocation {
+                pid: ProcessId::new(0),
+                at: SimDuration::ZERO,
+                op: 42,
+            }],
+            Duration::from_millis(20),
+        );
+        assert!(history.is_complete());
+        assert_eq!(history.records()[0].resp(), Some(&42));
+        // Three hops of ≥ 1 ms each.
+        assert!(history.records()[0].latency().unwrap().as_ticks() >= 3000);
+    }
+
+    /// Timer-driven response with injected delay bounds honoured.
+    #[derive(Debug, Default)]
+    struct TimerEcho;
+
+    impl Actor for TimerEcho {
+        type Msg = ();
+        type Op = u32;
+        type Resp = u32;
+        type Timer = u32;
+
+        fn on_invoke(&mut self, op: u32, ctx: &mut Context<'_, Self>) {
+            ctx.set_timer(SimDuration::from_ticks(1000), op);
+        }
+        fn on_message(&mut self, _: ProcessId, _: (), _: &mut Context<'_, Self>) {}
+        fn on_timer(&mut self, t: u32, ctx: &mut Context<'_, Self>) {
+            ctx.respond(t + 1);
+        }
+    }
+
+    #[test]
+    fn timers_fire_on_threads() {
+        let bounds = DelayBounds::new(SimDuration::from_ticks(1000), SimDuration::from_ticks(500));
+        let history = run_threaded(
+            vec![TimerEcho],
+            &ClockAssignment::zero(1),
+            bounds,
+            1,
+            vec![
+                RtInvocation {
+                    pid: ProcessId::new(0),
+                    at: SimDuration::ZERO,
+                    op: 1,
+                },
+                RtInvocation {
+                    pid: ProcessId::new(0),
+                    // Generous spacing: under full-suite parallel load the
+                    // OS may delay the first timer by many milliseconds.
+                    at: SimDuration::from_ticks(250_000),
+                    op: 2,
+                },
+            ],
+            Duration::from_millis(5),
+        );
+        assert!(history.is_complete());
+        assert_eq!(history.records()[0].resp(), Some(&2));
+        assert_eq!(history.records()[1].resp(), Some(&3));
+        // The timer wait is 1 ms; latency must be at least that.
+        assert!(history.records()[0].latency().unwrap().as_ticks() >= 1000);
+    }
+
+    #[test]
+    fn interactive_clients_block_per_invocation() {
+        let bounds = DelayBounds::new(SimDuration::from_ticks(1000), SimDuration::from_ticks(500));
+        let mut cluster = RtCluster::start(
+            vec![TimerEcho, TimerEcho],
+            &ClockAssignment::zero(2),
+            bounds,
+            3,
+        );
+        let mut c0 = cluster.client(ProcessId::new(0));
+        let mut c1 = cluster.client(ProcessId::new(1));
+        assert_eq!(c0.invoke(10), 11);
+        assert_eq!(c1.invoke(20), 21);
+        assert_eq!(c0.invoke(30), 31);
+        drop((c0, c1));
+        let history = cluster.shutdown(Duration::from_millis(5));
+        assert!(history.is_complete());
+        assert_eq!(history.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "client already taken")]
+    fn clients_are_unique_per_process() {
+        let bounds = DelayBounds::new(SimDuration::from_ticks(1000), SimDuration::from_ticks(500));
+        let mut cluster = RtCluster::start(
+            vec![TimerEcho],
+            &ClockAssignment::zero(1),
+            bounds,
+            3,
+        );
+        let _a = cluster.client(ProcessId::new(0));
+        let _b = cluster.client(ProcessId::new(0));
+    }
+}

@@ -1,0 +1,157 @@
+//! Latency aggregation for experiment reporting.
+
+use crate::time::SimDuration;
+
+/// Summary statistics over a set of operation latencies.
+///
+/// # Examples
+///
+/// ```
+/// use skewbound_sim::stats::LatencySummary;
+/// use skewbound_sim::time::SimDuration;
+///
+/// let lats: Vec<_> = [3u64, 1, 2].iter().map(|&t| SimDuration::from_ticks(t)).collect();
+/// let s = LatencySummary::from_latencies(&lats).unwrap();
+/// assert_eq!(s.max.as_ticks(), 3);
+/// assert_eq!(s.min.as_ticks(), 1);
+/// assert_eq!(s.count, 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Minimum latency.
+    pub min: SimDuration,
+    /// Maximum latency — the thesis's "time bound" for the workload.
+    pub max: SimDuration,
+    /// Mean latency, rounded down to whole ticks.
+    pub mean: SimDuration,
+    /// Median (50th percentile).
+    pub p50: SimDuration,
+    /// 99th percentile.
+    pub p99: SimDuration,
+}
+
+impl LatencySummary {
+    /// Summarizes a non-empty slice of latencies. Returns `None` for an
+    /// empty slice.
+    #[must_use]
+    pub fn from_latencies(latencies: &[SimDuration]) -> Option<Self> {
+        if latencies.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<u64> = latencies.iter().map(|d| d.as_ticks()).collect();
+        sorted.sort_unstable();
+        let count = sorted.len();
+        let sum: u128 = sorted.iter().map(|&t| u128::from(t)).sum();
+        let mean = u64::try_from(sum / count as u128).expect("mean overflow");
+        Some(LatencySummary {
+            count,
+            min: SimDuration::from_ticks(sorted[0]),
+            max: SimDuration::from_ticks(sorted[count - 1]),
+            mean: SimDuration::from_ticks(mean),
+            p50: SimDuration::from_ticks(percentile(&sorted, 50)),
+            p99: SimDuration::from_ticks(percentile(&sorted, 99)),
+        })
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `pct > 100`.
+fn percentile(sorted: &[u64], pct: u32) -> u64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    assert!(pct <= 100, "percentile must be in 0..=100");
+    if pct == 0 {
+        return sorted[0];
+    }
+    let rank = (u64::from(pct) * sorted.len() as u64).div_ceil(100);
+    sorted[(rank as usize).clamp(1, sorted.len()) - 1]
+}
+
+impl LatencySummary {
+    /// Merges two summaries as if their samples were pooled. Percentile
+    /// fields are upper-bounded by taking the max of the parts (exact
+    /// pooling would need the raw samples).
+    #[must_use]
+    pub fn merged(self, other: LatencySummary) -> LatencySummary {
+        let count = self.count + other.count;
+        let total = self.mean.as_ticks() as u128 * self.count as u128
+            + other.mean.as_ticks() as u128 * other.count as u128;
+        LatencySummary {
+            count,
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+            mean: SimDuration::from_ticks(
+                u64::try_from(total / count as u128).expect("mean overflow"),
+            ),
+            p50: self.p50.max(other.p50),
+            p99: self.p99.max(other.p99),
+        }
+    }
+}
+
+impl core::fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "n={} min={} p50={} mean={} p99={} max={}",
+            self.count, self.min, self.p50, self.mean, self.p99, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(t: u64) -> SimDuration {
+        SimDuration::from_ticks(t)
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert_eq!(LatencySummary::from_latencies(&[]), None);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = LatencySummary::from_latencies(&[d(5)]).unwrap();
+        assert_eq!(s.min, d(5));
+        assert_eq!(s.max, d(5));
+        assert_eq!(s.mean, d(5));
+        assert_eq!(s.p50, d(5));
+        assert_eq!(s.p99, d(5));
+    }
+
+    #[test]
+    fn percentiles_of_hundred() {
+        let lats: Vec<_> = (1..=100).map(d).collect();
+        let s = LatencySummary::from_latencies(&lats).unwrap();
+        assert_eq!(s.p50, d(50));
+        assert_eq!(s.p99, d(99));
+        assert_eq!(s.max, d(100));
+        assert_eq!(s.mean, d(50)); // 5050/100 = 50.5 → 50
+    }
+
+    #[test]
+    fn merged_pools_extremes_and_mean() {
+        let a = LatencySummary::from_latencies(&[d(2), d(4)]).unwrap();
+        let b = LatencySummary::from_latencies(&[d(10), d(12)]).unwrap();
+        let m = a.merged(b);
+        assert_eq!(m.count, 4);
+        assert_eq!(m.min, d(2));
+        assert_eq!(m.max, d(12));
+        assert_eq!(m.mean, d(7)); // (3*2 + 11*2)/4
+    }
+
+    #[test]
+    fn unsorted_input_ok() {
+        let s = LatencySummary::from_latencies(&[d(9), d(1), d(5)]).unwrap();
+        assert_eq!(s.min, d(1));
+        assert_eq!(s.max, d(9));
+        assert_eq!(s.p50, d(5));
+    }
+}

@@ -1,0 +1,469 @@
+//! Simulated time.
+//!
+//! The thesis's model measures everything — message delays `[d − u, d]`,
+//! clock skew `ε`, operation response times — in *real time*, while each
+//! process only observes its *clock time*, offset from real time by a
+//! per-process constant (clocks run at the real-time rate, no drift;
+//! Chapter III §B.2).
+//!
+//! The engine works in integer "ticks" so that every experiment is exactly
+//! reproducible and the worst-case schedules of the lower-bound proofs can
+//! be expressed without rounding. A tick has no fixed physical meaning;
+//! experiments in this repository conventionally use 1 tick = 1 µs.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in *real time* (the global time of the run), in ticks.
+///
+/// Real time starts at zero and never goes negative. Arithmetic that would
+/// underflow panics, which in this codebase always indicates a malformed
+/// scenario.
+///
+/// # Examples
+///
+/// ```
+/// use skewbound_sim::time::{SimTime, SimDuration};
+///
+/// let t = SimTime::ZERO + SimDuration::from_ticks(5);
+/// assert_eq!(t.as_ticks(), 5);
+/// assert_eq!(t - SimTime::ZERO, SimDuration::from_ticks(5));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in ticks.
+///
+/// # Examples
+///
+/// ```
+/// use skewbound_sim::time::SimDuration;
+///
+/// let d = SimDuration::from_ticks(10_000);
+/// assert_eq!(d / 4, SimDuration::from_ticks(2_500));
+/// assert_eq!(d * 2, SimDuration::from_ticks(20_000));
+/// ```
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+/// A *clock time*: what a process reads off its local clock.
+///
+/// `clock_time = real_time + offset` where the per-process `offset` may be
+/// negative, so clock time is signed. Clock times of different processes
+/// are comparable only up to the skew bound `ε`.
+///
+/// # Examples
+///
+/// ```
+/// use skewbound_sim::time::{ClockTime, SimDuration};
+///
+/// let c = ClockTime::from_ticks(-3) + SimDuration::from_ticks(10);
+/// assert_eq!(c, ClockTime::from_ticks(7));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct ClockTime(i64);
+
+/// A signed clock offset `c_i` relating a process's clock to real time
+/// (`clock = real + offset`), in ticks.
+///
+/// Offsets are what the skew bound constrains: a run is admissible when
+/// `|c_i − c_j| ≤ ε` for all process pairs (Chapter III §B.3).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ClockOffset(i64);
+
+impl SimTime {
+    /// The start of every run.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from a raw tick count.
+    #[must_use]
+    pub const fn from_ticks(ticks: u64) -> Self {
+        SimTime(ticks)
+    }
+
+    /// Returns the raw tick count.
+    #[must_use]
+    pub const fn as_ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction of a duration (clamps at time zero).
+    #[must_use]
+    pub const fn saturating_sub(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(d.0))
+    }
+
+    /// Checked subtraction of a duration.
+    #[must_use]
+    pub const fn checked_sub(self, d: SimDuration) -> Option<SimTime> {
+        match self.0.checked_sub(d.0) {
+            Some(t) => Some(SimTime(t)),
+            None => None,
+        }
+    }
+
+    /// The clock reading of a process with offset `off` at this real time.
+    #[must_use]
+    pub fn to_clock(self, off: ClockOffset) -> ClockTime {
+        let t = i64::try_from(self.0).expect("real time exceeds i64 range");
+        ClockTime(t + off.0)
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from a raw tick count.
+    #[must_use]
+    pub const fn from_ticks(ticks: u64) -> Self {
+        SimDuration(ticks)
+    }
+
+    /// Returns the raw tick count.
+    #[must_use]
+    pub const fn as_ticks(self) -> u64 {
+        self.0
+    }
+
+    /// `true` when the duration is zero ticks.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Checked subtraction.
+    #[must_use]
+    pub const fn checked_sub(self, other: SimDuration) -> Option<SimDuration> {
+        match self.0.checked_sub(other.0) {
+            Some(d) => Some(SimDuration(d)),
+            None => None,
+        }
+    }
+
+    /// Saturating subtraction (clamps at zero).
+    #[must_use]
+    pub const fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// The smaller of two durations.
+    #[must_use]
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.min(other.0))
+    }
+
+    /// The larger of two durations.
+    #[must_use]
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.max(other.0))
+    }
+
+    /// Multiplies by a rational `num/den`, rounding down.
+    ///
+    /// Used for bound formulas such as `(1 − 1/k)·u = u·(k−1)/k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0` or the intermediate product overflows `u128`
+    /// beyond `u64` after division.
+    #[must_use]
+    pub fn mul_frac(self, num: u64, den: u64) -> SimDuration {
+        assert!(den != 0, "mul_frac: zero denominator");
+        let v = u128::from(self.0) * u128::from(num) / u128::from(den);
+        SimDuration(u64::try_from(v).expect("mul_frac overflow"))
+    }
+}
+
+impl ClockTime {
+    /// Clock reading zero.
+    pub const ZERO: ClockTime = ClockTime(0);
+
+    /// Creates a clock time from a raw (signed) tick count.
+    #[must_use]
+    pub const fn from_ticks(ticks: i64) -> Self {
+        ClockTime(ticks)
+    }
+
+    /// Returns the raw signed tick count.
+    #[must_use]
+    pub const fn as_ticks(self) -> i64 {
+        self.0
+    }
+
+    /// The real time at which a process with offset `off` reads this value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the corresponding real time would be negative, which means
+    /// the scenario asked about a clock reading from before the run began.
+    #[must_use]
+    pub fn to_real(self, off: ClockOffset) -> SimTime {
+        let t = self.0 - off.0;
+        assert!(t >= 0, "clock time {self} precedes real time zero");
+        SimTime(t as u64)
+    }
+}
+
+impl ClockOffset {
+    /// The zero offset (clock equals real time).
+    pub const ZERO: ClockOffset = ClockOffset(0);
+
+    /// Creates an offset from a raw signed tick count.
+    #[must_use]
+    pub const fn from_ticks(ticks: i64) -> Self {
+        ClockOffset(ticks)
+    }
+
+    /// Returns the raw signed tick count.
+    #[must_use]
+    pub const fn as_ticks(self) -> i64 {
+        self.0
+    }
+
+    /// The absolute difference between two offsets, as a duration.
+    ///
+    /// This is the pairwise skew the admissibility condition bounds by `ε`.
+    #[must_use]
+    pub fn skew_to(self, other: ClockOffset) -> SimDuration {
+        SimDuration(self.0.abs_diff(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow"))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime underflow: subtracting past time zero"),
+        )
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime difference would be negative"),
+        )
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_add(rhs.0).expect("SimDuration overflow"))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimDuration underflow: result would be negative"),
+        )
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.checked_mul(rhs).expect("SimDuration overflow"))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Add<SimDuration> for ClockTime {
+    type Output = ClockTime;
+    fn add(self, rhs: SimDuration) -> ClockTime {
+        let d = i64::try_from(rhs.0).expect("duration exceeds i64 range");
+        ClockTime(self.0.checked_add(d).expect("ClockTime overflow"))
+    }
+}
+
+impl Sub<SimDuration> for ClockTime {
+    type Output = ClockTime;
+    fn sub(self, rhs: SimDuration) -> ClockTime {
+        let d = i64::try_from(rhs.0).expect("duration exceeds i64 range");
+        ClockTime(self.0.checked_sub(d).expect("ClockTime underflow"))
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}t", self.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for ClockTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl fmt::Display for ClockTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for ClockOffset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "off{:+}", self.0)
+    }
+}
+
+impl fmt::Display for ClockOffset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:+}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_plus_duration() {
+        let t = SimTime::from_ticks(10) + SimDuration::from_ticks(5);
+        assert_eq!(t, SimTime::from_ticks(15));
+    }
+
+    #[test]
+    fn time_difference() {
+        let a = SimTime::from_ticks(12);
+        let b = SimTime::from_ticks(7);
+        assert_eq!(a - b, SimDuration::from_ticks(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn time_difference_negative_panics() {
+        let _ = SimTime::from_ticks(7) - SimTime::from_ticks(12);
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        assert_eq!(
+            SimTime::from_ticks(3).saturating_sub(SimDuration::from_ticks(9)),
+            SimTime::ZERO
+        );
+    }
+
+    #[test]
+    fn clock_conversion_roundtrip() {
+        let off = ClockOffset::from_ticks(-4);
+        let t = SimTime::from_ticks(10);
+        let c = t.to_clock(off);
+        assert_eq!(c, ClockTime::from_ticks(6));
+        assert_eq!(c.to_real(off), t);
+    }
+
+    #[test]
+    fn negative_offset_clock_before_zero() {
+        let off = ClockOffset::from_ticks(-4);
+        assert_eq!(SimTime::ZERO.to_clock(off), ClockTime::from_ticks(-4));
+    }
+
+    #[test]
+    fn skew_is_symmetric() {
+        let a = ClockOffset::from_ticks(3);
+        let b = ClockOffset::from_ticks(-2);
+        assert_eq!(a.skew_to(b), SimDuration::from_ticks(5));
+        assert_eq!(b.skew_to(a), SimDuration::from_ticks(5));
+    }
+
+    #[test]
+    fn mul_frac_rounds_down() {
+        // (1 - 1/3) * 10 = 6.66… → 6
+        assert_eq!(
+            SimDuration::from_ticks(10).mul_frac(2, 3),
+            SimDuration::from_ticks(6)
+        );
+    }
+
+    #[test]
+    fn duration_scalar_ops() {
+        let d = SimDuration::from_ticks(9);
+        assert_eq!(d * 3, SimDuration::from_ticks(27));
+        assert_eq!(d / 2, SimDuration::from_ticks(4));
+        assert_eq!(d.min(SimDuration::from_ticks(4)), SimDuration::from_ticks(4));
+        assert_eq!(d.max(SimDuration::from_ticks(4)), d);
+    }
+
+    #[test]
+    fn clock_time_arithmetic() {
+        let c = ClockTime::from_ticks(-2);
+        assert_eq!(c + SimDuration::from_ticks(5), ClockTime::from_ticks(3));
+        assert_eq!(c - SimDuration::from_ticks(5), ClockTime::from_ticks(-7));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{:?}", SimTime::from_ticks(5)), "t5");
+        assert_eq!(format!("{:?}", SimDuration::from_ticks(5)), "5t");
+        assert_eq!(format!("{:?}", ClockOffset::from_ticks(-5)), "off-5");
+    }
+}

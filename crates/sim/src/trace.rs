@@ -1,0 +1,213 @@
+//! Structured event traces: what happened, when, at which process.
+//!
+//! Tracing is off by default (the measurement workloads stay allocation
+//! light) and enabled per simulation with
+//! [`Simulation::enable_trace`](crate::engine::Simulation::enable_trace).
+//! The trace records every invocation, response, send, receive and timer
+//! firing with its real time, and renders either as a chronological log
+//! or as per-process lanes — handy when staring at an adversarial run
+//! trying to see *why* a foil's history fell apart.
+
+use core::fmt;
+
+use crate::ids::{MsgId, ProcessId};
+use crate::time::SimTime;
+
+/// What a trace event describes. Payloads are captured as their `Debug`
+/// rendering so traces are uniform across actor types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// An operation invocation.
+    Invoke {
+        /// `Debug` rendering of the operation.
+        op: String,
+    },
+    /// An operation response.
+    Respond {
+        /// `Debug` rendering of the response.
+        resp: String,
+    },
+    /// A message send.
+    Send {
+        /// Recipient.
+        to: ProcessId,
+        /// Message id (matches the message log).
+        msg: MsgId,
+        /// `Debug` rendering of the payload.
+        payload: String,
+    },
+    /// A message delivery.
+    Recv {
+        /// Sender.
+        from: ProcessId,
+        /// Message id.
+        msg: MsgId,
+    },
+    /// A timer firing.
+    Timer {
+        /// `Debug` rendering of the timer tag.
+        tag: String,
+    },
+}
+
+/// One trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Real time of the event.
+    pub at: SimTime,
+    /// The process at which it happened.
+    pub pid: ProcessId,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:<8} {}  ", self.at, self.pid)?;
+        match &self.kind {
+            TraceEventKind::Invoke { op } => write!(f, "INVOKE  {op}"),
+            TraceEventKind::Respond { resp } => write!(f, "RESPOND {resp}"),
+            TraceEventKind::Send { to, msg, payload } => {
+                write!(f, "SEND    -> {to} {msg:?} {payload}")
+            }
+            TraceEventKind::Recv { from, msg } => write!(f, "RECV    <- {from} {msg:?}"),
+            TraceEventKind::Timer { tag } => write!(f, "TIMER   {tag}"),
+        }
+    }
+}
+
+/// A recorded trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Trace { events: Vec::new() }
+    }
+
+    pub(crate) fn record(&mut self, at: SimTime, pid: ProcessId, kind: TraceEventKind) {
+        self.events.push(TraceEvent { at, pid, kind });
+    }
+
+    /// All events, in the order they happened.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events at one process only.
+    pub fn at_process(&self, pid: ProcessId) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.pid == pid)
+    }
+
+    /// Renders the chronological log, one event per line.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&format!("{e}\n"));
+        }
+        out
+    }
+
+    /// Renders per-process operation lanes: for each process, its
+    /// invocations and responses as `[op ............ resp]` spans, in
+    /// time order. Sends/receives/timers are omitted.
+    #[must_use]
+    pub fn render_lanes(&self, n: usize) -> String {
+        let mut out = String::new();
+        for pid in ProcessId::all(n) {
+            out.push_str(&format!("{pid}:\n"));
+            let mut pending: Option<(&str, SimTime)> = None;
+            for e in self.at_process(pid) {
+                match &e.kind {
+                    TraceEventKind::Invoke { op } => pending = Some((op, e.at)),
+                    TraceEventKind::Respond { resp } => {
+                        if let Some((op, started)) = pending.take() {
+                            out.push_str(&format!(
+                                "  [{started:>8} .. {:>8}]  {op} -> {resp}\n",
+                                e.at
+                            ));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if let Some((op, started)) = pending {
+                out.push_str(&format!("  [{started:>8} ..  pending]  {op}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(x: u64) -> SimTime {
+        SimTime::from_ticks(x)
+    }
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn records_and_filters() {
+        let mut tr = Trace::new();
+        tr.record(t(0), p(0), TraceEventKind::Invoke { op: "w".into() });
+        tr.record(t(5), p(1), TraceEventKind::Timer { tag: "hold".into() });
+        tr.record(t(9), p(0), TraceEventKind::Respond { resp: "ok".into() });
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.at_process(p(0)).count(), 2);
+        assert_eq!(tr.at_process(p(2)).count(), 0);
+    }
+
+    #[test]
+    fn render_log_lines() {
+        let mut tr = Trace::new();
+        tr.record(t(0), p(0), TraceEventKind::Invoke { op: "deq".into() });
+        tr.record(
+            t(1),
+            p(0),
+            TraceEventKind::Send {
+                to: p(1),
+                msg: MsgId::new(0),
+                payload: "m".into(),
+            },
+        );
+        tr.record(t(3), p(1), TraceEventKind::Recv { from: p(0), msg: MsgId::new(0) });
+        let text = tr.render();
+        assert!(text.contains("INVOKE  deq"));
+        assert!(text.contains("SEND    -> p1"));
+        assert!(text.contains("RECV    <- p0"));
+    }
+
+    #[test]
+    fn lanes_pair_invokes_with_responses() {
+        let mut tr = Trace::new();
+        tr.record(t(0), p(0), TraceEventKind::Invoke { op: "a".into() });
+        tr.record(t(10), p(0), TraceEventKind::Respond { resp: "ra".into() });
+        tr.record(t(20), p(1), TraceEventKind::Invoke { op: "b".into() });
+        let lanes = tr.render_lanes(2);
+        assert!(lanes.contains("a -> ra"));
+        assert!(lanes.contains("pending]  b"));
+    }
+}

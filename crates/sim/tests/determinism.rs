@@ -1,0 +1,204 @@
+//! Engine determinism: identical inputs produce identical runs — the
+//! property that makes every experiment in this workspace reproducible.
+
+use skewbound_sim::prelude::*;
+
+/// A gossiping actor with timers, exercising every event type.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+struct Gossip {
+    seen: Vec<(u32, u64)>,
+}
+
+#[derive(Debug, Clone)]
+enum Timer {
+    Echo(u64),
+}
+
+impl Actor for Gossip {
+    type Msg = u64;
+    type Op = u64;
+    type Resp = u64;
+    type Timer = Timer;
+
+    fn on_invoke(&mut self, op: u64, ctx: &mut Context<'_, Self>) {
+        ctx.broadcast(op);
+        ctx.set_timer(SimDuration::from_ticks(op % 7 + 1), Timer::Echo(op));
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: u64, ctx: &mut Context<'_, Self>) {
+        self.seen.push((from.as_u32(), msg));
+        if msg.is_multiple_of(3) && msg > 0 {
+            // Fan out a decayed copy.
+            ctx.broadcast(msg / 3);
+        }
+    }
+
+    fn on_timer(&mut self, Timer::Echo(v): Timer, ctx: &mut Context<'_, Self>) {
+        ctx.respond(v * 2);
+    }
+}
+
+#[allow(clippy::type_complexity)]
+fn run_once(seed: u64) -> (Vec<Vec<(u32, u64)>>, Vec<(u64, u64)>) {
+    let bounds = DelayBounds::new(SimDuration::from_ticks(100), SimDuration::from_ticks(40));
+    let mut sim = Simulation::new(
+        vec![Gossip::default(), Gossip::default(), Gossip::default()],
+        ClockAssignment::spread(3, SimDuration::from_ticks(30)),
+        UniformDelay::new(bounds, seed),
+    );
+    for i in 0..6u64 {
+        sim.schedule_invoke(
+            ProcessId::new((i % 3) as u32),
+            SimTime::from_ticks(i * 500),
+            i * 9,
+        );
+    }
+    sim.run().unwrap();
+    let states = ProcessId::all(3)
+        .map(|p| sim.actor(p).seen.clone())
+        .collect();
+    let history = sim
+        .history()
+        .records()
+        .iter()
+        .map(|r| (r.op, r.resp().copied().unwrap()))
+        .collect();
+    (states, history)
+}
+
+#[test]
+fn identical_seeds_identical_runs() {
+    let a = run_once(12345);
+    let b = run_once(12345);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn different_seeds_usually_differ() {
+    // Different delay seeds should (for this workload) change message
+    // arrival orders; we only require *some* observable difference.
+    let a = run_once(1);
+    let b = run_once(2);
+    assert_ne!(a.0, b.0, "delay randomness had no observable effect");
+}
+
+#[test]
+fn message_log_is_reproducible() {
+    let bounds = DelayBounds::new(SimDuration::from_ticks(100), SimDuration::from_ticks(40));
+    let build = || {
+        let mut sim = Simulation::new(
+            vec![Gossip::default(), Gossip::default()],
+            ClockAssignment::zero(2),
+            UniformDelay::new(bounds, 9),
+        );
+        sim.schedule_invoke(ProcessId::new(0), SimTime::ZERO, 27);
+        sim.run().unwrap();
+        sim.message_log().to_vec()
+    };
+    assert_eq!(build(), build());
+}
+
+#[test]
+fn trace_captures_all_event_kinds() {
+    let bounds = DelayBounds::new(SimDuration::from_ticks(100), SimDuration::from_ticks(40));
+    let mut sim = Simulation::new(
+        vec![Gossip::default(), Gossip::default()],
+        ClockAssignment::zero(2),
+        UniformDelay::new(bounds, 4),
+    );
+    sim.enable_trace();
+    sim.schedule_invoke(ProcessId::new(0), SimTime::ZERO, 5);
+    sim.run().unwrap();
+    let trace = sim.trace().expect("tracing enabled");
+    let has = |pred: fn(&TraceEventKind) -> bool| trace.events().iter().any(|e| pred(&e.kind));
+    assert!(has(|k| matches!(k, TraceEventKind::Invoke { .. })));
+    assert!(has(|k| matches!(k, TraceEventKind::Respond { .. })));
+    assert!(has(|k| matches!(k, TraceEventKind::Send { .. })));
+    assert!(has(|k| matches!(k, TraceEventKind::Recv { .. })));
+    assert!(has(|k| matches!(k, TraceEventKind::Timer { .. })));
+    // Renders without panicking and mentions the op.
+    assert!(trace.render().contains("INVOKE"));
+    assert!(trace.render_lanes(2).contains("p0"));
+}
+
+#[test]
+fn tracing_does_not_change_the_run() {
+    let run = |traced: bool| {
+        let bounds = DelayBounds::new(SimDuration::from_ticks(100), SimDuration::from_ticks(40));
+        let mut sim = Simulation::new(
+            vec![Gossip::default(), Gossip::default(), Gossip::default()],
+            ClockAssignment::zero(3),
+            UniformDelay::new(bounds, 11),
+        );
+        if traced {
+            sim.enable_trace();
+        }
+        sim.schedule_invoke(ProcessId::new(0), SimTime::ZERO, 9);
+        sim.schedule_invoke(ProcessId::new(1), SimTime::from_ticks(50), 12);
+        sim.run().unwrap();
+        sim.history().clone()
+    };
+    assert_eq!(run(false), run(true));
+}
+
+mod cluster {
+    use std::time::Duration;
+
+    use skewbound_sim::prelude::*;
+    use skewbound_sim::rt::RtCluster;
+
+    /// A counter replica good enough for cluster smoke tests: applies
+    /// adds locally and gossips them (not linearizable — this test is
+    /// about the cluster plumbing, not the algorithm).
+    #[derive(Debug, Default)]
+    struct GossipCounter {
+        value: i64,
+    }
+
+    impl Actor for GossipCounter {
+        type Msg = i64;
+        type Op = i64;
+        type Resp = i64;
+        type Timer = ();
+
+        fn on_invoke(&mut self, add: i64, ctx: &mut Context<'_, Self>) {
+            self.value += add;
+            ctx.broadcast(add);
+            ctx.respond(self.value);
+        }
+        fn on_message(&mut self, _: ProcessId, add: i64, _: &mut Context<'_, Self>) {
+            self.value += add;
+        }
+        fn on_timer(&mut self, _: (), _: &mut Context<'_, Self>) {}
+    }
+
+    #[test]
+    fn concurrent_clients_from_threads() {
+        let bounds =
+            DelayBounds::new(SimDuration::from_ticks(1_000), SimDuration::from_ticks(500));
+        let mut cluster = RtCluster::start(
+            vec![GossipCounter::default(), GossipCounter::default(), GossipCounter::default()],
+            &ClockAssignment::zero(3),
+            bounds,
+            5,
+        );
+        let mut joins = Vec::new();
+        for pid in ProcessId::all(3) {
+            let mut client = cluster.client(pid);
+            joins.push(std::thread::spawn(move || {
+                let mut last = 0;
+                for _ in 0..5 {
+                    last = client.invoke(1);
+                }
+                last
+            }));
+        }
+        for j in joins {
+            let local_total = j.join().unwrap();
+            assert!(local_total >= 5, "each client saw at least its own adds");
+        }
+        let history = cluster.shutdown(Duration::from_millis(10));
+        assert!(history.is_complete());
+        assert_eq!(history.len(), 15);
+    }
+}

@@ -1,0 +1,231 @@
+//! State-space exploration helpers: reachable states and observational
+//! distinguishability.
+//!
+//! The classifiers in [`crate::classify`] quantify over prefixes `ρ`
+//! through the states they reach. [`reachable_states`] enumerates those
+//! states mechanically (bounded BFS over an instance set), removing the
+//! need to hand-pick probe states.
+//!
+//! [`distinguishing_suffix`] validates the foundation of this crate's
+//! equivalence notion: sequence equivalence (Definition C.2) is decided
+//! by state equality, which is sound only when distinct states are
+//! *observable* — some continuation's responses differ. The tests verify
+//! this **state-distinguishability** for every object in the crate over
+//! its reachable state space.
+
+use std::collections::VecDeque;
+
+use crate::seqspec::SequentialSpec;
+
+/// All states reachable from `initial` by applying at most `depth`
+/// operations drawn from `ops`, in BFS order (so `result[0]` is the
+/// initial state). Deduplicated; capped at `max_states`.
+///
+/// # Panics
+///
+/// Panics if `max_states == 0`.
+pub fn reachable_states<S: SequentialSpec>(
+    spec: &S,
+    ops: &[S::Op],
+    depth: usize,
+    max_states: usize,
+) -> Vec<S::State> {
+    assert!(max_states > 0, "max_states must be positive");
+    let mut seen: Vec<S::State> = vec![spec.initial()];
+    let mut frontier: VecDeque<(S::State, usize)> = VecDeque::new();
+    frontier.push_back((spec.initial(), 0));
+    while let Some((state, d)) = frontier.pop_front() {
+        if d == depth {
+            continue;
+        }
+        for op in ops {
+            let (next, _) = spec.apply(&state, op);
+            if !seen.contains(&next) {
+                if seen.len() >= max_states {
+                    return seen;
+                }
+                seen.push(next.clone());
+                frontier.push_back((next, d + 1));
+            }
+        }
+    }
+    seen
+}
+
+/// Searches (BFS, up to `depth` operations from `ops`) for a suffix whose
+/// responses differ between `a` and `b` — an *observer* telling the two
+/// states apart. Returns the distinguishing operation sequence, or `None`
+/// if the states look identical to every explored continuation.
+pub fn distinguishing_suffix<S: SequentialSpec>(
+    spec: &S,
+    a: &S::State,
+    b: &S::State,
+    ops: &[S::Op],
+    depth: usize,
+) -> Option<Vec<S::Op>> {
+    type Pair<S> = (
+        <S as SequentialSpec>::State,
+        <S as SequentialSpec>::State,
+        Vec<<S as SequentialSpec>::Op>,
+    );
+    let mut frontier: VecDeque<Pair<S>> = VecDeque::new();
+    frontier.push_back((a.clone(), b.clone(), Vec::new()));
+    while let Some((sa, sb, prefix)) = frontier.pop_front() {
+        if prefix.len() == depth {
+            continue;
+        }
+        for op in ops {
+            let (na, ra) = spec.apply(&sa, op);
+            let (nb, rb) = spec.apply(&sb, op);
+            let mut seq = prefix.clone();
+            seq.push(op.clone());
+            if ra != rb {
+                return Some(seq);
+            }
+            // Only keep exploring while the pair is still distinct —
+            // once the states converge no suffix can separate them.
+            if na != nb {
+                frontier.push_back((na, nb, seq));
+            }
+        }
+    }
+    None
+}
+
+/// Verifies state-distinguishability over a state set: every pair of
+/// distinct states has a distinguishing suffix.
+///
+/// # Errors
+///
+/// Returns the first indistinguishable pair.
+pub fn check_state_distinguishability<S: SequentialSpec>(
+    spec: &S,
+    states: &[S::State],
+    ops: &[S::Op],
+    depth: usize,
+) -> Result<(), (S::State, S::State)> {
+    for (i, a) in states.iter().enumerate() {
+        for b in &states[i + 1..] {
+            if a == b {
+                continue;
+            }
+            if distinguishing_suffix(spec, a, b, ops, depth).is_none() {
+                return Err((a.clone(), b.clone()));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+    use crate::probes;
+
+    #[test]
+    fn reachable_states_of_queue() {
+        let q: Queue<i64> = Queue::new();
+        let ops = vec![QueueOp::Enqueue(1), QueueOp::Enqueue(2), QueueOp::Dequeue];
+        let states = reachable_states(&q, &ops, 2, 100);
+        // Depth 2 from []: [], [1], [2], [1,1], [1,2], [2,1], [2,2].
+        assert!(states.contains(&vec![]));
+        assert!(states.contains(&vec![1, 2]));
+        assert!(states.contains(&vec![2, 1]));
+        assert_eq!(states.len(), 7);
+    }
+
+    #[test]
+    fn reachable_states_respects_cap() {
+        let q: Queue<i64> = Queue::new();
+        let ops = vec![QueueOp::Enqueue(1), QueueOp::Enqueue(2)];
+        let states = reachable_states(&q, &ops, 5, 4);
+        assert_eq!(states.len(), 4);
+    }
+
+    #[test]
+    fn distinguishing_suffix_for_queues() {
+        let q: Queue<i64> = Queue::new();
+        let ops = vec![QueueOp::Dequeue];
+        // [1,2] vs [2,1]: the first dequeue already differs.
+        let seq = distinguishing_suffix(&q, &vec![1, 2], &vec![2, 1], &ops, 3).unwrap();
+        assert_eq!(seq.len(), 1);
+        // [1] vs [1]: identical, nothing distinguishes.
+        assert!(distinguishing_suffix(&q, &vec![1], &vec![1], &ops, 3).is_none());
+    }
+
+    #[test]
+    fn deeper_suffix_needed_for_deeper_difference() {
+        let q: Queue<i64> = Queue::new();
+        let ops = vec![QueueOp::Dequeue];
+        // [5,1] vs [5,2]: the first dequeue agrees (5), the second differs.
+        let seq = distinguishing_suffix(&q, &vec![5, 1], &vec![5, 2], &ops, 3).unwrap();
+        assert_eq!(seq.len(), 2);
+    }
+
+    /// The soundness premise of Definition C.2-as-state-equality: every
+    /// object in this crate is state-distinguishable over its reachable
+    /// states.
+    #[test]
+    fn all_objects_state_distinguishable() {
+        let q: Queue<i64> = Queue::new();
+        let q_states = reachable_states(&q, &probes::queue_ops(), 3, 60);
+        check_state_distinguishability(&q, &q_states, &probes::queue_ops(), 6).unwrap();
+
+        let st: Stack<i64> = Stack::new();
+        let st_states = reachable_states(&st, &probes::stack_ops(), 3, 60);
+        check_state_distinguishability(&st, &st_states, &probes::stack_ops(), 6).unwrap();
+
+        let r = RmwRegister::default();
+        let r_states = reachable_states(&r, &probes::register_ops(), 3, 60);
+        check_state_distinguishability(&r, &r_states, &probes::register_ops(), 4).unwrap();
+
+        let set: SetObject<i64> = SetObject::new();
+        let set_states = reachable_states(&set, &probes::set_ops(), 3, 60);
+        check_state_distinguishability(&set, &set_states, &probes::set_ops(), 4).unwrap();
+
+        let c = Counter::default();
+        let c_states = reachable_states(&c, &probes::counter_ops(), 3, 60);
+        check_state_distinguishability(&c, &c_states, &probes::counter_ops(), 4).unwrap();
+
+        let t = Tree::new();
+        let t_states = reachable_states(&t, &probes::tree_ops(), 3, 60);
+        check_state_distinguishability(&t, &t_states, &probes::tree_ops(), 6).unwrap();
+
+        let kv = KvStore::new();
+        let kv_ops = vec![
+            KvOp::Put { key: 1, value: 1 },
+            KvOp::Put { key: 2, value: 2 },
+            KvOp::Remove { key: 1 },
+            KvOp::Get { key: 1 },
+            KvOp::Get { key: 2 },
+            KvOp::Len,
+        ];
+        let kv_states = reachable_states(&kv, &kv_ops, 3, 60);
+        check_state_distinguishability(&kv, &kv_states, &kv_ops, 4).unwrap();
+    }
+
+    #[test]
+    fn indistinguishability_reported() {
+        // A deliberately lossy spec: the response never reveals the
+        // state, so distinct states are indistinguishable.
+        #[derive(Debug, Clone)]
+        struct Blind;
+        impl SequentialSpec for Blind {
+            type State = i64;
+            type Op = i64; // write value
+            type Resp = ();
+            fn initial(&self) -> i64 {
+                0
+            }
+            fn apply(&self, _s: &i64, op: &i64) -> (i64, ()) {
+                (*op, ())
+            }
+            fn class(&self, _op: &i64) -> OpClass {
+                OpClass::PureMutator
+            }
+        }
+        let err = check_state_distinguishability(&Blind, &[0, 1], &[5], 3).unwrap_err();
+        assert_eq!(err, (0, 1));
+    }
+}

@@ -1,0 +1,66 @@
+//! The full stack, end to end: processes start with wildly skewed
+//! clocks, run one Lundelius–Lynch synchronization round to reach the
+//! optimal `(1 − 1/n)u` skew, and then run Algorithm 1 on the *adjusted*
+//! clocks — the exact premise of Chapter V.
+//!
+//! ```text
+//! cargo run -p skewbound-examples --bin clock_sync_demo
+//! ```
+
+use skewbound_clocksync::{optimal_skew, run_sync_round};
+use skewbound_core::params::Params;
+use skewbound_core::replica::Replica;
+use skewbound_lin::checker::check_history;
+use skewbound_sim::prelude::*;
+use skewbound_spec::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 4;
+    let d = SimDuration::from_ticks(9_000);
+    let u = SimDuration::from_ticks(2_000);
+    let bounds = DelayBounds::new(d, u);
+
+    // Clocks start up to half a second apart.
+    let raw = ClockAssignment::spread(n, SimDuration::from_ticks(500_000));
+    println!("initial clock skew: {} ticks", raw.max_skew().as_ticks());
+
+    let outcome = run_sync_round(&raw, bounds, 2024);
+    println!(
+        "after one sync round: {} ticks (optimal (1 - 1/n)u = {})",
+        outcome.achieved_skew.as_ticks(),
+        optimal_skew(n, u).as_ticks()
+    );
+    assert!(outcome.achieved_skew <= optimal_skew(n, u) + SimDuration::from_ticks(2));
+
+    // Run the shared object on the synchronized clocks. Algorithm 1 is
+    // configured with eps = optimal skew (plus the rounding slack).
+    let eps = optimal_skew(n, u) + SimDuration::from_ticks(2);
+    let params = Params::new(n, d, u, eps, SimDuration::ZERO)?;
+    let mut sim = Simulation::new(
+        Replica::group(Stack::<i64>::new(), &params),
+        outcome.adjusted_clocks(),
+        UniformDelay::new(bounds, 7),
+    );
+    let p = ProcessId::new;
+    sim.schedule_invoke(p(0), SimTime::ZERO, StackOp::Push(10));
+    sim.schedule_invoke(p(1), SimTime::from_ticks(20_000), StackOp::Push(20));
+    sim.schedule_invoke(p(2), SimTime::from_ticks(40_000), StackOp::Peek);
+    sim.schedule_invoke(p(3), SimTime::from_ticks(60_000), StackOp::Pop);
+    sim.run()?;
+
+    for rec in sim.history().records() {
+        println!(
+            "{:?} -> {:?} ({} ticks)",
+            rec.op,
+            rec.resp().unwrap(),
+            rec.latency().unwrap().as_ticks()
+        );
+    }
+    let outcome = check_history(&Stack::<i64>::new(), sim.history());
+    println!(
+        "linearizable on synchronized clocks: {}",
+        if outcome.is_linearizable() { "yes" } else { "NO" }
+    );
+    assert!(outcome.is_linearizable());
+    Ok(())
+}

@@ -1,0 +1,99 @@
+//! Shared helpers for the cross-crate integration tests.
+
+#![warn(missing_docs)]
+
+use skewbound_core::params::Params;
+use skewbound_core::replica::Replica;
+use skewbound_lin::checker::{check_history, CheckOutcome};
+use skewbound_sim::clock::ClockAssignment;
+use skewbound_sim::delay::UniformDelay;
+use skewbound_sim::engine::Simulation;
+use skewbound_sim::history::History;
+use skewbound_sim::ids::ProcessId;
+use skewbound_sim::time::SimDuration;
+use skewbound_sim::workload::ClosedLoop;
+use skewbound_spec::seqspec::SequentialSpec;
+
+/// The default integration-test parameters: `n = 3`, `d = 9000`,
+/// `u = 2400`, optimal skew, `X = 0`.
+///
+/// # Panics
+///
+/// Never; the constants are valid.
+#[must_use]
+pub fn default_params() -> Params {
+    params_n(3)
+}
+
+/// Like [`default_params`] with a chosen process count.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+#[must_use]
+pub fn params_n(n: usize) -> Params {
+    Params::with_optimal_skew(
+        n,
+        SimDuration::from_ticks(9_000),
+        SimDuration::from_ticks(2_400),
+        SimDuration::ZERO,
+    )
+    .expect("valid parameters")
+}
+
+/// Runs Algorithm 1 on `spec` with a seeded closed-loop workload under
+/// random admissible delays and maximal admissible skew, returning the
+/// history and the final simulation.
+///
+/// # Panics
+///
+/// Panics if the run fails or ends incomplete.
+#[allow(clippy::type_complexity)]
+pub fn run_replicated<S, G>(
+    spec: S,
+    params: &Params,
+    ops_per_process: usize,
+    seed: u64,
+    gen: G,
+) -> (
+    History<S::Op, S::Resp>,
+    Simulation<Replica<S>, UniformDelay>,
+)
+where
+    S: SequentialSpec + Clone,
+    G: FnMut(ProcessId, usize, &mut rand::rngs::StdRng) -> S::Op,
+{
+    let n = params.n();
+    let mut driver = ClosedLoop::new(ProcessId::all(n).collect(), ops_per_process, seed, gen)
+        .with_gap(SimDuration::from_ticks(500));
+    let mut sim = Simulation::new(
+        Replica::group(spec, params),
+        ClockAssignment::spread(n, params.eps()),
+        UniformDelay::new(params.delay_bounds(), seed ^ 0xABCD),
+    );
+    sim.run_with(&mut driver).expect("run failed");
+    let history = sim.history().clone();
+    assert!(history.is_complete(), "incomplete history");
+    (history, sim)
+}
+
+/// Asserts that a history is linearizable, with a useful panic message.
+///
+/// # Panics
+///
+/// Panics when the checker reports a violation or gives up.
+pub fn assert_linearizable<S: SequentialSpec>(spec: &S, history: &History<S::Op, S::Resp>) {
+    match check_history(spec, history) {
+        CheckOutcome::Linearizable(_) => {}
+        CheckOutcome::NotLinearizable(v) => {
+            panic!(
+                "history of {} ops is NOT linearizable (longest prefix {} ops)",
+                v.total_ops,
+                v.longest_prefix.len()
+            )
+        }
+        CheckOutcome::Unknown { nodes } => {
+            panic!("checker gave up after {nodes} nodes — shrink the workload")
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Cross-crate regression: Algorithm 1 vs the centralized baseline vs
+//! the too-fast foils, under both benign and adversarial conditions.
+
+use skewbound_core::bounds;
+use skewbound_core::centralized::Centralized;
+use skewbound_core::foils::{eager_group, fast_mutator_group, LocalFirstReplica};
+use skewbound_core::replica::Replica;
+use skewbound_integration::{assert_linearizable, default_params};
+use skewbound_lin::checker::check_history;
+use skewbound_shift::probe::probe;
+use skewbound_shift::scenarios::{
+    insc_dequeue_family, insc_pop_family, insc_rmw_family, permute_write_family,
+};
+use skewbound_sim::clock::ClockAssignment;
+use skewbound_sim::delay::{FixedDelay, UniformDelay};
+use skewbound_sim::engine::Simulation;
+use skewbound_sim::ids::ProcessId;
+use skewbound_sim::time::{SimDuration, SimTime};
+use skewbound_sim::workload::ClosedLoop;
+use skewbound_spec::prelude::*;
+
+#[test]
+fn centralized_is_correct_but_slower_for_mutators() {
+    let params = default_params();
+    let n = params.n();
+    let gen = |pid: ProcessId, idx: usize, _: &mut rand::rngs::StdRng| match idx % 3 {
+        0 => QueueOp::Enqueue((pid.index() * 10 + idx) as i64),
+        1 => QueueOp::Dequeue,
+        _ => QueueOp::Peek,
+    };
+
+    let run = |use_central: bool| {
+        let mut driver = ClosedLoop::new(ProcessId::all(n).collect(), 5, 3, gen);
+        if use_central {
+            let mut sim = Simulation::new(
+                Centralized::group(Queue::<i64>::new(), n),
+                ClockAssignment::zero(n),
+                FixedDelay::maximal(params.delay_bounds()),
+            );
+            sim.run_with(&mut driver).unwrap();
+            sim.history().clone()
+        } else {
+            let mut sim = Simulation::new(
+                Replica::group(Queue::<i64>::new(), &params),
+                ClockAssignment::zero(n),
+                FixedDelay::maximal(params.delay_bounds()),
+            );
+            sim.run_with(&mut driver).unwrap();
+            sim.history().clone()
+        }
+    };
+
+    let fast = run(false);
+    let slow = run(true);
+    assert_linearizable(&Queue::<i64>::new(), &fast);
+    assert_linearizable(&Queue::<i64>::new(), &slow);
+
+    let enq = |h: &skewbound_sim::history::History<QueueOp<i64>, QueueResp<i64>>| {
+        h.max_latency_where(|op| matches!(op, QueueOp::Enqueue(_)))
+            .unwrap()
+    };
+    // Enqueues: eps + X = 1600 vs 2d = 18000 at the remote processes.
+    assert_eq!(enq(&fast), bounds::ub_mop(&params));
+    assert_eq!(enq(&slow), bounds::ub_centralized(&params));
+    assert!(enq(&fast) < enq(&slow) / 10, "an order of magnitude faster");
+}
+
+#[test]
+fn local_first_fails_even_simple_schedules() {
+    let params = default_params();
+    let n = params.n();
+    let mut sim = Simulation::new(
+        LocalFirstReplica::group(RwRegister::new(0), n),
+        ClockAssignment::zero(n),
+        FixedDelay::maximal(params.delay_bounds()),
+    );
+    let p = ProcessId::new;
+    sim.schedule_invoke(p(0), SimTime::ZERO, RegOp::Write(1));
+    sim.schedule_invoke(p(1), SimTime::from_ticks(100), RegOp::Read);
+    sim.run().unwrap();
+    // The read precedes gossip arrival: stale.
+    assert!(check_history(&RwRegister::new(0), sim.history()).is_violation());
+}
+
+#[test]
+fn all_insc_families_catch_the_halved_foil() {
+    let params = default_params();
+    assert!(!probe(&insc_dequeue_family(&params), || eager_group(
+        Queue::<i64>::new(),
+        &params,
+        1,
+        2
+    ))
+    .all_passed());
+    assert!(!probe(&insc_pop_family(&params), || eager_group(
+        Stack::<i64>::new(),
+        &params,
+        1,
+        2
+    ))
+    .all_passed());
+    assert!(!probe(&insc_rmw_family(&params), || eager_group(
+        RmwRegister::default(),
+        &params,
+        1,
+        2
+    ))
+    .all_passed());
+}
+
+#[test]
+fn all_insc_families_pass_honest() {
+    let params = default_params();
+    assert!(probe(&insc_dequeue_family(&params), || Replica::group(
+        Queue::<i64>::new(),
+        &params
+    ))
+    .all_passed());
+    assert!(probe(&insc_pop_family(&params), || Replica::group(
+        Stack::<i64>::new(),
+        &params
+    ))
+    .all_passed());
+    assert!(probe(&insc_rmw_family(&params), || Replica::group(
+        RmwRegister::default(),
+        &params
+    ))
+    .all_passed());
+}
+
+#[test]
+fn permute_bound_is_sharp_at_one_tick() {
+    let params = default_params();
+    let family = permute_write_family(&params, params.n());
+    let lb = bounds::lb_permute(params.n(), params.u());
+    // Exactly at the bound: safe.
+    let at_bound = probe(&family, || fast_mutator_group(
+        RmwRegister::default(),
+        &params,
+        lb,
+    ));
+    assert!(at_bound.all_passed(), "waiting exactly (1-1/k)u suffices here");
+    // One tick under: caught.
+    let under = probe(&family, || fast_mutator_group(
+        RmwRegister::default(),
+        &params,
+        lb - SimDuration::from_ticks(1),
+    ));
+    assert!(!under.all_passed());
+}
+
+#[test]
+fn mixed_objects_under_heavy_skew_and_jitter() {
+    // A denser workload on the queue with every process at a different
+    // corner of the skew envelope and random delays.
+    let params = default_params();
+    let n = params.n();
+    for seed in [1u64, 2, 3] {
+        let mut driver = ClosedLoop::new(
+            ProcessId::all(n).collect(),
+            8,
+            seed,
+            |pid, idx, _| match (pid.index() + idx) % 4 {
+                0 | 1 => StackOp::Push((pid.index() * 100 + idx) as i64),
+                2 => StackOp::Pop,
+                _ => StackOp::Peek,
+            },
+        );
+        let mut sim = Simulation::new(
+            Replica::group(Stack::<i64>::new(), &params),
+            ClockAssignment::spread(n, params.eps()),
+            UniformDelay::new(params.delay_bounds(), seed * 31),
+        );
+        sim.run_with(&mut driver).unwrap();
+        // 24 ops: use the checker directly (within its 128-op cap).
+        assert_linearizable(&Stack::<i64>::new(), sim.history());
+    }
+}
+
+#[test]
+fn sequential_behavior_matches_centralized_reference() {
+    // Differential check: for sequential (non-overlapping) workloads the
+    // responses of Algorithm 1 must equal the centralized reference's —
+    // both are linearizable, and sequential linearizable behavior is
+    // unique for deterministic objects.
+    let params = default_params();
+    let n = params.n();
+    let ops: Vec<(u32, QueueOp<i64>)> = vec![
+        (0, QueueOp::Enqueue(1)),
+        (1, QueueOp::Peek),
+        (2, QueueOp::Enqueue(2)),
+        (0, QueueOp::Dequeue),
+        (1, QueueOp::Dequeue),
+        (2, QueueOp::Dequeue),
+        (0, QueueOp::Len),
+    ];
+    let gap = 60_000u64; // far above every response bound
+
+    let fast_responses: Vec<_> = {
+        let mut sim = Simulation::new(
+            Replica::group(Queue::<i64>::new(), &params),
+            ClockAssignment::spread(n, params.eps()),
+            UniformDelay::new(params.delay_bounds(), 4),
+        );
+        for (i, (pid, op)) in ops.iter().enumerate() {
+            sim.schedule_invoke(
+                ProcessId::new(*pid),
+                SimTime::from_ticks(i as u64 * gap),
+                op.clone(),
+            );
+        }
+        sim.run().unwrap();
+        sim.history().records().iter().map(|r| r.resp().cloned()).collect()
+    };
+
+    let reference: Vec<_> = {
+        let mut sim = Simulation::new(
+            Centralized::group(Queue::<i64>::new(), n),
+            ClockAssignment::zero(n),
+            FixedDelay::maximal(params.delay_bounds()),
+        );
+        for (i, (pid, op)) in ops.iter().enumerate() {
+            sim.schedule_invoke(
+                ProcessId::new(*pid),
+                SimTime::from_ticks(i as u64 * gap),
+                op.clone(),
+            );
+        }
+        sim.run().unwrap();
+        sim.history().records().iter().map(|r| r.resp().cloned()).collect()
+    };
+
+    assert_eq!(fast_responses, reference);
+}
+
+#[test]
+fn deque_pops_obey_the_insc_bound() {
+    // Theorem C.1 applies to pop_front/pop_back exactly as to dequeue:
+    // the honest algorithm survives the run family, the halved-timer
+    // foil is caught — at either end.
+    use skewbound_shift::scenarios::{insc_pop_back_family, insc_pop_front_family};
+    let params = default_params();
+    for family in [insc_pop_front_family(&params), insc_pop_back_family(&params)] {
+        assert!(probe(&family, || Replica::group(Deque::<i64>::new(), &params)).all_passed());
+        assert!(
+            !probe(&family, || eager_group(Deque::<i64>::new(), &params, 1, 2)).all_passed(),
+            "foil must be caught"
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Clock drift — the thesis's stated future work (Chapter VII), explored
+//! executably.
+//!
+//! The model assumes clocks run at the real-time rate; Algorithm 1's
+//! correctness leans on the skew staying within `ε` forever. With
+//! *drifting* clocks (rates `1 ± ρ`) the effective skew grows linearly
+//! with time, so:
+//!
+//! * while accumulated drift keeps the true skew within the configured
+//!   `ε`, the algorithm behaves exactly as in the drift-free model;
+//! * once it exceeds `ε`, sequential mutators can receive misordered
+//!   timestamps and linearizability collapses — quantifying how much
+//!   headroom (or periodic resynchronization) a deployment needs.
+
+use skewbound_core::params::Params;
+use skewbound_core::replica::Replica;
+use skewbound_lin::checker::check_history;
+use skewbound_sim::clock::ClockAssignment;
+use skewbound_sim::delay::FixedDelay;
+use skewbound_sim::engine::Simulation;
+use skewbound_sim::ids::ProcessId;
+use skewbound_sim::time::{SimDuration, SimTime};
+use skewbound_spec::prelude::*;
+
+fn params() -> Params {
+    Params::with_optimal_skew(
+        3,
+        SimDuration::from_ticks(9_000),
+        SimDuration::from_ticks(2_400),
+        SimDuration::ZERO,
+    )
+    .unwrap()
+}
+
+/// Runs alternating writes from a fast-clock and a slow-clock process
+/// (sequentially, spaced just above the mutator bound), then a read, over
+/// a long horizon. Returns whether the history stayed linearizable.
+fn run_with_drift(rho_thousandths: u64, horizon_ops: usize) -> bool {
+    let params = params();
+    let mut clocks = ClockAssignment::zero(3);
+    clocks.set_rate(ProcessId::new(0), 1_000 + rho_thousandths, 1_000);
+    clocks.set_rate(ProcessId::new(1), 1_000 - rho_thousandths, 1_000);
+
+    let mut sim = Simulation::new(
+        Replica::group(RmwRegister::default(), &params),
+        clocks,
+        FixedDelay::maximal(params.delay_bounds()),
+    );
+    // Sequential writes alternating between the drifting processes. The
+    // spacing is just above the (drift-inflated) mutator latency, so the
+    // writes are strictly non-overlapping yet land inside each other's
+    // To_Execute hold windows — where timestamp misordering becomes
+    // replica divergence.
+    let gap = SimDuration::from_ticks(1_800);
+    let mut t = SimTime::ZERO;
+    for i in 0..horizon_ops {
+        let pid = ProcessId::new((i % 2) as u32);
+        sim.schedule_invoke(pid, t, RmwOp::Write(i as i64 + 1));
+        t += gap;
+    }
+    // Reads from every process at the end (well spaced): divergent
+    // replicas cannot all answer consistently.
+    for (j, pid) in ProcessId::all(3).enumerate() {
+        sim.schedule_invoke(pid, t + params.d() * (2 + 4 * j as u64), RmwOp::Read);
+    }
+    sim.run().unwrap();
+    check_history(&RmwRegister::default(), sim.history()).is_linearizable()
+}
+
+#[test]
+fn drift_free_model_unchanged() {
+    assert!(run_with_drift(0, 40));
+}
+
+#[test]
+fn small_drift_within_skew_budget_is_harmless() {
+    // ρ = 0.1%: over 40 ops × 1800 ticks = 72k ticks the accumulated
+    // skew is ≈ 2·0.001·72000 = 144 ticks ≪ ε = 1600.
+    assert!(run_with_drift(1, 40));
+}
+
+#[test]
+fn large_drift_eventually_breaks_linearizability() {
+    // ρ = 5%: true skew grows at 10% of elapsed time and blows through
+    // the 1800-tick write spacing within ~10 operations — later writes
+    // from the slow process carry *smaller* timestamps than earlier ones
+    // from the fast process, replicas diverge, and the final reads
+    // expose it.
+    assert!(!run_with_drift(50, 40));
+}
+
+#[test]
+fn drift_failure_is_horizon_dependent() {
+    // The same drift rate is harmless over a short horizon and fatal
+    // over a long one — the quantitative point of the future-work
+    // experiment: correctness holds until accumulated drift reaches the
+    // operation spacing / skew budget.
+    assert!(run_with_drift(10, 6), "short horizon should survive");
+    assert!(!run_with_drift(10, 80), "long horizon must fail");
+}
+
+#[test]
+fn timers_scale_with_clock_rate() {
+    // A fast clock's timers fire early in real time: the mutator ack
+    // (ε + X clock ticks) arrives sooner on the fast process.
+    let params = params();
+    let mut clocks = ClockAssignment::zero(3);
+    clocks.set_rate(ProcessId::new(0), 1_100, 1_000); // 10% fast
+    let mut sim = Simulation::new(
+        Replica::group(RmwRegister::default(), &params),
+        clocks,
+        FixedDelay::maximal(params.delay_bounds()),
+    );
+    sim.schedule_invoke(ProcessId::new(0), SimTime::ZERO, RmwOp::Write(1));
+    sim.schedule_invoke(ProcessId::new(1), SimTime::from_ticks(100_000), RmwOp::Write(2));
+    sim.run().unwrap();
+    let fast = sim.history().records()[0].latency().unwrap();
+    let normal = sim.history().records()[1].latency().unwrap();
+    assert!(fast < normal, "fast clock acks early: {fast:?} vs {normal:?}");
+    // 1600 clock ticks at rate 1.1 ≈ 1454 real ticks.
+    assert_eq!(fast.as_ticks(), 1600 * 1000 / 1100);
+}

@@ -1,0 +1,214 @@
+//! End-to-end integration: Algorithm 1 on every object type, under
+//! random admissible delays and maximal admissible skew, produces
+//! linearizable histories, converging replicas, and latencies within the
+//! paper's upper bounds.
+
+use skewbound_core::bounds;
+use skewbound_integration::{assert_linearizable, default_params, params_n, run_replicated};
+use skewbound_sim::ids::ProcessId;
+use skewbound_spec::prelude::*;
+
+#[test]
+fn register_end_to_end() {
+    let params = default_params();
+    for seed in 0..5 {
+        let (history, sim) = run_replicated(
+            RmwRegister::default(),
+            &params,
+            6,
+            seed,
+            |pid, idx, _| match idx % 3 {
+                0 => RmwOp::Write((pid.index() * 10 + idx) as i64),
+                1 => RmwOp::Rmw(RmwKind::FetchAdd(1)),
+                _ => RmwOp::Read,
+            },
+        );
+        assert_linearizable(&RmwRegister::default(), &history);
+        // Convergence.
+        let s0 = *sim.actor(ProcessId::new(0)).local_state();
+        for pid in ProcessId::all(params.n()) {
+            assert_eq!(*sim.actor(pid).local_state(), s0, "seed {seed}: {pid} diverged");
+        }
+        // Upper bounds.
+        assert!(
+            history
+                .max_latency_where(|op| matches!(op, RmwOp::Write(_)))
+                .unwrap()
+                <= bounds::ub_mop(&params)
+        );
+        assert!(
+            history
+                .max_latency_where(|op| matches!(op, RmwOp::Read))
+                .unwrap()
+                <= bounds::ub_aop(&params)
+        );
+        assert!(
+            history
+                .max_latency_where(|op| matches!(op, RmwOp::Rmw(_)))
+                .unwrap()
+                <= bounds::ub_oop(&params)
+        );
+    }
+}
+
+#[test]
+fn queue_end_to_end() {
+    let params = default_params();
+    for seed in 0..5 {
+        let (history, sim) = run_replicated(
+            Queue::<i64>::new(),
+            &params,
+            6,
+            seed,
+            |pid, idx, _| match idx % 3 {
+                0 => QueueOp::Enqueue((pid.index() * 100 + idx) as i64),
+                1 => QueueOp::Dequeue,
+                _ => QueueOp::Peek,
+            },
+        );
+        assert_linearizable(&Queue::<i64>::new(), &history);
+        let s0 = sim.actor(ProcessId::new(0)).local_state().clone();
+        for pid in ProcessId::all(params.n()) {
+            assert_eq!(*sim.actor(pid).local_state(), s0, "seed {seed}");
+        }
+        // No element dequeued twice.
+        let mut got: Vec<i64> = history
+            .records()
+            .iter()
+            .filter_map(|r| match (&r.op, r.resp()) {
+                (QueueOp::Dequeue, Some(QueueResp::Value(Some(v)))) => Some(*v),
+                _ => None,
+            })
+            .collect();
+        let total = got.len();
+        got.sort_unstable();
+        got.dedup();
+        assert_eq!(got.len(), total, "duplicate dequeue");
+    }
+}
+
+#[test]
+fn stack_end_to_end() {
+    let params = default_params();
+    for seed in 0..5 {
+        let (history, sim) = run_replicated(
+            Stack::<i64>::new(),
+            &params,
+            6,
+            seed,
+            |pid, idx, _| match idx % 3 {
+                0 => StackOp::Push((pid.index() * 100 + idx) as i64),
+                1 => StackOp::Pop,
+                _ => StackOp::Peek,
+            },
+        );
+        assert_linearizable(&Stack::<i64>::new(), &history);
+        let s0 = sim.actor(ProcessId::new(0)).local_state().clone();
+        for pid in ProcessId::all(params.n()) {
+            assert_eq!(*sim.actor(pid).local_state(), s0, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn set_end_to_end() {
+    let params = default_params();
+    let (history, sim) = run_replicated(
+        SetObject::<i64>::new(),
+        &params,
+        6,
+        9,
+        |pid, idx, _| match idx % 3 {
+            0 => SetOp::Insert((pid.index() + idx) as i64),
+            1 => SetOp::Remove(idx as i64),
+            _ => SetOp::Contains(1),
+        },
+    );
+    assert_linearizable(&SetObject::<i64>::new(), &history);
+    let s0 = sim.actor(ProcessId::new(0)).local_state().clone();
+    for pid in ProcessId::all(params.n()) {
+        assert_eq!(*sim.actor(pid).local_state(), s0);
+    }
+}
+
+#[test]
+fn tree_end_to_end() {
+    let params = default_params();
+    let (history, sim) = run_replicated(Tree::new(), &params, 6, 4, |pid, idx, _| {
+        let node = (pid.index() as u32) * 100 + idx as u32 + 1;
+        match idx % 4 {
+            0 => TreeOp::Insert { node, parent: 0 },
+            1 => TreeOp::Insert { node, parent: node.saturating_sub(1) },
+            2 => TreeOp::Search { node: node / 2 },
+            _ => TreeOp::Depth,
+        }
+    });
+    assert_linearizable(&Tree::new(), &history);
+    let s0 = sim.actor(ProcessId::new(0)).local_state().clone();
+    for pid in ProcessId::all(params.n()) {
+        assert_eq!(*sim.actor(pid).local_state(), s0);
+    }
+}
+
+#[test]
+fn update_next_array_end_to_end() {
+    let params = default_params();
+    let spec = UpdateNextArray::new(vec![0, 0, 0, 0]);
+    let (history, sim) = run_replicated(spec.clone(), &params, 5, 8, |pid, idx, _| {
+        ArrayOp::UpdateNext {
+            i: (pid.index() + idx) % 4 + 1,
+            b: (pid.index() * 10 + idx) as i64,
+        }
+    });
+    assert_linearizable(&spec, &history);
+    let s0 = sim.actor(ProcessId::new(0)).local_state().clone();
+    for pid in ProcessId::all(params.n()) {
+        assert_eq!(*sim.actor(pid).local_state(), s0);
+    }
+}
+
+#[test]
+fn five_process_system() {
+    let params = params_n(5);
+    let (history, sim) = run_replicated(
+        Counter::default(),
+        &params,
+        5,
+        11,
+        |_pid, idx, _| {
+            if idx % 3 == 2 {
+                CounterOp::Read
+            } else {
+                CounterOp::Add(1)
+            }
+        },
+    );
+    assert_linearizable(&Counter::default(), &history);
+    let adds = history
+        .records()
+        .iter()
+        .filter(|r| matches!(r.op, CounterOp::Add(_)))
+        .count() as i64;
+    for pid in ProcessId::all(5) {
+        assert_eq!(*sim.actor(pid).local_state(), adds);
+    }
+}
+
+#[test]
+fn deque_end_to_end() {
+    let params = default_params();
+    let (history, sim) = run_replicated(Deque::<i64>::new(), &params, 6, 13, |pid, idx, _| {
+        match (pid.index() + idx) % 5 {
+            0 => DequeOp::PushFront((pid.index() * 100 + idx) as i64),
+            1 => DequeOp::PushBack((pid.index() * 100 + idx) as i64),
+            2 => DequeOp::PopFront,
+            3 => DequeOp::PopBack,
+            _ => DequeOp::Front,
+        }
+    });
+    assert_linearizable(&Deque::<i64>::new(), &history);
+    let s0 = sim.actor(ProcessId::new(0)).local_state().clone();
+    for pid in ProcessId::all(params.n()) {
+        assert_eq!(*sim.actor(pid).local_state(), s0);
+    }
+}

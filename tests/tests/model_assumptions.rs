@@ -1,0 +1,125 @@
+//! Executable checks of the model assumptions of Chapter III §B.4 that
+//! the lower-bound proofs rely on: bounded-time operations, bounded
+//! quiescence, and history-obliviousness.
+
+use skewbound_core::bounds;
+use skewbound_core::params::Params;
+use skewbound_core::replica::Replica;
+use skewbound_integration::default_params;
+use skewbound_sim::clock::ClockAssignment;
+use skewbound_sim::delay::{FixedDelay, UniformDelay};
+use skewbound_sim::engine::Simulation;
+use skewbound_sim::ids::ProcessId;
+use skewbound_sim::time::{SimDuration, SimTime};
+use skewbound_spec::prelude::*;
+
+/// Bounded-time operations: there is a bound `B_op` (= d + ε here) such
+/// that every operation responds within it, across delay models.
+#[test]
+fn bounded_time_operations() {
+    let params = default_params();
+    let b_op = bounds::ub_oop(&params).max(bounds::ub_aop(&params));
+    for seed in 0..5 {
+        let mut sim = Simulation::new(
+            Replica::group(Queue::<i64>::new(), &params),
+            ClockAssignment::spread(3, params.eps()),
+            UniformDelay::new(params.delay_bounds(), seed),
+        );
+        for i in 0..6u64 {
+            sim.schedule_invoke(
+                ProcessId::new((i % 3) as u32),
+                SimTime::from_ticks(i * 20_000),
+                match i % 3 {
+                    0 => QueueOp::Enqueue(i as i64),
+                    1 => QueueOp::Dequeue,
+                    _ => QueueOp::Peek,
+                },
+            );
+        }
+        sim.run().unwrap();
+        assert!(sim.history().max_latency().unwrap() <= b_op);
+    }
+}
+
+/// Bounded quiescence: the run ends (event queue drains) within a bound
+/// after the last response — here checked as: end-of-run time is at most
+/// d + hold after the last response.
+#[test]
+fn bounded_quiescence() {
+    let params = default_params();
+    let mut sim = Simulation::new(
+        Replica::group(RmwRegister::default(), &params),
+        ClockAssignment::zero(3),
+        FixedDelay::maximal(params.delay_bounds()),
+    );
+    sim.schedule_invoke(ProcessId::new(0), SimTime::ZERO, RmwOp::Write(1));
+    let report = sim.run().unwrap();
+    let last_response = sim
+        .history()
+        .records()
+        .iter()
+        .filter_map(|r| r.responded_at())
+        .max()
+        .unwrap();
+    let b_q = params.d() + params.u() + params.eps();
+    assert!(
+        report.end_time <= last_response + b_q,
+        "quiescence at {:?}, last response {:?}",
+        report.end_time,
+        last_response
+    );
+}
+
+/// History-obliviousness: the final states depend only on the sequence
+/// of operations executed, not on timing details — the same sequential
+/// op sequence under different delay models and skews leaves every
+/// replica in the same state.
+#[test]
+fn history_obliviousness() {
+    let params = default_params();
+    let ops = [
+        QueueOp::Enqueue(1),
+        QueueOp::Enqueue(2),
+        QueueOp::Dequeue,
+        QueueOp::Enqueue(3),
+    ];
+    let run = |seed: u64, skewed: bool| {
+        let clocks = if skewed {
+            ClockAssignment::spread(3, params.eps())
+        } else {
+            ClockAssignment::zero(3)
+        };
+        let mut sim = Simulation::new(
+            Replica::group(Queue::<i64>::new(), &params),
+            clocks,
+            UniformDelay::new(params.delay_bounds(), seed),
+        );
+        // Strictly sequential: gaps far above any response bound.
+        for (i, op) in ops.iter().enumerate() {
+            sim.schedule_invoke(
+                ProcessId::new(0),
+                SimTime::from_ticks(i as u64 * 50_000),
+                op.clone(),
+            );
+        }
+        sim.run().unwrap();
+        ProcessId::all(3)
+            .map(|p| sim.actor(p).local_state().clone())
+            .collect::<Vec<_>>()
+    };
+    let reference = run(1, false);
+    assert_eq!(reference[0], vec![2, 3]);
+    for seed in 2..6 {
+        assert_eq!(run(seed, false), reference, "seed {seed}");
+        assert_eq!(run(seed, true), reference, "seed {seed} skewed");
+    }
+}
+
+/// The Params type enforces the model's parameter constraints, so an
+/// implementation can never be configured outside the theory's domain.
+#[test]
+fn parameter_domain_enforced() {
+    let d = SimDuration::from_ticks(1_000);
+    assert!(Params::new(3, d, SimDuration::from_ticks(2_000), d, SimDuration::ZERO).is_err());
+    assert!(Params::with_optimal_skew(1, d, d, SimDuration::ZERO).is_err());
+}

@@ -1,0 +1,187 @@
+//! Property tests across the whole stack: for *any* seeded workload mix,
+//! clock assignment within `ε`, and admissible delay assignment,
+//! Algorithm 1 must produce linearizable histories, converging replicas,
+//! and latencies within the paper's bounds.
+
+use proptest::prelude::*;
+use rand::Rng;
+use skewbound_core::bounds;
+use skewbound_core::params::Params;
+use skewbound_core::replica::Replica;
+use skewbound_integration::assert_linearizable;
+use skewbound_sim::clock::ClockAssignment;
+use skewbound_sim::delay::UniformDelay;
+use skewbound_sim::engine::Simulation;
+use skewbound_sim::ids::ProcessId;
+use skewbound_sim::time::{ClockOffset, SimDuration};
+use skewbound_sim::workload::ClosedLoop;
+use skewbound_spec::prelude::*;
+
+fn arb_params() -> impl Strategy<Value = Params> {
+    // n in 2..=4, d in 5000..=12000, u <= d/2 (rounded to keep integers
+    // tame), X = 0.
+    (2usize..=4, 5_000u64..=12_000, 1u64..=8).prop_map(|(n, d, u_frac)| {
+        let u = d / 2 / u_frac;
+        Params::with_optimal_skew(
+            n,
+            SimDuration::from_ticks(d),
+            SimDuration::from_ticks(u.max(n as u64)),
+            SimDuration::ZERO,
+        )
+        .expect("valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn queue_always_linearizable(
+        params in arb_params(),
+        seed in 0u64..1_000,
+    ) {
+        let n = params.n();
+        let mut driver = ClosedLoop::new(
+            ProcessId::all(n).collect(),
+            4,
+            seed,
+            |pid, idx, rng| match (idx + rng.gen_range(0..3)) % 3 {
+                0 => QueueOp::Enqueue((pid.index() * 50 + idx) as i64),
+                1 => QueueOp::Dequeue,
+                _ => QueueOp::Peek,
+            },
+        );
+        let mut sim = Simulation::new(
+            Replica::group(Queue::<i64>::new(), &params),
+            ClockAssignment::spread(n, params.eps()),
+            UniformDelay::new(params.delay_bounds(), seed),
+        );
+        sim.run_with(&mut driver).expect("run");
+        assert_linearizable(&Queue::<i64>::new(), sim.history());
+        // Convergence.
+        let s0 = sim.actor(ProcessId::new(0)).local_state().clone();
+        for pid in ProcessId::all(n) {
+            prop_assert_eq!(sim.actor(pid).local_state(), &s0);
+        }
+    }
+
+    #[test]
+    fn register_latency_bounds_hold(
+        params in arb_params(),
+        seed in 0u64..1_000,
+        offsets_seed in 0u64..1_000,
+    ) {
+        let n = params.n();
+        // Arbitrary offsets within eps.
+        let eps = params.eps().as_ticks();
+        let offsets: Vec<ClockOffset> = (0..n)
+            .map(|i| {
+                let v = (seed.wrapping_mul(31).wrapping_add(offsets_seed * 7 + i as u64))
+                    % (eps + 1);
+                ClockOffset::from_ticks(v as i64)
+            })
+            .collect();
+        let mut driver = ClosedLoop::new(
+            ProcessId::all(n).collect(),
+            4,
+            seed,
+            |_pid, idx, _| match idx % 3 {
+                0 => RmwOp::Write(idx as i64),
+                1 => RmwOp::Rmw(RmwKind::FetchAdd(1)),
+                _ => RmwOp::Read,
+            },
+        );
+        let mut sim = Simulation::new(
+            Replica::group(RmwRegister::default(), &params),
+            ClockAssignment::from_offsets(offsets),
+            UniformDelay::new(params.delay_bounds(), seed ^ 0x5555),
+        );
+        sim.run_with(&mut driver).expect("run");
+        let history = sim.history();
+        prop_assert!(history.is_complete());
+        for rec in history.records() {
+            let lat = rec.latency().unwrap();
+            let bound = match &rec.op {
+                RmwOp::Write(_) => bounds::ub_mop(&params),
+                RmwOp::Read => bounds::ub_aop(&params),
+                RmwOp::Rmw(_) => bounds::ub_oop(&params),
+            };
+            prop_assert!(
+                lat <= bound,
+                "{:?} took {} > bound {}",
+                rec.op,
+                lat.as_ticks(),
+                bound.as_ticks()
+            );
+        }
+        assert_linearizable(&RmwRegister::default(), history);
+    }
+
+    #[test]
+    fn counter_converges_to_sum(
+        params in arb_params(),
+        seed in 0u64..1_000,
+    ) {
+        let n = params.n();
+        let mut driver = ClosedLoop::new(
+            ProcessId::all(n).collect(),
+            5,
+            seed,
+            |_pid, _idx, rng| CounterOp::Add(rng.gen_range(-3i64..=3)),
+        );
+        let mut sim = Simulation::new(
+            Replica::group(Counter::default(), &params),
+            ClockAssignment::spread(n, params.eps()),
+            UniformDelay::new(params.delay_bounds(), seed),
+        );
+        sim.run_with(&mut driver).expect("run");
+        let expected: i64 = sim
+            .history()
+            .records()
+            .iter()
+            .map(|r| match r.op {
+                CounterOp::Add(d) => d,
+                CounterOp::Read => 0,
+            })
+            .sum();
+        for pid in ProcessId::all(n) {
+            prop_assert_eq!(*sim.actor(pid).local_state(), expected);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(30))]
+
+    /// Lemma C.10 as a property: across random workloads, skews and
+    /// delays, all replicas execute the broadcast operations in the same
+    /// ascending timestamp order.
+    #[test]
+    fn executed_orders_identical_and_ascending(
+        params in arb_params(),
+        seed in 0u64..1_000,
+    ) {
+        let n = params.n();
+        let mut driver = ClosedLoop::new(
+            ProcessId::all(n).collect(),
+            5,
+            seed,
+            |pid, idx, rng| match rng.gen_range(0..3) {
+                0 => StackOp::Push((pid.index() * 50 + idx) as i64),
+                1 => StackOp::Pop,
+                _ => StackOp::Peek,
+            },
+        );
+        let mut sim = Simulation::new(
+            Replica::group(Stack::<i64>::new(), &params),
+            ClockAssignment::spread(n, params.eps()),
+            UniformDelay::new(params.delay_bounds(), seed ^ 0x77),
+        );
+        sim.run_with(&mut driver).expect("run");
+        let order0 = sim.actor(ProcessId::new(0)).executed_order().to_vec();
+        prop_assert!(order0.windows(2).all(|w| w[0] < w[1]), "ascending");
+        for pid in ProcessId::all(n) {
+            prop_assert_eq!(sim.actor(pid).executed_order(), &order0[..]);
+        }
+    }
+}
