@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Workspace gate: lints, the full test suite, and the parallel-runner
+# determinism test under a forced multi-worker pool. Run from the repo
+# root; any failure aborts.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tests =="
+cargo test -q --workspace
+
+echo "== parallel grid determinism (forced 4-worker pool) =="
+SKEWBOUND_THREADS=4 cargo test -q -p skewbound-integration --test parallel_grid
+
+echo "ci.sh: all checks passed"

@@ -8,7 +8,8 @@
 //! experiments, using the workspace default parameters.
 
 use skewbound_bench::figures;
-use skewbound_bench::report::{table_report, Object};
+use skewbound_bench::measure::GridStats;
+use skewbound_bench::report::{table_report_stats, Object};
 use skewbound_bench::default_params;
 use skewbound_sim::time::SimDuration;
 
@@ -57,6 +58,8 @@ fn main() {
     };
 
     if fig_filter.is_none() {
+        let mut stats = GridStats::default();
+        let sweep_start = std::time::Instant::now();
         for (object, name) in [
             (Object::Register, "register"),
             (Object::Queue, "queue"),
@@ -66,7 +69,8 @@ fn main() {
             if !want_object(name) {
                 continue;
             }
-            let report = table_report(object, &params, ops_per_process);
+            let (report, object_stats) = table_report_stats(object, &params, ops_per_process);
+            stats.absorb(object_stats);
             if csv {
                 print!("{}", report.to_csv());
                 continue;
@@ -75,6 +79,20 @@ fn main() {
             match report.verify() {
                 Ok(()) => println!("  verification: all measured values within bounds\n"),
                 Err(e) => println!("  verification FAILED: {e}\n"),
+            }
+        }
+        if stats.runs > 0 {
+            let elapsed = sweep_start.elapsed();
+            if let Err(e) = write_grid_bench(&stats, elapsed) {
+                eprintln!("failed to write BENCH_grid.json: {e}");
+            } else if !csv {
+                println!(
+                    "grid sweep: {} runs on {} worker(s) in {elapsed:.3?} \
+                     ({:.0} events/sec of run time) -> BENCH_grid.json",
+                    stats.runs,
+                    stats.workers,
+                    stats.events_per_sec(),
+                );
             }
         }
     }
@@ -123,4 +141,20 @@ fn main() {
             )
         );
     }
+}
+
+/// Writes the machine-readable grid benchmark summary. The workspace has
+/// no JSON dependency, so the (flat, numeric) object is written by hand.
+fn write_grid_bench(stats: &GridStats, elapsed: std::time::Duration) -> std::io::Result<()> {
+    let json = format!(
+        "{{\n  \"runs\": {},\n  \"workers\": {},\n  \"elapsed_nanos\": {},\n  \
+         \"run_wall_nanos\": {},\n  \"events\": {},\n  \"events_per_sec\": {:.1}\n}}\n",
+        stats.runs,
+        stats.workers,
+        elapsed.as_nanos(),
+        stats.wall_nanos,
+        stats.events,
+        stats.events_per_sec(),
+    );
+    std::fs::write("BENCH_grid.json", json)
 }

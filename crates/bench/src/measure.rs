@@ -10,6 +10,7 @@
 //! formulas tick-for-tick.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use skewbound_core::centralized::Centralized;
@@ -17,15 +18,51 @@ use skewbound_core::params::Params;
 use skewbound_core::replica::Replica;
 use skewbound_sim::actor::Actor;
 use skewbound_sim::clock::ClockAssignment;
-use skewbound_sim::delay::{DelayModel, FixedDelay, UniformDelay};
+use skewbound_sim::delay::{DelayBounds, DelayModel, FixedDelay, MsgMeta, UniformDelay};
 use skewbound_sim::engine::Simulation;
 use skewbound_sim::ids::ProcessId;
+use skewbound_sim::par::{run_grid, worker_count};
 use skewbound_sim::time::SimDuration;
 use skewbound_sim::workload::ClosedLoop;
 use skewbound_spec::prelude::*;
 
 /// Worst-case latency observed per operation label.
 pub type MaxLatencies = BTreeMap<&'static str, SimDuration>;
+
+/// Aggregate execution statistics for one measurement grid.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GridStats {
+    /// Number of simulation runs in the grid.
+    pub runs: u64,
+    /// Total engine events processed across all runs.
+    pub events: u64,
+    /// Summed per-run wall-clock time, in nanoseconds. With the parallel
+    /// runner this exceeds elapsed time — it is the total CPU-side work.
+    pub wall_nanos: u64,
+    /// Worker threads the grid was fanned out over.
+    pub workers: usize,
+}
+
+impl GridStats {
+    /// Engine events per second of summed run wall-clock time.
+    #[must_use]
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let rate = self.events as f64 / self.wall_nanos as f64 * 1e9;
+        rate
+    }
+
+    /// Folds another grid's statistics into this one.
+    pub fn absorb(&mut self, other: GridStats) {
+        self.runs += other.runs;
+        self.events += other.events;
+        self.wall_nanos += other.wall_nanos;
+        self.workers = self.workers.max(other.workers);
+    }
+}
 
 fn clock_assignments(params: &Params) -> Vec<ClockAssignment> {
     vec![
@@ -34,10 +71,75 @@ fn clock_assignments(params: &Params) -> Vec<ClockAssignment> {
     ]
 }
 
-/// Runs one closed-loop workload and folds each completed operation's
-/// latency into `acc` under its label.
-#[allow(clippy::too_many_arguments)]
-fn accumulate<A, D, G, L>(
+/// Which delay model a grid point runs under. A plain descriptor so grid
+/// points stay `Sync` and each worker builds its own model.
+#[derive(Debug, Clone, Copy)]
+enum DelaySpec {
+    Maximal,
+    Minimal,
+    Seeded(u64),
+}
+
+impl DelaySpec {
+    fn build(self, bounds: DelayBounds) -> GridDelay {
+        match self {
+            DelaySpec::Maximal => GridDelay::Fixed(FixedDelay::maximal(bounds)),
+            DelaySpec::Minimal => GridDelay::Fixed(FixedDelay::minimal(bounds)),
+            DelaySpec::Seeded(seed) => GridDelay::Uniform(UniformDelay::new(bounds, seed)),
+        }
+    }
+}
+
+enum GridDelay {
+    Fixed(FixedDelay),
+    Uniform(UniformDelay),
+}
+
+impl DelayModel for GridDelay {
+    fn delay(&mut self, meta: MsgMeta) -> SimDuration {
+        match self {
+            GridDelay::Fixed(m) => m.delay(meta),
+            GridDelay::Uniform(m) => m.delay(meta),
+        }
+    }
+
+    fn bounds(&self) -> DelayBounds {
+        match self {
+            GridDelay::Fixed(m) => m.bounds(),
+            GridDelay::Uniform(m) => m.bounds(),
+        }
+    }
+}
+
+/// One point of a measurement grid: clocks × delay model × workload seed.
+struct GridPoint {
+    clocks: ClockAssignment,
+    delays: DelaySpec,
+    run_seed: u64,
+}
+
+/// The full grid: every delay spec under every clock assignment, with
+/// workload seeds numbered `1..` in the same order the sequential loops
+/// used.
+fn grid_points(params: &Params, delay_specs: &[DelaySpec]) -> Vec<GridPoint> {
+    let mut run_seed = 1u64;
+    let mut points = Vec::with_capacity(2 * delay_specs.len());
+    for clocks in clock_assignments(params) {
+        for &delays in delay_specs {
+            points.push(GridPoint {
+                clocks: clocks.clone(),
+                delays,
+                run_seed,
+            });
+            run_seed += 1;
+        }
+    }
+    points
+}
+
+/// Runs one closed-loop workload and returns each completed operation's
+/// worst latency per label, plus the engine report.
+fn run_point<A, D, G, L>(
     actors: Vec<A>,
     clocks: ClockAssignment,
     delays: D,
@@ -45,8 +147,8 @@ fn accumulate<A, D, G, L>(
     seed: u64,
     gen: G,
     label: L,
-    acc: &mut MaxLatencies,
-) where
+) -> (MaxLatencies, skewbound_sim::engine::SimReport)
+where
     A: Actor,
     A::Op: Clone,
     D: DelayModel,
@@ -56,14 +158,80 @@ fn accumulate<A, D, G, L>(
     let n = clocks.len();
     let mut driver = ClosedLoop::new(ProcessId::all(n).collect(), ops_per_process, seed, gen);
     let mut sim = Simulation::new(actors, clocks, delays);
-    sim.run_with(&mut driver).expect("measurement run failed");
+    let report = sim.run_with(&mut driver).expect("measurement run failed");
     assert!(sim.history().is_complete(), "incomplete measurement run");
+    let mut acc = MaxLatencies::new();
     for rec in sim.history().records() {
         let lat = rec.latency().expect("complete");
         let entry = acc.entry(label(&rec.op)).or_insert(SimDuration::ZERO);
         *entry = (*entry).max(lat);
     }
+    (acc, report)
 }
+
+/// Fans a grid out over the [`skewbound_sim::par`] worker pool and merges
+/// the per-point results in grid order. Merging maxima is
+/// order-insensitive, so the merged latencies are identical to the
+/// sequential loops' regardless of worker count.
+fn measure_grid<A, F, G, L>(
+    points: &[GridPoint],
+    make_actors: F,
+    bounds: DelayBounds,
+    ops_per_process: usize,
+    gen: &G,
+    label: L,
+) -> (MaxLatencies, GridStats)
+where
+    A: Actor,
+    A::Op: Clone,
+    F: Fn() -> Vec<A> + Sync,
+    G: FnMut(ProcessId, usize, &mut StdRng) -> A::Op + Clone + Sync,
+    L: Fn(&A::Op) -> &'static str + Copy + Sync,
+{
+    let results = run_grid(points, |_, point| {
+        run_point(
+            make_actors(),
+            point.clocks.clone(),
+            point.delays.build(bounds),
+            ops_per_process,
+            point.run_seed,
+            gen.clone(),
+            label,
+        )
+    });
+    let mut acc = MaxLatencies::new();
+    let mut stats = GridStats {
+        workers: worker_count(points.len()),
+        ..GridStats::default()
+    };
+    for (latencies, report) in results {
+        for (op, lat) in latencies {
+            let entry = acc.entry(op).or_insert(SimDuration::ZERO);
+            *entry = (*entry).max(lat);
+        }
+        stats.runs += 1;
+        stats.events += report.events;
+        stats.wall_nanos += report.wall_nanos;
+    }
+    (acc, stats)
+}
+
+/// Replica grid delay specs: `{fixed-maximal, fixed-minimal, three random
+/// seeds}`.
+const REPLICA_DELAYS: [DelaySpec; 5] = [
+    DelaySpec::Maximal,
+    DelaySpec::Minimal,
+    DelaySpec::Seeded(11),
+    DelaySpec::Seeded(22),
+    DelaySpec::Seeded(33),
+];
+
+/// Centralized grid delay specs: `{fixed-maximal, two random seeds}`.
+const CENTRALIZED_DELAYS: [DelaySpec; 3] = [
+    DelaySpec::Maximal,
+    DelaySpec::Seeded(11),
+    DelaySpec::Seeded(22),
+];
 
 /// Measures Algorithm 1 across the standard delay/clock grid:
 /// {fixed-maximal, fixed-minimal, three random seeds} × {zero skew,
@@ -76,51 +244,38 @@ pub fn measure_replica_grid<S, G, L>(
     label: L,
 ) -> MaxLatencies
 where
-    S: SequentialSpec + Clone,
-    G: FnMut(ProcessId, usize, &mut StdRng) -> S::Op + Clone,
-    L: Fn(&S::Op) -> &'static str + Copy,
+    S: SequentialSpec + Send + Sync,
+    G: FnMut(ProcessId, usize, &mut StdRng) -> S::Op + Clone + Sync,
+    L: Fn(&S::Op) -> &'static str + Copy + Sync,
+{
+    measure_replica_grid_stats(spec, params, ops_per_process, gen, label).0
+}
+
+/// [`measure_replica_grid`], also returning the grid's execution
+/// statistics.
+pub fn measure_replica_grid_stats<S, G, L>(
+    spec: S,
+    params: &Params,
+    ops_per_process: usize,
+    gen: G,
+    label: L,
+) -> (MaxLatencies, GridStats)
+where
+    S: SequentialSpec + Send + Sync,
+    G: FnMut(ProcessId, usize, &mut StdRng) -> S::Op + Clone + Sync,
+    L: Fn(&S::Op) -> &'static str + Copy + Sync,
 {
     let bounds = params.delay_bounds();
-    let mut acc = MaxLatencies::new();
-    let mut run_seed = 1u64;
-    for clocks in clock_assignments(params) {
-        accumulate(
-            Replica::group(spec.clone(), params),
-            clocks.clone(),
-            FixedDelay::maximal(bounds),
-            ops_per_process,
-            run_seed,
-            gen.clone(),
-            label,
-            &mut acc,
-        );
-        run_seed += 1;
-        accumulate(
-            Replica::group(spec.clone(), params),
-            clocks.clone(),
-            FixedDelay::minimal(bounds),
-            ops_per_process,
-            run_seed,
-            gen.clone(),
-            label,
-            &mut acc,
-        );
-        run_seed += 1;
-        for delay_seed in [11u64, 22, 33] {
-            accumulate(
-                Replica::group(spec.clone(), params),
-                clocks.clone(),
-                UniformDelay::new(bounds, delay_seed),
-                ops_per_process,
-                run_seed,
-                gen.clone(),
-                label,
-                &mut acc,
-            );
-            run_seed += 1;
-        }
-    }
-    acc
+    let spec = Arc::new(spec);
+    let points = grid_points(params, &REPLICA_DELAYS);
+    measure_grid(
+        &points,
+        || Replica::group_shared(&spec, params),
+        bounds,
+        ops_per_process,
+        &gen,
+        label,
+    )
 }
 
 /// Measures the centralized baseline across the same grid.
@@ -132,40 +287,39 @@ pub fn measure_centralized_grid<S, G, L>(
     label: L,
 ) -> MaxLatencies
 where
-    S: SequentialSpec + Clone,
-    G: FnMut(ProcessId, usize, &mut StdRng) -> S::Op + Clone,
-    L: Fn(&S::Op) -> &'static str + Copy,
+    S: SequentialSpec + Send + Sync,
+    G: FnMut(ProcessId, usize, &mut StdRng) -> S::Op + Clone + Sync,
+    L: Fn(&S::Op) -> &'static str + Copy + Sync,
+{
+    measure_centralized_grid_stats(spec, params, ops_per_process, gen, label).0
+}
+
+/// [`measure_centralized_grid`], also returning the grid's execution
+/// statistics.
+pub fn measure_centralized_grid_stats<S, G, L>(
+    spec: S,
+    params: &Params,
+    ops_per_process: usize,
+    gen: G,
+    label: L,
+) -> (MaxLatencies, GridStats)
+where
+    S: SequentialSpec + Send + Sync,
+    G: FnMut(ProcessId, usize, &mut StdRng) -> S::Op + Clone + Sync,
+    L: Fn(&S::Op) -> &'static str + Copy + Sync,
 {
     let bounds = params.delay_bounds();
-    let mut acc = MaxLatencies::new();
-    let mut run_seed = 1u64;
-    for clocks in clock_assignments(params) {
-        accumulate(
-            Centralized::group(spec.clone(), params.n()),
-            clocks.clone(),
-            FixedDelay::maximal(bounds),
-            ops_per_process,
-            run_seed,
-            gen.clone(),
-            label,
-            &mut acc,
-        );
-        run_seed += 1;
-        for delay_seed in [11u64, 22] {
-            accumulate(
-                Centralized::group(spec.clone(), params.n()),
-                clocks.clone(),
-                UniformDelay::new(bounds, delay_seed),
-                ops_per_process,
-                run_seed,
-                gen.clone(),
-                label,
-                &mut acc,
-            );
-            run_seed += 1;
-        }
-    }
-    acc
+    let n = params.n();
+    let spec = Arc::new(spec);
+    let points = grid_points(params, &CENTRALIZED_DELAYS);
+    measure_grid(
+        &points,
+        || Centralized::group_shared(&spec, n),
+        bounds,
+        ops_per_process,
+        &gen,
+        label,
+    )
 }
 
 // ---------------------------------------------------------------------

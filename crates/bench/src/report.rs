@@ -6,8 +6,9 @@ use skewbound_sim::time::SimDuration;
 use skewbound_spec::prelude::*;
 
 use crate::measure::{
-    measure_centralized_grid, measure_replica_grid, queue_gen, queue_label, register_gen,
-    register_label, stack_gen, stack_label, tree_gen, tree_label, MaxLatencies,
+    measure_centralized_grid_stats, measure_replica_grid_stats, queue_gen, queue_label,
+    register_gen, register_label, stack_gen, stack_label, tree_gen, tree_label, GridStats,
+    MaxLatencies,
 };
 
 /// The four objects of Chapter VI.
@@ -100,16 +101,27 @@ fn lookup(measured: &MaxLatencies, operation: &str) -> Option<SimDuration> {
 /// per grid point.
 #[must_use]
 pub fn table_report(object: Object, params: &Params, ops_per_process: usize) -> TableReport {
-    let (replica, central) = match object {
+    table_report_stats(object, params, ops_per_process).0
+}
+
+/// [`table_report`], also returning the merged execution statistics of
+/// the replica and centralized measurement grids.
+#[must_use]
+pub fn table_report_stats(
+    object: Object,
+    params: &Params,
+    ops_per_process: usize,
+) -> (TableReport, GridStats) {
+    let ((replica, rs), (central, cs)) = match object {
         Object::Register => (
-            measure_replica_grid(
+            measure_replica_grid_stats(
                 RmwRegister::default(),
                 params,
                 ops_per_process,
                 register_gen,
                 register_label,
             ),
-            measure_centralized_grid(
+            measure_centralized_grid_stats(
                 RmwRegister::default(),
                 params,
                 ops_per_process,
@@ -118,14 +130,14 @@ pub fn table_report(object: Object, params: &Params, ops_per_process: usize) -> 
             ),
         ),
         Object::Queue => (
-            measure_replica_grid(
+            measure_replica_grid_stats(
                 Queue::<i64>::new(),
                 params,
                 ops_per_process,
                 queue_gen,
                 queue_label,
             ),
-            measure_centralized_grid(
+            measure_centralized_grid_stats(
                 Queue::<i64>::new(),
                 params,
                 ops_per_process,
@@ -134,14 +146,14 @@ pub fn table_report(object: Object, params: &Params, ops_per_process: usize) -> 
             ),
         ),
         Object::Stack => (
-            measure_replica_grid(
+            measure_replica_grid_stats(
                 Stack::<i64>::new(),
                 params,
                 ops_per_process,
                 stack_gen,
                 stack_label,
             ),
-            measure_centralized_grid(
+            measure_centralized_grid_stats(
                 Stack::<i64>::new(),
                 params,
                 ops_per_process,
@@ -150,10 +162,18 @@ pub fn table_report(object: Object, params: &Params, ops_per_process: usize) -> 
             ),
         ),
         Object::Tree => (
-            measure_replica_grid(Tree::new(), params, ops_per_process, tree_gen, tree_label),
-            measure_centralized_grid(Tree::new(), params, ops_per_process, tree_gen, tree_label),
+            measure_replica_grid_stats(Tree::new(), params, ops_per_process, tree_gen, tree_label),
+            measure_centralized_grid_stats(
+                Tree::new(),
+                params,
+                ops_per_process,
+                tree_gen,
+                tree_label,
+            ),
         ),
     };
+    let mut stats = rs;
+    stats.absorb(cs);
 
     let rows = object
         .rows()
@@ -164,11 +184,14 @@ pub fn table_report(object: Object, params: &Params, ops_per_process: usize) -> 
             row,
         })
         .collect();
-    TableReport {
-        object,
-        params: *params,
-        rows,
-    }
+    (
+        TableReport {
+            object,
+            params: *params,
+            rows,
+        },
+        stats,
+    )
 }
 
 fn fmt_opt(v: Option<SimDuration>) -> String {

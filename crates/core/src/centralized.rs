@@ -9,6 +9,7 @@
 //! this for every operation class.
 
 use core::fmt;
+use std::sync::Arc;
 
 use skewbound_sim::actor::{Actor, Context};
 use skewbound_sim::ids::ProcessId;
@@ -49,7 +50,8 @@ impl<S: SequentialSpec> fmt::Debug for CentralMsg<S> {
 /// One process of the centralized scheme. Process `p0` is the center and
 /// owns the only copy; everyone else forwards.
 pub struct Centralized<S: SequentialSpec> {
-    spec: S,
+    /// The sequential specification, shared by every process of a group.
+    spec: Arc<S>,
     /// The authoritative copy (meaningful only at the center).
     state: S::State,
 }
@@ -62,18 +64,31 @@ impl<S: SequentialSpec> fmt::Debug for Centralized<S> {
     }
 }
 
-impl<S: SequentialSpec + Clone> Centralized<S> {
+impl<S: SequentialSpec> Centralized<S> {
     /// Creates one process of the scheme.
     #[must_use]
     pub fn new(spec: S) -> Self {
+        Self::new_shared(Arc::new(spec))
+    }
+
+    /// Creates one process sharing an existing spec.
+    #[must_use]
+    pub fn new_shared(spec: Arc<S>) -> Self {
         let state = spec.initial();
         Centralized { spec, state }
     }
 
-    /// One process per replica slot.
+    /// One process per replica slot. The spec is wrapped in an [`Arc`]
+    /// once and shared, not cloned per process.
     #[must_use]
     pub fn group(spec: S, n: usize) -> Vec<Self> {
-        (0..n).map(|_| Centralized::new(spec.clone())).collect()
+        Self::group_shared(&Arc::new(spec), n)
+    }
+
+    /// One process per replica slot, sharing an existing spec.
+    #[must_use]
+    pub fn group_shared(spec: &Arc<S>, n: usize) -> Vec<Self> {
+        (0..n).map(|_| Centralized::new_shared(Arc::clone(spec))).collect()
     }
 }
 

@@ -21,6 +21,7 @@
 //!   bound allows (falsified by the Theorem E.1 scenario).
 
 use core::fmt;
+use std::sync::Arc;
 
 use skewbound_sim::actor::{Actor, Context};
 use skewbound_sim::ids::ProcessId;
@@ -32,7 +33,7 @@ use crate::replica::{Replica, TimerProfile};
 
 /// Algorithm 1 with every wait scaled to `num/den` of the honest value.
 #[must_use]
-pub fn eager_group<S: SequentialSpec + Clone>(
+pub fn eager_group<S: SequentialSpec>(
     spec: S,
     params: &Params,
     num: u64,
@@ -44,7 +45,7 @@ pub fn eager_group<S: SequentialSpec + Clone>(
 /// Algorithm 1 whose pure mutators respond after `wait` instead of
 /// `ε + X`. With `wait < (1 − 1/n)u` this violates Theorem D.1.
 #[must_use]
-pub fn fast_mutator_group<S: SequentialSpec + Clone>(
+pub fn fast_mutator_group<S: SequentialSpec>(
     spec: S,
     params: &Params,
     wait: SimDuration,
@@ -59,7 +60,7 @@ pub fn fast_mutator_group<S: SequentialSpec + Clone>(
 /// Algorithm 1 whose `To_Execute` hold is `hold` instead of `u + ε`.
 /// Replicas may then execute mutators in different timestamp orders.
 #[must_use]
-pub fn short_hold_group<S: SequentialSpec + Clone>(
+pub fn short_hold_group<S: SequentialSpec>(
     spec: S,
     params: &Params,
     hold: SimDuration,
@@ -76,7 +77,7 @@ pub fn short_hold_group<S: SequentialSpec + Clone>(
 /// the accessor answers before remote mutators can reach it —
 /// Theorem E.1's violation.
 #[must_use]
-pub fn eager_accessor_group<S: SequentialSpec + Clone>(
+pub fn eager_accessor_group<S: SequentialSpec>(
     spec: S,
     params: &Params,
     wait: SimDuration,
@@ -97,7 +98,8 @@ pub fn eager_accessor_group<S: SequentialSpec + Clone>(
 /// issued between a remote write's send and its delivery returns stale
 /// data, two dequeues on different processes return the same element, etc.
 pub struct LocalFirstReplica<S: SequentialSpec> {
-    spec: S,
+    /// The sequential specification, shared by every process of a group.
+    spec: Arc<S>,
     local: S::State,
 }
 
@@ -127,18 +129,33 @@ impl<S: SequentialSpec> fmt::Debug for Gossip<S> {
     }
 }
 
-impl<S: SequentialSpec + Clone> LocalFirstReplica<S> {
+impl<S: SequentialSpec> LocalFirstReplica<S> {
     /// Creates one process.
     #[must_use]
     pub fn new(spec: S) -> Self {
+        Self::new_shared(Arc::new(spec))
+    }
+
+    /// Creates one process sharing an existing spec.
+    #[must_use]
+    pub fn new_shared(spec: Arc<S>) -> Self {
         let local = spec.initial();
         LocalFirstReplica { spec, local }
     }
 
-    /// One process per replica slot.
+    /// One process per replica slot. The spec is wrapped in an [`Arc`]
+    /// once and shared, not cloned per process.
     #[must_use]
     pub fn group(spec: S, n: usize) -> Vec<Self> {
-        (0..n).map(|_| LocalFirstReplica::new(spec.clone())).collect()
+        Self::group_shared(&Arc::new(spec), n)
+    }
+
+    /// One process per replica slot, sharing an existing spec.
+    #[must_use]
+    pub fn group_shared(spec: &Arc<S>, n: usize) -> Vec<Self> {
+        (0..n)
+            .map(|_| LocalFirstReplica::new_shared(Arc::clone(spec)))
+            .collect()
     }
 }
 

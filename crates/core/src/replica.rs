@@ -32,6 +32,7 @@
 use core::fmt;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use skewbound_sim::actor::{Actor, Context};
 use skewbound_sim::time::SimDuration;
@@ -230,7 +231,9 @@ impl<S: SequentialSpec> Ord for Queued<S> {
 /// # Ok::<(), skewbound_core::params::ParamError>(())
 /// ```
 pub struct Replica<S: SequentialSpec> {
-    spec: S,
+    /// The sequential specification, shared by every replica of a group
+    /// (and across scenario-grid runs) instead of cloned per process.
+    spec: Arc<S>,
     x: SimDuration,
     profile: TimerProfile,
     local: S::State,
@@ -256,7 +259,7 @@ impl<S: SequentialSpec> fmt::Debug for Replica<S> {
     }
 }
 
-impl<S: SequentialSpec + Clone> Replica<S> {
+impl<S: SequentialSpec> Replica<S> {
     /// A replica with the honest timer profile from `params`.
     #[must_use]
     pub fn new(spec: S, params: &Params) -> Self {
@@ -266,6 +269,12 @@ impl<S: SequentialSpec + Clone> Replica<S> {
     /// A replica with an explicit timer profile (foils use this).
     #[must_use]
     pub fn with_profile(spec: S, x: SimDuration, profile: TimerProfile) -> Self {
+        Self::with_profile_shared(Arc::new(spec), x, profile)
+    }
+
+    /// Like [`Replica::with_profile`], but sharing an existing spec.
+    #[must_use]
+    pub fn with_profile_shared(spec: Arc<S>, x: SimDuration, profile: TimerProfile) -> Self {
         let local = spec.initial();
         Replica {
             spec,
@@ -281,20 +290,44 @@ impl<S: SequentialSpec + Clone> Replica<S> {
 
     /// One replica per process, ready for
     /// [`Simulation::new`](skewbound_sim::engine::Simulation::new).
+    ///
+    /// The spec is wrapped in an [`Arc`] once and shared by every
+    /// replica; use [`Replica::group_shared`] when the caller already
+    /// holds an `Arc` (e.g. across a scenario grid).
     #[must_use]
     pub fn group(spec: S, params: &Params) -> Vec<Self> {
-        (0..params.n()).map(|_| Replica::new(spec.clone(), params)).collect()
+        Self::group_shared(&Arc::new(spec), params)
+    }
+
+    /// One replica per process, sharing an existing spec.
+    #[must_use]
+    pub fn group_shared(spec: &Arc<S>, params: &Params) -> Vec<Self> {
+        (0..params.n())
+            .map(|_| {
+                Self::with_profile_shared(
+                    Arc::clone(spec),
+                    params.x(),
+                    TimerProfile::from_params(params),
+                )
+            })
+            .collect()
     }
 
     /// A group with an explicit profile (foils).
     #[must_use]
-    pub fn group_with_profile(
-        spec: S,
+    pub fn group_with_profile(spec: S, params: &Params, profile: TimerProfile) -> Vec<Self> {
+        Self::group_with_profile_shared(&Arc::new(spec), params, profile)
+    }
+
+    /// A group with an explicit profile, sharing an existing spec.
+    #[must_use]
+    pub fn group_with_profile_shared(
+        spec: &Arc<S>,
         params: &Params,
         profile: TimerProfile,
     ) -> Vec<Self> {
         (0..params.n())
-            .map(|_| Replica::with_profile(spec.clone(), params.x(), profile))
+            .map(|_| Self::with_profile_shared(Arc::clone(spec), params.x(), profile))
             .collect()
     }
 }

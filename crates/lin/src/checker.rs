@@ -68,6 +68,9 @@ impl CheckOutcome {
 pub struct Linearization {
     /// Operation ids in the order of the witness permutation `π`.
     pub order: Vec<OpId>,
+    /// Nodes the search expanded before finding the witness — the cost
+    /// counterpart to [`Violation::nodes`], for profiling grid sweeps.
+    pub nodes: u64,
 }
 
 /// Evidence of non-linearizability.
@@ -116,7 +119,10 @@ pub fn check_history_with<S: SequentialSpec>(
     let n = history.len();
     assert!(n <= 128, "checker supports at most 128 operations, got {n}");
     if n == 0 {
-        return CheckOutcome::Linearizable(Linearization { order: Vec::new() });
+        return CheckOutcome::Linearizable(Linearization {
+            order: Vec::new(),
+            nodes: 0,
+        });
     }
 
     let records = history.records();
@@ -132,50 +138,95 @@ pub fn check_history_with<S: SequentialSpec>(
     }
 
     let full: u128 = if n == 128 { u128::MAX } else { (1u128 << n) - 1 };
-    let mut seen: HashSet<(u128, S::State)> = HashSet::new();
-    let mut stack: Vec<(u128, S::State, Vec<OpId>)> =
-        vec![(0, spec.initial(), Vec::new())];
-    let mut nodes = 0u64;
-    let mut longest_prefix: Vec<OpId> = Vec::new();
+    let mut dfs = Dfs {
+        spec,
+        records,
+        predecessors: &predecessors,
+        full,
+        seen: HashSet::new(),
+        // One shared order buffer, pushed/popped along the DFS path
+        // instead of cloned per node (histories are ≤ 128 ops, so the
+        // recursion depth is bounded).
+        order: Vec::with_capacity(n),
+        longest_prefix: Vec::new(),
+        nodes: 0,
+        max_nodes: limits.max_nodes,
+    };
+    let initial = spec.initial();
+    match dfs.explore(0, &initial) {
+        DfsOutcome::Found => CheckOutcome::Linearizable(Linearization {
+            order: dfs.order,
+            nodes: dfs.nodes,
+        }),
+        DfsOutcome::NodeLimit => CheckOutcome::Unknown { nodes: dfs.nodes },
+        DfsOutcome::Exhausted => CheckOutcome::NotLinearizable(Violation {
+            total_ops: n,
+            longest_prefix: dfs.longest_prefix,
+            nodes: dfs.nodes,
+        }),
+    }
+}
 
-    while let Some((taken, state, order)) = stack.pop() {
-        nodes += 1;
-        if nodes > limits.max_nodes {
-            return CheckOutcome::Unknown { nodes };
+enum DfsOutcome {
+    /// A witness permutation was completed; `Dfs::order` holds it.
+    Found,
+    /// Every extension of the current prefix was ruled out.
+    Exhausted,
+    /// The node budget ran out mid-search.
+    NodeLimit,
+}
+
+struct Dfs<'a, S: SequentialSpec> {
+    spec: &'a S,
+    records: &'a [skewbound_sim::history::OpRecord<S::Op, S::Resp>],
+    predecessors: &'a [u128],
+    full: u128,
+    seen: HashSet<(u128, S::State)>,
+    order: Vec<OpId>,
+    longest_prefix: Vec<OpId>,
+    nodes: u64,
+    max_nodes: u64,
+}
+
+impl<S: SequentialSpec> Dfs<'_, S> {
+    fn explore(&mut self, taken: u128, state: &S::State) -> DfsOutcome {
+        self.nodes += 1;
+        if self.nodes > self.max_nodes {
+            return DfsOutcome::NodeLimit;
         }
-        if taken == full {
-            return CheckOutcome::Linearizable(Linearization { order });
+        if taken == self.full {
+            return DfsOutcome::Found;
         }
-        if order.len() > longest_prefix.len() {
-            longest_prefix = order.clone();
+        if self.order.len() > self.longest_prefix.len() {
+            self.longest_prefix.clear();
+            self.longest_prefix.extend_from_slice(&self.order);
         }
-        for (i, rec) in records.iter().enumerate() {
+        for (i, rec) in self.records.iter().enumerate() {
             let bit = 1u128 << i;
             if taken & bit != 0 {
                 continue;
             }
             // All real-time predecessors must already be linearized.
-            if predecessors[i] & !taken != 0 {
+            if self.predecessors[i] & !taken != 0 {
                 continue;
             }
-            let (next_state, resp) = spec.apply(&state, &rec.op);
+            let (next_state, resp) = self.spec.apply(state, &rec.op);
             if Some(&resp) != rec.resp() {
                 continue;
             }
             let next_taken = taken | bit;
-            if seen.insert((next_taken, next_state.clone())) {
-                let mut next_order = order.clone();
-                next_order.push(rec.id);
-                stack.push((next_taken, next_state, next_order));
+            if self.seen.insert((next_taken, next_state.clone())) {
+                self.order.push(rec.id);
+                match self.explore(next_taken, &next_state) {
+                    DfsOutcome::Exhausted => {
+                        self.order.pop();
+                    }
+                    done => return done,
+                }
             }
         }
+        DfsOutcome::Exhausted
     }
-
-    CheckOutcome::NotLinearizable(Violation {
-        total_ops: n,
-        longest_prefix,
-        nodes,
-    })
 }
 
 /// Brute-force reference checker: enumerates *all* permutations that
@@ -473,6 +524,7 @@ mod tests {
         ]);
         let bad = Linearization {
             order: vec![skewbound_sim::ids::OpId::new(1), skewbound_sim::ids::OpId::new(0)],
+            nodes: 0,
         };
         assert!(!validate_linearization(&RwRegister::new(0), &h, &bad));
     }

@@ -52,7 +52,10 @@ pub fn check_pending_with<S: SequentialSpec>(
     let n = history.len();
     assert!(n <= 128, "checker supports at most 128 operations, got {n}");
     if n == 0 {
-        return CheckOutcome::Linearizable(Linearization { order: Vec::new() });
+        return CheckOutcome::Linearizable(Linearization {
+            order: Vec::new(),
+            nodes: 0,
+        });
     }
 
     let records = history.records();
@@ -84,7 +87,7 @@ pub fn check_pending_with<S: SequentialSpec>(
         // Done once every *completed* operation is linearized; pending
         // ones not taken are the removed invocations.
         if taken & completed_mask == completed_mask {
-            return CheckOutcome::Linearizable(Linearization { order });
+            return CheckOutcome::Linearizable(Linearization { order, nodes });
         }
         if order.len() > longest_prefix.len() {
             longest_prefix = order.clone();

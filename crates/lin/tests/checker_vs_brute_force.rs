@@ -1,7 +1,10 @@
 //! Property test: the DFS checker agrees with the brute-force reference on
 //! randomly generated small histories (both legal-looking and corrupted).
+//! Cases are drawn from a seeded PRNG so failures reproduce
+//! deterministically.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use skewbound_lin::checker::{check_history, check_history_brute_force, CheckOutcome};
 use skewbound_sim::history::History;
 use skewbound_sim::ids::ProcessId;
@@ -19,16 +22,14 @@ struct RawOp {
     resp_seed: i64,
 }
 
-fn raw_op_strategy() -> impl Strategy<Value = RawOp> {
-    (0u32..3, 0u64..30, 1u64..15, 0u8..4, -1i64..3).prop_map(
-        |(pid, invoke, dur, op_sel, resp_seed)| RawOp {
-            pid,
-            invoke,
-            dur,
-            op_sel,
-            resp_seed,
-        },
-    )
+fn gen_raw_op(rng: &mut StdRng) -> RawOp {
+    RawOp {
+        pid: rng.gen_range(0u32..3),
+        invoke: rng.gen_range(0u64..30),
+        dur: rng.gen_range(1u64..15),
+        op_sel: rng.gen_range(0u8..4),
+        resp_seed: rng.gen_range(-1i64..3),
+    }
 }
 
 /// Builds a complete register history. Per-process invocations are made
@@ -62,24 +63,31 @@ fn build_history(raw: Vec<RawOp>) -> History<RegOp<i64>, RegResp<i64>> {
     h
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(300))]
-
-    #[test]
-    fn dfs_matches_brute_force(raw in proptest::collection::vec(raw_op_strategy(), 0..6)) {
-        let h = build_history(raw);
+#[test]
+fn dfs_matches_brute_force() {
+    for case in 0..300u64 {
+        let mut rng = StdRng::seed_from_u64(0x1EE7 ^ case);
+        let len = rng.gen_range(0usize..6);
+        let raw: Vec<RawOp> = (0..len).map(|_| gen_raw_op(&mut rng)).collect();
+        let h = build_history(raw.clone());
         let spec = RwRegister::new(0);
         let brute = check_history_brute_force(&spec, &h);
         match check_history(&spec, &h) {
             CheckOutcome::Linearizable(lin) => {
-                prop_assert!(brute, "DFS said linearizable, brute force disagrees");
-                prop_assert!(skewbound_lin::validate_linearization(&spec, &h, &lin));
+                assert!(
+                    brute,
+                    "case {case}: DFS said linearizable, brute force disagrees: {raw:?}"
+                );
+                assert!(skewbound_lin::validate_linearization(&spec, &h, &lin));
             }
             CheckOutcome::NotLinearizable(_) => {
-                prop_assert!(!brute, "DFS said violation, brute force disagrees");
+                assert!(
+                    !brute,
+                    "case {case}: DFS said violation, brute force disagrees: {raw:?}"
+                );
             }
             CheckOutcome::Unknown { .. } => {
-                prop_assert!(false, "tiny histories must be decided");
+                panic!("case {case}: tiny histories must be decided: {raw:?}");
             }
         }
     }

@@ -22,6 +22,7 @@ use skewbound_sim::clock::ClockAssignment;
 use skewbound_sim::delay::{DelayBounds, DelayModel, FixedDelay, MsgMeta};
 use skewbound_sim::engine::Simulation;
 use skewbound_sim::ids::ProcessId;
+use skewbound_sim::par::run_grid;
 use skewbound_sim::time::{SimDuration, SimTime};
 use skewbound_spec::seqspec::SequentialSpec;
 
@@ -129,6 +130,12 @@ impl ExhaustiveReport {
 /// Explores every `(delay assignment, clock assignment)` combination for
 /// the scripted scenario, checking each resulting history against `spec`.
 ///
+/// Runs are independent, so the whole space is fanned out across the
+/// [`skewbound_sim::par`] worker pool. Run indices (and hence the
+/// `violations` list) are assigned in the sequential enumeration order —
+/// clock assignments outer, delay codes inner — regardless of worker
+/// count; `SKEWBOUND_PAR=0` forces the sequential path.
+///
 /// # Panics
 ///
 /// Panics if the message count differs between runs (the implementation's
@@ -136,15 +143,16 @@ impl ExhaustiveReport {
 /// `config.max_runs`.
 pub fn exhaustive_probe<S, A, F>(
     spec: &S,
-    mut make_actors: F,
+    make_actors: F,
     params: &Params,
     script: &[(ProcessId, SimTime, S::Op)],
     config: &ExhaustiveConfig,
 ) -> ExhaustiveReport
 where
-    S: SequentialSpec,
+    S: SequentialSpec + Sync,
+    S::Op: Sync,
     A: Actor<Op = S::Op, Resp = S::Resp>,
-    F: FnMut() -> Vec<A>,
+    F: Fn() -> Vec<A> + Sync,
 {
     assert!(!config.delay_choices.is_empty(), "need delay choices");
     assert!(!config.clock_choices.is_empty(), "need clock choices");
@@ -184,40 +192,48 @@ where
         unknown: 0,
     };
 
-    for (clock_idx, clocks) in config.clock_choices.iter().enumerate() {
-        for code in 0..assignments {
-            // Decode `code` in base `c` into a per-message assignment.
-            let mut rest = code;
-            let assignment: Vec<SimDuration> = (0..messages)
-                .map(|_| {
-                    let choice = (rest % c) as usize;
-                    rest /= c;
-                    config.delay_choices[choice]
-                })
-                .collect();
-            let mut sim = Simulation::new(
-                make_actors(),
-                clocks.clone(),
-                EnumeratedDelay::new(bounds, assignment),
-            );
-            for (pid, at, op) in script {
-                sim.schedule_invoke(*pid, *at, op.clone());
-            }
-            sim.run().expect("exploration run failed");
-            assert_eq!(
-                sim.message_log().len(),
-                messages,
-                "send pattern depends on delays; exhaustive grid is unsound here"
-            );
-            match check_history(spec, sim.history()) {
-                CheckOutcome::Linearizable(_) => {}
-                CheckOutcome::NotLinearizable(_) => {
-                    report.violations.push((report.runs, clock_idx));
-                }
-                CheckOutcome::Unknown { .. } => report.unknown += 1,
-            }
-            report.runs += 1;
+    // Global run index `idx = clock_idx * assignments + code` reproduces
+    // the sequential enumeration order, so the fan-out below assigns the
+    // same run indices the old nested loops did.
+    let jobs: Vec<u64> = (0..total).collect();
+    let outcomes = run_grid(&jobs, |_, &idx| {
+        let clock_idx = usize::try_from(idx / assignments).expect("clock index fits");
+        let code = idx % assignments;
+        // Decode `code` in base `c` into a per-message assignment.
+        let mut rest = code;
+        let assignment: Vec<SimDuration> = (0..messages)
+            .map(|_| {
+                let choice = (rest % c) as usize;
+                rest /= c;
+                config.delay_choices[choice]
+            })
+            .collect();
+        let mut sim = Simulation::new(
+            make_actors(),
+            config.clock_choices[clock_idx].clone(),
+            EnumeratedDelay::new(bounds, assignment),
+        );
+        for (pid, at, op) in script {
+            sim.schedule_invoke(*pid, *at, op.clone());
         }
+        sim.run().expect("exploration run failed");
+        (sim.message_log().len(), check_history(spec, sim.history()))
+    });
+
+    for (idx, (sent, outcome)) in outcomes.into_iter().enumerate() {
+        assert_eq!(
+            sent, messages,
+            "send pattern depends on delays; exhaustive grid is unsound here"
+        );
+        match outcome {
+            CheckOutcome::Linearizable(_) => {}
+            CheckOutcome::NotLinearizable(_) => {
+                let clock_idx = idx / usize::try_from(assignments).expect("assignments fit");
+                report.violations.push((report.runs, clock_idx));
+            }
+            CheckOutcome::Unknown { .. } => report.unknown += 1,
+        }
+        report.runs += 1;
     }
     report
 }

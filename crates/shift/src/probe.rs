@@ -13,6 +13,7 @@ use skewbound_sim::clock::ClockAssignment;
 use skewbound_sim::delay::FixedDelay;
 use skewbound_sim::engine::Simulation;
 use skewbound_sim::ids::ProcessId;
+use skewbound_sim::par::run_grid;
 use skewbound_sim::time::{SimDuration, SimTime};
 use skewbound_spec::seqspec::SequentialSpec;
 
@@ -51,17 +52,20 @@ impl ProbeReport {
 
 /// Probes `make_actors` (a fresh group per scenario) against every
 /// scenario in `family`.
-pub fn probe<S, A, F>(family: &[Scenario<S>], mut make_actors: F) -> ProbeReport
+///
+/// Scenarios are independent runs, so the family is fanned out across the
+/// [`skewbound_sim::par`] worker pool; reports come back in family order
+/// regardless of worker count, and `SKEWBOUND_PAR=0` forces the
+/// sequential path.
+pub fn probe<S, A, F>(family: &[Scenario<S>], make_actors: F) -> ProbeReport
 where
-    S: SequentialSpec + Clone,
+    S: SequentialSpec + Clone + Sync,
+    S::Op: Sync,
     A: Actor<Op = S::Op, Resp = S::Resp>,
-    F: FnMut() -> Vec<A>,
+    F: Fn() -> Vec<A> + Sync,
 {
     ProbeReport {
-        reports: family
-            .iter()
-            .map(|sc| sc.check_with(make_actors()))
-            .collect(),
+        reports: run_grid(family, |_, sc| sc.check_with(make_actors())),
     }
 }
 

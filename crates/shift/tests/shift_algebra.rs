@@ -1,7 +1,9 @@
 //! Property tests for the run/shift/chop algebra on randomly generated
-//! runs (Claims B.1 and B.3, Lemma B.1).
+//! runs (Claims B.1 and B.3, Lemma B.1). Cases are drawn from a seeded
+//! PRNG so failures reproduce deterministically.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use skewbound_shift::{chop, shift_run, shortest_paths, Message, Run, RunTime, View};
 use skewbound_sim::delay::DelayBounds;
 use skewbound_sim::ids::ProcessId;
@@ -9,6 +11,7 @@ use skewbound_sim::time::SimDuration;
 
 const D: i64 = 100;
 const U: i64 = 40;
+const CASES: u64 = 64;
 
 fn bounds() -> DelayBounds {
     DelayBounds::new(
@@ -17,86 +20,89 @@ fn bounds() -> DelayBounds {
     )
 }
 
-/// A random run over `n` processes with pairwise-uniform admissible
-/// delays and one message per ordered pair.
-fn arb_run() -> impl Strategy<Value = (Run, Vec<Vec<i64>>)> {
-    (2usize..=4).prop_flat_map(|n| {
-        let matrix = proptest::collection::vec(
-            proptest::collection::vec(D - U..=D, n),
-            n,
-        );
-        let offsets = proptest::collection::vec(-20i64..=20, n);
-        (Just(n), matrix, offsets).prop_map(|(_n, matrix, offsets)| {
-            let mut views: Vec<View> = offsets
-                .iter()
-                .map(|&o| View::new(o, RunTime(10_000)))
-                .collect();
-            let mut msgs = Vec::new();
-            for (i, row) in matrix.iter().enumerate() {
-                for (j, &delay) in row.iter().enumerate() {
-                    if i == j {
-                        continue;
-                    }
-                    let sent = RunTime((i * 7 + j * 3) as i64);
-                    let recv = RunTime(sent.0 + delay);
-                    let idx = msgs.len();
-                    views[i].push(sent, skewbound_shift::StepKind::Send(idx));
-                    msgs.push(Message {
-                        from: ProcessId::new(i as u32),
-                        to: ProcessId::new(j as u32),
-                        sent_at: sent,
-                        recv_at: Some(recv),
-                    });
-                }
+/// A random run over `n ∈ [2, 4]` processes with pairwise-uniform
+/// admissible delays and one message per ordered pair.
+fn gen_run(rng: &mut StdRng) -> (Run, Vec<Vec<i64>>) {
+    let n = rng.gen_range(2usize..=4);
+    let matrix: Vec<Vec<i64>> = (0..n)
+        .map(|_| (0..n).map(|_| rng.gen_range(D - U..=D)).collect())
+        .collect();
+    let offsets: Vec<i64> = (0..n).map(|_| rng.gen_range(-20i64..=20)).collect();
+
+    let mut views: Vec<View> = offsets
+        .iter()
+        .map(|&o| View::new(o, RunTime(10_000)))
+        .collect();
+    let mut msgs = Vec::new();
+    for (i, row) in matrix.iter().enumerate() {
+        for (j, &delay) in row.iter().enumerate() {
+            if i == j {
+                continue;
             }
-            // Recv steps appended per view in time order.
-            let mut recvs: Vec<(usize, RunTime, usize)> = msgs
-                .iter()
-                .enumerate()
-                .map(|(idx, m)| (m.to.index(), m.recv_at.unwrap(), idx))
-                .collect();
-            recvs.sort_by_key(|&(_, at, _)| at);
-            for (to, at, idx) in recvs {
-                views[to].push(at, skewbound_shift::StepKind::Recv(idx));
-            }
-            (Run::new(views, msgs), matrix)
-        })
-    })
+            let sent = RunTime((i * 7 + j * 3) as i64);
+            let recv = RunTime(sent.0 + delay);
+            let idx = msgs.len();
+            views[i].push(sent, skewbound_shift::StepKind::Send(idx));
+            msgs.push(Message {
+                from: ProcessId::new(i as u32),
+                to: ProcessId::new(j as u32),
+                sent_at: sent,
+                recv_at: Some(recv),
+            });
+        }
+    }
+    // Recv steps appended per view in time order.
+    let mut recvs: Vec<(usize, RunTime, usize)> = msgs
+        .iter()
+        .enumerate()
+        .map(|(idx, m)| (m.to.index(), m.recv_at.unwrap(), idx))
+        .collect();
+    recvs.sort_by_key(|&(_, at, _)| at);
+    for (to, at, idx) in recvs {
+        views[to].push(at, skewbound_shift::StepKind::Recv(idx));
+    }
+    (Run::new(views, msgs), matrix)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Random pairwise-uniform runs with in-range delays and ≤ 40-tick
-    /// offsets are admissible for eps = 40.
-    #[test]
-    fn generated_runs_admissible((run, _matrix) in arb_run()) {
+/// Random pairwise-uniform runs with in-range delays and ≤ 40-tick
+/// offsets are admissible for eps = 40.
+#[test]
+fn generated_runs_admissible() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xA1 ^ case);
+        let (run, _matrix) = gen_run(&mut rng);
         run.check_admissible(bounds(), 40).unwrap();
     }
+}
 
-    /// Claim B.1/B.3: shifting and shifting back is the identity, and a
-    /// uniform shift (same x everywhere) preserves admissibility.
-    #[test]
-    fn shift_roundtrip_and_uniform_invariance(
-        (run, _matrix) in arb_run(),
-        xs in proptest::collection::vec(-30i64..=30, 4),
-        uniform in 0i64..=50,
-    ) {
+/// Claim B.1/B.3: shifting and shifting back is the identity, and a
+/// uniform shift (same x everywhere) preserves admissibility.
+#[test]
+fn shift_roundtrip_and_uniform_invariance() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xB2 ^ case);
+        let (run, _matrix) = gen_run(&mut rng);
         let n = run.n();
-        let xs: Vec<i64> = xs.into_iter().take(n).chain(std::iter::repeat(0)).take(n).collect();
+        let xs: Vec<i64> = (0..n).map(|_| rng.gen_range(-30i64..=30)).collect();
+        let uniform = rng.gen_range(0i64..=50);
+
         let there = shift_run(&run, &xs);
         let back_xs: Vec<i64> = xs.iter().map(|x| -x).collect();
-        prop_assert_eq!(shift_run(&there, &back_xs), run.clone());
+        assert_eq!(shift_run(&there, &back_xs), run.clone());
 
         let uni = vec![uniform; n];
         let shifted = shift_run(&run, &uni);
         shifted.check_admissible(bounds(), 40).unwrap();
     }
+}
 
-    /// Lemma B.1, executably: shift one process far enough to break one
-    /// incoming delay, then chop — the result must be admissible.
-    #[test]
-    fn chop_always_restores_admissibility((run, matrix) in arb_run()) {
+/// Lemma B.1, executably: shift one process far enough to break one
+/// incoming delay, then chop — the result must be admissible.
+#[test]
+fn chop_always_restores_admissibility() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xC3 ^ case);
+        let (run, matrix) = gen_run(&mut rng);
         let n = run.n();
         // Shift p1 later by u + 10: every delay *into* p1 grows by u+10,
         // so d_{0,1} certainly leaves the range.
@@ -104,7 +110,7 @@ proptest! {
         let mut xs = vec![0i64; n];
         xs[1] = shift_amt;
         let shifted = shift_run(&run, &xs);
-        prop_assert!(shifted.check_admissible(bounds(), 60).is_err());
+        assert!(shifted.check_admissible(bounds(), 60).is_err());
 
         // Shifted matrix.
         let mut new_matrix = matrix.clone();
@@ -118,7 +124,9 @@ proptest! {
         // out of range and delays from p1 (which shrank) are clamped up.
         for (i, row) in new_matrix.iter_mut().enumerate() {
             for (j, cell) in row.iter_mut().enumerate() {
-                if i == j { continue; }
+                if i == j {
+                    continue;
+                }
                 if !(i == 0 && j == 1) {
                     *cell = (*cell).clamp(D - U, D);
                 }
@@ -131,7 +139,9 @@ proptest! {
         let mut msgs = Vec::new();
         for (i, row) in new_matrix.iter().enumerate() {
             for (j, &delay) in row.iter().enumerate() {
-                if i == j { continue; }
+                if i == j {
+                    continue;
+                }
                 let sent = RunTime((i * 7 + j * 3) as i64 + xs[i]);
                 let recv = RunTime(sent.0 + delay);
                 let idx = msgs.len();
@@ -169,21 +179,25 @@ proptest! {
         let eps = chopped.max_skew();
         chopped.check_admissible(bounds(), eps).unwrap();
     }
+}
 
-    /// Floyd–Warshall sanity: distances are no larger than direct edges
-    /// and satisfy the triangle inequality.
-    #[test]
-    fn shortest_paths_properties((_, matrix) in arb_run()) {
+/// Floyd–Warshall sanity: distances are no larger than direct edges
+/// and satisfy the triangle inequality.
+#[test]
+fn shortest_paths_properties() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xD4 ^ case);
+        let (_, matrix) = gen_run(&mut rng);
         let dist = shortest_paths(&matrix);
         let n = matrix.len();
         for i in 0..n {
-            prop_assert_eq!(dist[i][i], 0);
+            assert_eq!(dist[i][i], 0);
             for j in 0..n {
                 if i != j {
-                    prop_assert!(dist[i][j] <= matrix[i][j]);
+                    assert!(dist[i][j] <= matrix[i][j]);
                 }
                 for k in 0..n {
-                    prop_assert!(dist[i][j] <= dist[i][k] + dist[k][j]);
+                    assert!(dist[i][j] <= dist[i][k] + dist[k][j]);
                 }
             }
         }

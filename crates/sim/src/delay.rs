@@ -297,7 +297,7 @@ impl BimodalDelay {
 
 impl DelayModel for BimodalDelay {
     fn delay(&mut self, _meta: MsgMeta) -> SimDuration {
-        if self.rng.gen_range(0..100) < self.slow_percent {
+        if self.rng.gen_range(0u8..100) < self.slow_percent {
             self.bounds.max()
         } else {
             self.bounds.min()

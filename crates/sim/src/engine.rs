@@ -16,7 +16,7 @@
 //! * clocks are fixed offsets from real time.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{BinaryHeap, HashSet};
 
 use crate::actor::{Actor, Context, Effects};
 use crate::clock::ClockAssignment;
@@ -66,12 +66,41 @@ impl core::fmt::Display for SimError {
 impl std::error::Error for SimError {}
 
 /// Summary of a finished run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Equality ignores [`SimReport::wall_nanos`]: two runs of the same
+/// scenario are "the same run" when they process the same events to the
+/// same simulated end time, regardless of how fast the host executed
+/// them. This is what lets determinism tests compare reports across
+/// sequential and parallel sweeps.
+#[derive(Debug, Clone, Copy)]
 pub struct SimReport {
     /// Number of events processed.
     pub events: u64,
     /// Real time of the last processed event.
     pub end_time: SimTime,
+    /// Host wall-clock time the run took, in nanoseconds.
+    pub wall_nanos: u64,
+}
+
+impl PartialEq for SimReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.events == other.events && self.end_time == other.end_time
+    }
+}
+
+impl Eq for SimReport {}
+
+impl SimReport {
+    /// Simulation throughput in events per wall-clock second.
+    #[must_use]
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let per_nano = self.events as f64 / self.wall_nanos as f64;
+        per_nano * 1e9
+    }
 }
 
 /// Metadata of one message transmission (payload omitted).
@@ -176,7 +205,10 @@ pub struct Simulation<A: Actor, D: DelayModel> {
     cancelled: HashSet<TimerId>,
     pending_timers: HashSet<TimerId>,
     pending_op: Vec<Option<OpId>>,
-    pair_seq: HashMap<(ProcessId, ProcessId), u64>,
+    /// Per ordered pair `(from, to)` send counters, flattened to
+    /// `from * n + to` (grids run millions of short simulations; a flat
+    /// vector beats a hash map in the send hot path).
+    pair_seq: Vec<u64>,
     next_msg_id: u64,
     history: History<A::Op, A::Resp>,
     msg_log: Vec<MsgEvent>,
@@ -215,7 +247,10 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
             clocks,
             delays,
             config: SimConfig::default(),
-            queue: BinaryHeap::new(),
+            // Pre-size the hot collections: a typical grid cell schedules
+            // a handful of events per process at any instant, and every
+            // broadcast appends n − 1 log entries.
+            queue: BinaryHeap::with_capacity(8 * n + 16),
             seq: 0,
             now: SimTime::ZERO,
             started: false,
@@ -223,10 +258,10 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
             cancelled: HashSet::new(),
             pending_timers: HashSet::new(),
             pending_op: vec![None; n],
-            pair_seq: HashMap::new(),
+            pair_seq: vec![0; n * n],
             next_msg_id: 0,
             history: History::new(),
-            msg_log: Vec::new(),
+            msg_log: Vec::with_capacity(16 * n),
             trace: None,
         }
     }
@@ -333,6 +368,7 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
     where
         Dr: Driver<A::Op, A::Resp> + ?Sized,
     {
+        let wall_start = std::time::Instant::now();
         for (pid, at, op) in driver.initial() {
             self.schedule_invoke(pid, at, op);
         }
@@ -400,6 +436,7 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
         Ok(SimReport {
             events,
             end_time: self.now,
+            wall_nanos: u64::try_from(wall_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
         })
     }
 
@@ -430,8 +467,9 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
             response,
         } = effects;
 
+        let n = self.n();
         for (to, msg) in sends {
-            let pair_seq = self.pair_seq.entry((pid, to)).or_insert(0);
+            let pair_seq = &mut self.pair_seq[pid.index() * n + to.index()];
             let this_seq = *pair_seq;
             *pair_seq += 1;
             let meta = MsgMeta {
@@ -513,10 +551,13 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
                     },
                 );
             }
-            self.history.record_response(op_id, resp.clone(), self.now);
-            let rec = self.history.get(op_id).expect("just recorded");
-            let op = rec.op.clone();
-            if let Some((gap, next_op)) = driver.next(pid, &op, &resp, self.now) {
+            // Consult the driver before committing the response so the op
+            // can be borrowed from the history and the response moved into
+            // it — no per-response clones on the hot path.
+            let rec = self.history.get(op_id).expect("recorded at invocation");
+            let next = driver.next(pid, &rec.op, &resp, self.now);
+            self.history.record_response(op_id, resp, self.now);
+            if let Some((gap, next_op)) = next {
                 let at = self.now + gap;
                 let seq = self.bump_seq();
                 self.queue.push(Scheduled {

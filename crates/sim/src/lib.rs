@@ -60,6 +60,7 @@ pub mod delay;
 pub mod engine;
 pub mod history;
 pub mod ids;
+pub mod par;
 pub mod rt;
 pub mod stats;
 pub mod time;

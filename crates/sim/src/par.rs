@@ -1,0 +1,216 @@
+//! Deterministic parallel fan-out for scenario grids.
+//!
+//! The measurement harness (`skewbound-bench`) and the lower-bound
+//! machinery (`skewbound-shift`) both sweep large grids of *independent*
+//! scenarios: every cell fixes its own seed, clock assignment and delay
+//! model, runs one simulation, and (often) checks the resulting history
+//! for linearizability. Each cell is deterministic in isolation, so the
+//! grid is embarrassingly parallel — as long as the results are put back
+//! in input order, a parallel sweep is bit-identical to the sequential
+//! one.
+//!
+//! [`run_grid`] is that primitive: it takes a slice of job descriptors
+//! and a pure-per-job function, fans the jobs out over a scoped worker
+//! pool (work-stealing via an atomic cursor), and returns the results
+//! *in input order*. A panicking job does not poison the pool: the
+//! remaining jobs still run, and the first panic is re-raised (or
+//! returned, via [`try_run_grid`]) once the pool has drained.
+//!
+//! ## Choosing the worker count
+//!
+//! * `SKEWBOUND_PAR=0` (or `false`/`off`) — force sequential execution;
+//!   the in-process fallback for `--sequential` CLI flags.
+//! * `SKEWBOUND_THREADS=k` — use exactly `k` workers.
+//! * otherwise — one worker per available core.
+//!
+//! Sequential mode runs the jobs on the calling thread with no pool at
+//! all, which keeps single-threaded profiling honest.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// A job panicked during [`try_run_grid`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridPanic {
+    /// Input-order index of the panicking job.
+    pub index: usize,
+    /// The panic payload, if it was a string.
+    pub message: String,
+}
+
+impl core::fmt::Display for GridPanic {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "grid job {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for GridPanic {}
+
+/// Number of workers [`run_grid`] would use for `jobs` jobs, honouring
+/// `SKEWBOUND_PAR` / `SKEWBOUND_THREADS` (see the module docs).
+#[must_use]
+pub fn worker_count(jobs: usize) -> usize {
+    configured_workers().min(jobs).max(1)
+}
+
+fn configured_workers() -> usize {
+    if let Ok(par) = std::env::var("SKEWBOUND_PAR") {
+        let par = par.trim().to_ascii_lowercase();
+        if par == "0" || par == "false" || par == "off" {
+            return 1;
+        }
+    }
+    if let Ok(threads) = std::env::var("SKEWBOUND_THREADS") {
+        if let Ok(k) = threads.trim().parse::<usize>() {
+            return k.max(1);
+        }
+    }
+    thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `f` over every job and returns the results in input order, or
+/// the first (by input order) panic if any job panicked.
+///
+/// With more than one worker, jobs are claimed from an atomic cursor by
+/// a scoped thread pool; with one worker (or one job, or sequential mode
+/// via `SKEWBOUND_PAR=0`) they run inline on the calling thread. Either
+/// way the result vector is ordered by job index, so a deterministic `f`
+/// yields byte-identical output regardless of the worker count.
+///
+/// A panicking job is contained with `catch_unwind`: the pool drains the
+/// remaining jobs normally and the earliest panic is reported once all
+/// workers have joined.
+pub fn try_run_grid<I, R, F>(jobs: &[I], f: F) -> Result<Vec<R>, GridPanic>
+where
+    I: Sync,
+    R: Send,
+    F: Fn(usize, &I) -> R + Sync,
+{
+    let workers = worker_count(jobs.len());
+    if workers <= 1 {
+        let mut out = Vec::with_capacity(jobs.len());
+        for (index, job) in jobs.iter().enumerate() {
+            match catch_unwind(AssertUnwindSafe(|| f(index, job))) {
+                Ok(r) => out.push(r),
+                Err(payload) => {
+                    return Err(GridPanic {
+                        index,
+                        message: panic_message(payload.as_ref()),
+                    })
+                }
+            }
+        }
+        return Ok(out);
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::new();
+    slots.resize_with(jobs.len(), || None);
+    let slots = Mutex::new(slots);
+    let first_panic: Mutex<Option<GridPanic>> = Mutex::new(None);
+
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= jobs.len() {
+                        break;
+                    }
+                    match catch_unwind(AssertUnwindSafe(|| f(index, &jobs[index]))) {
+                        Ok(r) => local.push((index, r)),
+                        Err(payload) => {
+                            let panic = GridPanic {
+                                index,
+                                message: panic_message(payload.as_ref()),
+                            };
+                            let mut first = first_panic.lock().unwrap();
+                            if first.as_ref().is_none_or(|p| panic.index < p.index) {
+                                *first = Some(panic);
+                            }
+                        }
+                    }
+                }
+                let mut slots = slots.lock().unwrap();
+                for (index, r) in local {
+                    slots[index] = Some(r);
+                }
+            });
+        }
+    });
+
+    if let Some(panic) = first_panic.into_inner().unwrap() {
+        return Err(panic);
+    }
+    let out: Vec<R> = slots
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|slot| slot.expect("every job ran"))
+        .collect();
+    Ok(out)
+}
+
+/// Like [`try_run_grid`], but re-raises the first panic.
+///
+/// # Panics
+///
+/// Panics with the original job's panic message if any job panicked.
+pub fn run_grid<I, R, F>(jobs: &[I], f: F) -> Vec<R>
+where
+    I: Sync,
+    R: Send,
+    F: Fn(usize, &I) -> R + Sync,
+{
+    match try_run_grid(jobs, f) {
+        Ok(out) => out,
+        Err(panic) => panic!("{panic}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_input_order() {
+        let jobs: Vec<u64> = (0..257).collect();
+        let out = run_grid(&jobs, |i, &job| {
+            assert_eq!(i as u64, job);
+            job * job
+        });
+        let expected: Vec<u64> = jobs.iter().map(|j| j * j).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn panic_is_surfaced_and_pool_drains() {
+        let jobs: Vec<usize> = (0..64).collect();
+        let err = try_run_grid(&jobs, |_, &job| {
+            assert!(job != 13, "unlucky job");
+            job
+        })
+        .unwrap_err();
+        assert_eq!(err.index, 13);
+        assert!(err.message.contains("unlucky job"), "{}", err.message);
+    }
+
+    #[test]
+    fn empty_grid_is_fine() {
+        let out: Vec<u32> = run_grid(&[], |_, job: &u32| *job);
+        assert!(out.is_empty());
+    }
+}

@@ -3,7 +3,7 @@
 //! The discrete-event engine is the measurement instrument; this runtime
 //! exists to demonstrate that the shared-object implementations are not
 //! simulator-bound: each process runs on an OS thread, messages travel
-//! through crossbeam channels with injected delays drawn from the same
+//! through mpsc channels with injected delays drawn from the same
 //! `[d − u, d]` bounds, and clocks are wall-clock readings plus per-process
 //! offsets. One tick is interpreted as one microsecond.
 //!
@@ -22,12 +22,11 @@
 //! prefer workloads whose correctness does not hinge on exact tie-breaks.
 
 use std::collections::BinaryHeap;
-use std::sync::Arc;
+use std::sync::mpsc::{channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender};
+use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -130,7 +129,7 @@ fn instant_to_sim(epoch: Instant, at: Instant) -> SimTime {
 /// ```
 pub struct RtCluster<A: Actor> {
     epoch: Instant,
-    proc_txs: Vec<Sender<Input<A>>>,
+    proc_txs: Vec<SyncSender<Input<A>>>,
     router_tx: Sender<RouterMsg<A::Msg>>,
     history: Arc<Mutex<History<A::Op, A::Resp>>>,
     resp_rxs: Vec<Option<Receiver<A::Resp>>>,
@@ -151,7 +150,7 @@ impl<A: Actor> core::fmt::Debug for RtCluster<A> {
 pub struct RtClient<A: Actor> {
     pid: ProcessId,
     epoch: Instant,
-    proc_tx: Sender<Input<A>>,
+    proc_tx: SyncSender<Input<A>>,
     resp_rx: Receiver<A::Resp>,
     history: Arc<Mutex<History<A::Op, A::Resp>>>,
 }
@@ -171,7 +170,7 @@ impl<A: Actor> RtClient<A> {
     /// Panics if the cluster has shut down or a worker died, or if no
     /// response arrives within 30 seconds.
     pub fn invoke(&mut self, op: A::Op) -> A::Resp {
-        let op_id = self.history.lock().record_invoke(
+        let op_id = self.history.lock().unwrap().record_invoke(
             self.pid,
             op.clone(),
             instant_to_sim(self.epoch, Instant::now()),
@@ -215,18 +214,18 @@ where
         let n = actors.len();
         let epoch = Instant::now();
         let history: Arc<Mutex<History<A::Op, A::Resp>>> = Arc::new(Mutex::new(History::new()));
-        let (done_tx, done_rx) = unbounded::<()>();
-        let (router_tx, router_rx) = unbounded::<RouterMsg<A::Msg>>();
+        let (done_tx, done_rx) = channel::<()>();
+        let (router_tx, router_rx) = channel::<RouterMsg<A::Msg>>();
 
         let mut proc_txs = Vec::with_capacity(n);
         let mut proc_rxs = Vec::with_capacity(n);
         let mut resp_txs = Vec::with_capacity(n);
         let mut resp_rxs = Vec::with_capacity(n);
         for _ in 0..n {
-            let (tx, rx) = bounded::<Input<A>>(1024);
+            let (tx, rx) = sync_channel::<Input<A>>(1024);
             proc_txs.push(tx);
             proc_rxs.push(rx);
-            let (rtx, rrx) = unbounded::<A::Resp>();
+            let (rtx, rrx) = channel::<A::Resp>();
             resp_txs.push(rtx);
             resp_rxs.push(Some(rrx));
         }
@@ -338,7 +337,7 @@ where
     ///
     /// Panics if the cluster has shut down.
     pub fn invoke_async(&self, pid: ProcessId, op: A::Op) {
-        let op_id = self.history.lock().record_invoke(
+        let op_id = self.history.lock().unwrap().record_invoke(
             pid,
             op.clone(),
             instant_to_sim(self.epoch, Instant::now()),
@@ -381,7 +380,7 @@ where
         if let Some(h) = self.router_handle.take() {
             h.join().expect("router thread panicked");
         }
-        let history = self.history.lock().clone();
+        let history = self.history.lock().unwrap().clone();
         history
     }
 }
@@ -458,6 +457,7 @@ fn worker_loop<A: Actor>(
                 .unwrap_or_else(|| panic!("{pid}: response with no pending op"));
             history
                 .lock()
+                .unwrap()
                 .record_response(op_id, resp.clone(), instant_to_sim(epoch, Instant::now()));
             let _ = resp_tx.send(resp);
             let _ = done_tx.send(());

@@ -1,5 +1,5 @@
 //! The same Algorithm-1 state machines on real OS threads: messages over
-//! crossbeam channels with injected `[d − u, d]` delays, wall-clock
+//! mpsc channels with injected `[d − u, d]` delays, wall-clock
 //! clocks with per-process offsets. The produced history is checked for
 //! linearizability just like the simulated ones.
 //!

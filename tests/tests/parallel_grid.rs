@@ -1,0 +1,101 @@
+//! The parallel grid runner must be an invisible optimization: toggling
+//! `SKEWBOUND_PAR` / `SKEWBOUND_THREADS` must not change any result, and
+//! a panicking job must surface as a panic, not a hang or a dropped run.
+//!
+//! These tests mutate process environment variables, so they run as a
+//! single `#[test]` (this file is its own test binary; within a binary
+//! the test harness would interleave env mutations across threads).
+
+use skewbound_core::params::Params;
+use skewbound_core::replica::Replica;
+use skewbound_shift::probe::probe;
+use skewbound_shift::exhaustive::{exhaustive_probe, ExhaustiveConfig};
+use skewbound_shift::scenarios::insc_dequeue_family;
+use skewbound_sim::ids::ProcessId;
+use skewbound_sim::par;
+use skewbound_sim::time::{SimDuration, SimTime};
+use skewbound_spec::prelude::*;
+
+fn params() -> Params {
+    Params::with_optimal_skew(
+        3,
+        SimDuration::from_ticks(9_000),
+        SimDuration::from_ticks(2_400),
+        SimDuration::ZERO,
+    )
+    .unwrap()
+}
+
+fn exhaustive_fingerprint(params: &Params) -> (usize, u64, Vec<(u64, usize)>, u64) {
+    let p = ProcessId::new;
+    let t = SimTime::from_ticks;
+    let script = vec![
+        (p(2), t(0), QueueOp::Enqueue(42)),
+        (p(0), t(40_000), QueueOp::Dequeue),
+        (p(1), t(41_000), QueueOp::Dequeue),
+    ];
+    let config = ExhaustiveConfig::corners(params);
+    let report = exhaustive_probe(
+        &Queue::<i64>::new(),
+        || Replica::group(Queue::<i64>::new(), params),
+        params,
+        &script,
+        &config,
+    );
+    (report.messages, report.runs, report.violations, report.unknown)
+}
+
+fn probe_fingerprint(params: &Params) -> Vec<(String, bool, Option<u64>)> {
+    let family = insc_dequeue_family(params);
+    let report = probe(&family, || Replica::group(Queue::<i64>::new(), params));
+    report
+        .reports
+        .iter()
+        .map(|r| {
+            (
+                r.name.clone(),
+                r.passed(),
+                r.max_latency.map(|d| d.as_ticks()),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_results_match_sequential_and_panics_surface() {
+    let params = params();
+
+    // Sequential reference: escape hatch engaged.
+    std::env::set_var("SKEWBOUND_PAR", "0");
+    assert_eq!(par::worker_count(64), 1, "SKEWBOUND_PAR=0 must force 1 worker");
+    let seq_exhaustive = exhaustive_fingerprint(&params);
+    let seq_probe = probe_fingerprint(&params);
+
+    // Parallel: force a multi-worker pool even on single-core machines.
+    std::env::remove_var("SKEWBOUND_PAR");
+    std::env::set_var("SKEWBOUND_THREADS", "4");
+    assert_eq!(par::worker_count(64), 4, "SKEWBOUND_THREADS=4 must force 4 workers");
+    let par_exhaustive = exhaustive_fingerprint(&params);
+    let par_probe = probe_fingerprint(&params);
+
+    assert_eq!(seq_exhaustive, par_exhaustive, "exhaustive grid must be deterministic");
+    assert_eq!(seq_probe, par_probe, "scenario probe must be deterministic");
+    assert_eq!(seq_exhaustive.1, 64 * 7, "corner space is 2^6 x 7 runs");
+
+    // A panicking job surfaces as a panic carrying the job's message,
+    // and the pool shuts down cleanly (no hang, no abort).
+    let jobs: Vec<u32> = (0..64).collect();
+    let caught = std::panic::catch_unwind(|| {
+        par::run_grid(&jobs, |_, &j| {
+            assert!(j != 40, "job 40 exploded");
+            j
+        })
+    });
+    let msg = *caught
+        .expect_err("panic must propagate to the caller")
+        .downcast::<String>()
+        .expect("panic payload is the job's message");
+    assert!(msg.contains("job 40 exploded"), "got: {msg}");
+
+    std::env::remove_var("SKEWBOUND_THREADS");
+}

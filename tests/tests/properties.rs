@@ -1,10 +1,11 @@
 //! Property tests across the whole stack: for *any* seeded workload mix,
 //! clock assignment within `ε`, and admissible delay assignment,
 //! Algorithm 1 must produce linearizable histories, converging replicas,
-//! and latencies within the paper's bounds.
+//! and latencies within the paper's bounds. Cases are drawn from a
+//! seeded PRNG so failures reproduce deterministically.
 
-use proptest::prelude::*;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use skewbound_core::bounds;
 use skewbound_core::params::Params;
 use skewbound_core::replica::Replica;
@@ -17,35 +18,34 @@ use skewbound_sim::time::{ClockOffset, SimDuration};
 use skewbound_sim::workload::ClosedLoop;
 use skewbound_spec::prelude::*;
 
-fn arb_params() -> impl Strategy<Value = Params> {
-    // n in 2..=4, d in 5000..=12000, u <= d/2 (rounded to keep integers
-    // tame), X = 0.
-    (2usize..=4, 5_000u64..=12_000, 1u64..=8).prop_map(|(n, d, u_frac)| {
-        let u = d / 2 / u_frac;
-        Params::with_optimal_skew(
-            n,
-            SimDuration::from_ticks(d),
-            SimDuration::from_ticks(u.max(n as u64)),
-            SimDuration::ZERO,
-        )
-        .expect("valid")
-    })
+/// n in 2..=4, d in 5000..=12000, u <= d/2 (rounded to keep integers
+/// tame), X = 0.
+fn gen_params(rng: &mut StdRng) -> Params {
+    let n = rng.gen_range(2usize..=4);
+    let d = rng.gen_range(5_000u64..=12_000);
+    let u_frac = rng.gen_range(1u64..=8);
+    let u = d / 2 / u_frac;
+    Params::with_optimal_skew(
+        n,
+        SimDuration::from_ticks(d),
+        SimDuration::from_ticks(u.max(n as u64)),
+        SimDuration::ZERO,
+    )
+    .expect("valid")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    #[test]
-    fn queue_always_linearizable(
-        params in arb_params(),
-        seed in 0u64..1_000,
-    ) {
+#[test]
+fn queue_always_linearizable() {
+    for case in 0..40u64 {
+        let mut rng = StdRng::seed_from_u64(0x0AAE ^ case);
+        let params = gen_params(&mut rng);
+        let seed = rng.gen_range(0u64..1_000);
         let n = params.n();
         let mut driver = ClosedLoop::new(
             ProcessId::all(n).collect(),
             4,
             seed,
-            |pid, idx, rng| match (idx + rng.gen_range(0..3)) % 3 {
+            |pid, idx, rng| match (idx + rng.gen_range(0usize..3)) % 3 {
                 0 => QueueOp::Enqueue((pid.index() * 50 + idx) as i64),
                 1 => QueueOp::Dequeue,
                 _ => QueueOp::Peek,
@@ -61,16 +61,18 @@ proptest! {
         // Convergence.
         let s0 = sim.actor(ProcessId::new(0)).local_state().clone();
         for pid in ProcessId::all(n) {
-            prop_assert_eq!(sim.actor(pid).local_state(), &s0);
+            assert_eq!(sim.actor(pid).local_state(), &s0);
         }
     }
+}
 
-    #[test]
-    fn register_latency_bounds_hold(
-        params in arb_params(),
-        seed in 0u64..1_000,
-        offsets_seed in 0u64..1_000,
-    ) {
+#[test]
+fn register_latency_bounds_hold() {
+    for case in 0..40u64 {
+        let mut rng = StdRng::seed_from_u64(0x0BBE ^ case);
+        let params = gen_params(&mut rng);
+        let seed = rng.gen_range(0u64..1_000);
+        let offsets_seed = rng.gen_range(0u64..1_000);
         let n = params.n();
         // Arbitrary offsets within eps.
         let eps = params.eps().as_ticks();
@@ -98,7 +100,7 @@ proptest! {
         );
         sim.run_with(&mut driver).expect("run");
         let history = sim.history();
-        prop_assert!(history.is_complete());
+        assert!(history.is_complete());
         for rec in history.records() {
             let lat = rec.latency().unwrap();
             let bound = match &rec.op {
@@ -106,7 +108,7 @@ proptest! {
                 RmwOp::Read => bounds::ub_aop(&params),
                 RmwOp::Rmw(_) => bounds::ub_oop(&params),
             };
-            prop_assert!(
+            assert!(
                 lat <= bound,
                 "{:?} took {} > bound {}",
                 rec.op,
@@ -116,12 +118,14 @@ proptest! {
         }
         assert_linearizable(&RmwRegister::default(), history);
     }
+}
 
-    #[test]
-    fn counter_converges_to_sum(
-        params in arb_params(),
-        seed in 0u64..1_000,
-    ) {
+#[test]
+fn counter_converges_to_sum() {
+    for case in 0..40u64 {
+        let mut rng = StdRng::seed_from_u64(0x0CCE ^ case);
+        let params = gen_params(&mut rng);
+        let seed = rng.gen_range(0u64..1_000);
         let n = params.n();
         let mut driver = ClosedLoop::new(
             ProcessId::all(n).collect(),
@@ -145,22 +149,20 @@ proptest! {
             })
             .sum();
         for pid in ProcessId::all(n) {
-            prop_assert_eq!(*sim.actor(pid).local_state(), expected);
+            assert_eq!(*sim.actor(pid).local_state(), expected);
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(30))]
-
-    /// Lemma C.10 as a property: across random workloads, skews and
-    /// delays, all replicas execute the broadcast operations in the same
-    /// ascending timestamp order.
-    #[test]
-    fn executed_orders_identical_and_ascending(
-        params in arb_params(),
-        seed in 0u64..1_000,
-    ) {
+/// Lemma C.10 as a property: across random workloads, skews and
+/// delays, all replicas execute the broadcast operations in the same
+/// ascending timestamp order.
+#[test]
+fn executed_orders_identical_and_ascending() {
+    for case in 0..30u64 {
+        let mut rng = StdRng::seed_from_u64(0x0DDE ^ case);
+        let params = gen_params(&mut rng);
+        let seed = rng.gen_range(0u64..1_000);
         let n = params.n();
         let mut driver = ClosedLoop::new(
             ProcessId::all(n).collect(),
@@ -179,9 +181,9 @@ proptest! {
         );
         sim.run_with(&mut driver).expect("run");
         let order0 = sim.actor(ProcessId::new(0)).executed_order().to_vec();
-        prop_assert!(order0.windows(2).all(|w| w[0] < w[1]), "ascending");
+        assert!(order0.windows(2).all(|w| w[0] < w[1]), "ascending");
         for pid in ProcessId::all(n) {
-            prop_assert_eq!(sim.actor(pid).executed_order(), &order0[..]);
+            assert_eq!(sim.actor(pid).executed_order(), &order0[..]);
         }
     }
 }

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment for this workspace has no crates.io access. The
+//! workspace only *tags* its data types with `Serialize`/`Deserialize`
+//! derives for downstream consumers; nothing in-tree serializes through
+//! serde (the `tables` binary hand-writes its JSON). This stand-in keeps
+//! those derive attributes compiling: the traits are empty markers and
+//! the derive macros expand to nothing.
+//!
+//! If real serialization is ever needed, swap this path dependency back
+//! to the crates.io `serde` — the attribute surface is identical.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
