@@ -14,4 +14,22 @@ cargo test -q --workspace
 echo "== parallel grid determinism (forced 4-worker pool) =="
 SKEWBOUND_THREADS=4 cargo test -q -p skewbound-integration --test parallel_grid
 
+echo "== benches compile =="
+cargo bench --workspace --no-run
+
+echo "== grid bench smoke (per-stage fields) =="
+cargo run --release -p skewbound-bench --bin tables -- --object register >/dev/null
+for field in sim_wall_nanos check_wall_nanos check_nodes check_nodes_per_sec; do
+  value=$(grep -o "\"$field\": [0-9.]*" BENCH_grid.json | grep -o '[0-9.]*$' || true)
+  if [ -z "$value" ]; then
+    echo "BENCH_grid.json missing field: $field" >&2
+    exit 1
+  fi
+  if ! awk -v v="$value" 'BEGIN { exit !(v > 0) }'; then
+    echo "BENCH_grid.json field $field is zero: $value" >&2
+    exit 1
+  fi
+done
+echo "BENCH_grid.json per-stage fields present and non-zero"
+
 echo "ci.sh: all checks passed"

@@ -1,16 +1,21 @@
 //! Wall-time of the linearizability checker on histories produced by
-//! Algorithm 1 (the verification cost behind every experiment).
+//! Algorithm 1 (the verification cost behind every experiment), plus a
+//! synthetic memoization-stress family that measures raw DFS node
+//! throughput on wide-concurrency histories.
 
 mod common;
 
+use std::time::Instant;
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use skewbound_core::replica::Replica;
-use skewbound_lin::checker::check_history;
+use skewbound_lin::checker::{check_history, CheckOutcome};
 use skewbound_sim::clock::ClockAssignment;
 use skewbound_sim::delay::UniformDelay;
 use skewbound_sim::engine::Simulation;
 use skewbound_sim::history::History;
 use skewbound_sim::ids::ProcessId;
+use skewbound_sim::time::SimTime;
 use skewbound_sim::workload::ClosedLoop;
 use skewbound_spec::prelude::*;
 
@@ -35,6 +40,73 @@ fn queue_history(ops_per_process: usize) -> History<QueueOp<i64>, QueueResp<i64>
     sim.history().clone()
 }
 
+/// Width of each wave of mutually concurrent writes in the
+/// memoization-stress histories.
+const WAVE_WIDTH: usize = 8;
+
+/// The memoization-stress shape: sequential waves of `WAVE_WIDTH`
+/// mutually concurrent register writes (distinct values within a wave),
+/// closed by a read returning a never-written value. The read makes the
+/// history non-linearizable, so the checker must exhaust the whole
+/// `(taken-set, state)` space — every node is a memo-table hit or
+/// insertion, which is exactly the hashing/cloning hot path.
+fn memo_stress_history(total_ops: usize) -> History<RegOp<i64>, RegResp<i64>> {
+    assert!(total_ops >= 2);
+    let writes = total_ops - 1;
+    let mut h = History::new();
+    let mut ids = Vec::new();
+    let mut wave_start = 0u64;
+    let mut written = 0usize;
+    while written < writes {
+        let width = WAVE_WIDTH.min(writes - written);
+        for v in 0..width {
+            ids.push((
+                h.record_invoke(
+                    ProcessId::new(v as u32),
+                    RegOp::Write(v as i64),
+                    SimTime::from_ticks(wave_start),
+                ),
+                RegResp::Ack,
+                wave_start + 5,
+            ));
+        }
+        written += width;
+        wave_start += 10;
+    }
+    ids.push((
+        h.record_invoke(ProcessId::new(0), RegOp::Read, SimTime::from_ticks(wave_start)),
+        RegResp::Value(i64::MIN),
+        wave_start + 1,
+    ));
+    for (id, resp, at) in ids {
+        h.record_response(id, resp, SimTime::from_ticks(at));
+    }
+    h
+}
+
+/// One timed exhaustive check of a memo-stress history, reporting the
+/// node throughput (the per-layer number EXPERIMENTS.md tracks).
+fn report_node_throughput(n: usize) {
+    let history = memo_stress_history(n);
+    let spec = RwRegister::new(0);
+    // Warm-up + correctness: the family is non-linearizable by design.
+    let CheckOutcome::NotLinearizable(v) = check_history(&spec, &history) else {
+        panic!("memo-stress history must be a violation");
+    };
+    let start = Instant::now();
+    let iters = 10u32;
+    for _ in 0..iters {
+        criterion::black_box(check_history(&spec, &history));
+    }
+    let elapsed = start.elapsed() / iters;
+    #[allow(clippy::cast_precision_loss)]
+    let nodes_per_sec = v.nodes as f64 / elapsed.as_secs_f64();
+    println!(
+        "checker/memo_stress/{n:<4} nodes {:>8}  {elapsed:>12.3?}/check  {nodes_per_sec:>14.0} nodes/sec",
+        v.nodes,
+    );
+}
+
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("checker");
     for ops in [4usize, 8, 12] {
@@ -46,7 +118,18 @@ fn bench(c: &mut Criterion) {
             |b, h| b.iter(|| check_history(&Queue::<i64>::new(), h)),
         );
     }
+    for n in [20usize, 40, 60, 80, 128] {
+        let history = memo_stress_history(n);
+        group.bench_with_input(
+            BenchmarkId::new("memo_stress", n),
+            &history,
+            |b, h| b.iter(|| check_history(&RwRegister::new(0), h)),
+        );
+    }
     group.finish();
+    for n in [20usize, 40, 60, 80, 128] {
+        report_node_throughput(n);
+    }
 }
 
 criterion_group!(benches, bench);

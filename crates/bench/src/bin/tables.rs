@@ -88,10 +88,11 @@ fn main() {
             } else if !csv {
                 println!(
                     "grid sweep: {} runs on {} worker(s) in {elapsed:.3?} \
-                     ({:.0} events/sec of run time) -> BENCH_grid.json",
+                     ({:.0} events/sec sim, {:.0} checker nodes/sec) -> BENCH_grid.json",
                     stats.runs,
                     stats.workers,
                     stats.events_per_sec(),
+                    stats.check_nodes_per_sec(),
                 );
             }
         }
@@ -148,13 +149,18 @@ fn main() {
 fn write_grid_bench(stats: &GridStats, elapsed: std::time::Duration) -> std::io::Result<()> {
     let json = format!(
         "{{\n  \"runs\": {},\n  \"workers\": {},\n  \"elapsed_nanos\": {},\n  \
-         \"run_wall_nanos\": {},\n  \"events\": {},\n  \"events_per_sec\": {:.1}\n}}\n",
+         \"sim_wall_nanos\": {},\n  \"check_wall_nanos\": {},\n  \"events\": {},\n  \
+         \"events_per_sec\": {:.1},\n  \"check_nodes\": {},\n  \
+         \"check_nodes_per_sec\": {:.1}\n}}\n",
         stats.runs,
         stats.workers,
         elapsed.as_nanos(),
-        stats.wall_nanos,
+        stats.sim_wall_nanos,
+        stats.check_wall_nanos,
         stats.events,
         stats.events_per_sec(),
+        stats.check_nodes,
+        stats.check_nodes_per_sec(),
     );
     std::fs::write("BENCH_grid.json", json)
 }

@@ -16,10 +16,12 @@ use rand::rngs::StdRng;
 use skewbound_core::centralized::Centralized;
 use skewbound_core::params::Params;
 use skewbound_core::replica::Replica;
+use skewbound_lin::{check_history, validate_linearization, CheckOutcome};
 use skewbound_sim::actor::Actor;
 use skewbound_sim::clock::ClockAssignment;
 use skewbound_sim::delay::{DelayBounds, DelayModel, FixedDelay, MsgMeta, UniformDelay};
 use skewbound_sim::engine::Simulation;
+use skewbound_sim::history::History;
 use skewbound_sim::ids::ProcessId;
 use skewbound_sim::par::{run_grid, worker_count};
 use skewbound_sim::time::SimDuration;
@@ -29,29 +31,48 @@ use skewbound_spec::prelude::*;
 /// Worst-case latency observed per operation label.
 pub type MaxLatencies = BTreeMap<&'static str, SimDuration>;
 
-/// Aggregate execution statistics for one measurement grid.
+/// Aggregate execution statistics for one measurement grid, split by
+/// pipeline stage: simulating runs vs. linearizability-checking the
+/// histories they produced.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct GridStats {
     /// Number of simulation runs in the grid.
     pub runs: u64,
     /// Total engine events processed across all runs.
     pub events: u64,
-    /// Summed per-run wall-clock time, in nanoseconds. With the parallel
-    /// runner this exceeds elapsed time — it is the total CPU-side work.
-    pub wall_nanos: u64,
+    /// Summed per-run simulation wall-clock time, in nanoseconds. With
+    /// the parallel runner this exceeds elapsed time — it is the total
+    /// CPU-side work of the sim stage.
+    pub sim_wall_nanos: u64,
+    /// Summed wall-clock time spent checking run histories for
+    /// linearizability, in nanoseconds.
+    pub check_wall_nanos: u64,
+    /// Total DFS nodes the checker explored across all runs.
+    pub check_nodes: u64,
     /// Worker threads the grid was fanned out over.
     pub workers: usize,
 }
 
 impl GridStats {
-    /// Engine events per second of summed run wall-clock time.
+    /// Engine events per second of summed sim-stage wall-clock time.
     #[must_use]
     pub fn events_per_sec(&self) -> f64 {
-        if self.wall_nanos == 0 {
+        Self::rate(self.events, self.sim_wall_nanos)
+    }
+
+    /// Checker DFS nodes per second of summed check-stage wall-clock
+    /// time.
+    #[must_use]
+    pub fn check_nodes_per_sec(&self) -> f64 {
+        Self::rate(self.check_nodes, self.check_wall_nanos)
+    }
+
+    fn rate(count: u64, nanos: u64) -> f64 {
+        if nanos == 0 {
             return 0.0;
         }
         #[allow(clippy::cast_precision_loss)]
-        let rate = self.events as f64 / self.wall_nanos as f64 * 1e9;
+        let rate = count as f64 / nanos as f64 * 1e9;
         rate
     }
 
@@ -59,7 +80,9 @@ impl GridStats {
     pub fn absorb(&mut self, other: GridStats) {
         self.runs += other.runs;
         self.events += other.events;
-        self.wall_nanos += other.wall_nanos;
+        self.sim_wall_nanos += other.sim_wall_nanos;
+        self.check_wall_nanos += other.check_wall_nanos;
+        self.check_nodes += other.check_nodes;
         self.workers = self.workers.max(other.workers);
     }
 }
@@ -137,9 +160,50 @@ fn grid_points(params: &Params, delay_specs: &[DelaySpec]) -> Vec<GridPoint> {
     points
 }
 
+/// Outcome of checking one run's history: nodes the DFS explored and
+/// the wall-clock time it took.
+#[derive(Debug, Clone, Copy)]
+struct CheckSample {
+    nodes: u64,
+    wall_nanos: u64,
+}
+
+/// Checks one run's history against the spec and returns the node count.
+/// Histories beyond the checker's 128-op bitmask are skipped (reported
+/// as zero nodes) rather than split, keeping the measurement unbiased.
+///
+/// # Panics
+///
+/// Panics if the run produced a non-linearizable history: every grid
+/// point simulates a correct implementation, so a violation here is an
+/// engine or implementation bug, not a measurement result.
+fn check_linearizable<S: SequentialSpec>(spec: &S, history: &History<S::Op, S::Resp>) -> u64 {
+    if history.len() > 128 {
+        return 0;
+    }
+    match check_history(spec, history) {
+        CheckOutcome::Linearizable(lin) => {
+            debug_assert!(
+                validate_linearization(spec, history, &lin),
+                "checker returned an invalid witness"
+            );
+            lin.nodes
+        }
+        CheckOutcome::Unknown { nodes } => nodes,
+        CheckOutcome::NotLinearizable(v) => panic!(
+            "measurement run produced a non-linearizable history \
+             ({} ops, longest legal prefix {})",
+            v.total_ops,
+            v.longest_prefix.len()
+        ),
+    }
+}
+
 /// Runs one closed-loop workload and returns each completed operation's
-/// worst latency per label, plus the engine report.
-fn run_point<A, D, G, L>(
+/// worst latency per label, plus the engine report and the (timed)
+/// linearizability check of the run's history.
+#[allow(clippy::too_many_arguments)]
+fn run_point<A, D, G, L, C>(
     actors: Vec<A>,
     clocks: ClockAssignment,
     delays: D,
@@ -147,39 +211,53 @@ fn run_point<A, D, G, L>(
     seed: u64,
     gen: G,
     label: L,
-) -> (MaxLatencies, skewbound_sim::engine::SimReport)
+    check: &C,
+) -> (MaxLatencies, skewbound_sim::engine::SimReport, CheckSample)
 where
     A: Actor,
     A::Op: Clone,
     D: DelayModel,
     G: FnMut(ProcessId, usize, &mut StdRng) -> A::Op,
     L: Fn(&A::Op) -> &'static str,
+    C: Fn(&History<A::Op, A::Resp>) -> u64,
 {
     let n = clocks.len();
     let mut driver = ClosedLoop::new(ProcessId::all(n).collect(), ops_per_process, seed, gen);
     let mut sim = Simulation::new(actors, clocks, delays);
     let report = sim.run_with(&mut driver).expect("measurement run failed");
     assert!(sim.history().is_complete(), "incomplete measurement run");
+    let check_start = std::time::Instant::now();
+    let nodes = check(sim.history());
+    let check_wall =
+        u64::try_from(check_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
     let mut acc = MaxLatencies::new();
     for rec in sim.history().records() {
         let lat = rec.latency().expect("complete");
         let entry = acc.entry(label(&rec.op)).or_insert(SimDuration::ZERO);
         *entry = (*entry).max(lat);
     }
-    (acc, report)
+    (
+        acc,
+        report,
+        CheckSample {
+            nodes,
+            wall_nanos: check_wall,
+        },
+    )
 }
 
 /// Fans a grid out over the [`skewbound_sim::par`] worker pool and merges
 /// the per-point results in grid order. Merging maxima is
 /// order-insensitive, so the merged latencies are identical to the
 /// sequential loops' regardless of worker count.
-fn measure_grid<A, F, G, L>(
+fn measure_grid<A, F, G, L, C>(
     points: &[GridPoint],
     make_actors: F,
     bounds: DelayBounds,
     ops_per_process: usize,
     gen: &G,
     label: L,
+    check: &C,
 ) -> (MaxLatencies, GridStats)
 where
     A: Actor,
@@ -187,6 +265,7 @@ where
     F: Fn() -> Vec<A> + Sync,
     G: FnMut(ProcessId, usize, &mut StdRng) -> A::Op + Clone + Sync,
     L: Fn(&A::Op) -> &'static str + Copy + Sync,
+    C: Fn(&History<A::Op, A::Resp>) -> u64 + Sync,
 {
     let results = run_grid(points, |_, point| {
         run_point(
@@ -197,6 +276,7 @@ where
             point.run_seed,
             gen.clone(),
             label,
+            check,
         )
     });
     let mut acc = MaxLatencies::new();
@@ -204,14 +284,16 @@ where
         workers: worker_count(points.len()),
         ..GridStats::default()
     };
-    for (latencies, report) in results {
+    for (latencies, report, check_sample) in results {
         for (op, lat) in latencies {
             let entry = acc.entry(op).or_insert(SimDuration::ZERO);
             *entry = (*entry).max(lat);
         }
         stats.runs += 1;
         stats.events += report.events;
-        stats.wall_nanos += report.wall_nanos;
+        stats.sim_wall_nanos += report.wall_nanos;
+        stats.check_nodes += check_sample.nodes;
+        stats.check_wall_nanos += check_sample.wall_nanos;
     }
     (acc, stats)
 }
@@ -268,6 +350,7 @@ where
     let bounds = params.delay_bounds();
     let spec = Arc::new(spec);
     let points = grid_points(params, &REPLICA_DELAYS);
+    let check_spec = Arc::clone(&spec);
     measure_grid(
         &points,
         || Replica::group_shared(&spec, params),
@@ -275,6 +358,7 @@ where
         ops_per_process,
         &gen,
         label,
+        &move |history| check_linearizable(check_spec.as_ref(), history),
     )
 }
 
@@ -312,6 +396,7 @@ where
     let n = params.n();
     let spec = Arc::new(spec);
     let points = grid_points(params, &CENTRALIZED_DELAYS);
+    let check_spec = Arc::clone(&spec);
     measure_grid(
         &points,
         || Centralized::group_shared(&spec, n),
@@ -319,6 +404,7 @@ where
         ops_per_process,
         &gen,
         label,
+        &move |history| check_linearizable(check_spec.as_ref(), history),
     )
 }
 
@@ -454,6 +540,27 @@ mod tests {
         }
         // Under maximal fixed delays some remote op hits exactly 2d.
         assert!(measured.values().any(|&l| l == two_d));
+    }
+
+    #[test]
+    fn grid_stats_split_both_stages_populated() {
+        let p = params();
+        let (_, stats) = measure_replica_grid_stats(
+            RmwRegister::default(),
+            &p,
+            4,
+            register_gen,
+            register_label,
+        );
+        assert!(stats.runs > 0);
+        assert!(stats.events > 0);
+        assert!(stats.sim_wall_nanos > 0, "sim stage must be timed");
+        assert!(stats.check_wall_nanos > 0, "check stage must be timed");
+        // Every run's 16-op history explores at least one DFS node per
+        // linearized operation.
+        assert!(stats.check_nodes >= stats.runs * 16);
+        assert!(stats.events_per_sec() > 0.0);
+        assert!(stats.check_nodes_per_sec() > 0.0);
     }
 
     #[test]

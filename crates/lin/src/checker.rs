@@ -13,12 +13,26 @@
 //! its recorded response matches what the specification returns. A
 //! `(taken-set, state)` memo table prunes re-exploration, which makes the
 //! search practical for the history sizes the experiments produce.
+//!
+//! Three hot-path engineering choices keep the per-node cost flat in the
+//! history size (see DESIGN.md §7):
+//!
+//! * states are hash-consed through a [`StateInterner`], so the memo set
+//!   stores 20-byte `(u128, u32)` keys instead of cloned states;
+//! * both tables hash with [`fxhash`] instead of SipHash;
+//! * each node iterates a precomputed *ready-set* bitmask (ops whose
+//!   real-time predecessors are all taken) via `trailing_zeros`, instead
+//!   of scanning all `n` records. The mask is maintained incrementally
+//!   from per-op successor masks. Candidates are still visited in
+//!   ascending index order, so outcomes (witnesses, violation
+//!   certificates, node counts) are bit-identical to the scanning
+//!   implementation.
 
-use std::collections::HashSet;
-
-use skewbound_sim::history::History;
+use skewbound_sim::history::{History, OpRecord};
 use skewbound_sim::ids::OpId;
 use skewbound_spec::seqspec::SequentialSpec;
+
+use crate::intern::{SeenSet, StateInterner};
 
 /// Search limits for the checker.
 #[derive(Debug, Clone, Copy)]
@@ -126,24 +140,21 @@ pub fn check_history_with<S: SequentialSpec>(
     }
 
     let records = history.records();
-    // precedes[i] = bitmask of operations that must come before op i
-    // (their response is before i's invocation).
-    let mut predecessors = vec![0u128; n];
-    for (i, a) in records.iter().enumerate() {
-        for (j, b) in records.iter().enumerate() {
-            if i != j && a.precedes(b) {
-                predecessors[j] |= 1u128 << i;
-            }
-        }
-    }
+    let predecessors = predecessor_masks(records);
+    let successors = successor_masks(&predecessors);
+    let ready = initial_ready(&predecessors);
 
     let full: u128 = if n == 128 { u128::MAX } else { (1u128 << n) - 1 };
     let mut dfs = Dfs {
         spec,
         records,
         predecessors: &predecessors,
+        successors: &successors,
         full,
-        seen: HashSet::new(),
+        interner: StateInterner::with_capacity(n * 8),
+        // Pre-size the memo table: node counts grow superlinearly in n,
+        // and growth rehashes are pure overhead on the hot path.
+        seen: SeenSet::with_capacity_and_hasher(n * 64, fxhash::FxBuildHasher::default()),
         // One shared order buffer, pushed/popped along the DFS path
         // instead of cloned per node (histories are ≤ 128 ops, so the
         // recursion depth is bounded).
@@ -153,7 +164,7 @@ pub fn check_history_with<S: SequentialSpec>(
         max_nodes: limits.max_nodes,
     };
     let initial = spec.initial();
-    match dfs.explore(0, &initial) {
+    match dfs.explore(0, ready, &initial) {
         DfsOutcome::Found => CheckOutcome::Linearizable(Linearization {
             order: dfs.order,
             nodes: dfs.nodes,
@@ -167,6 +178,69 @@ pub fn check_history_with<S: SequentialSpec>(
     }
 }
 
+/// `predecessors[i]` = bitmask of operations that must come before op `i`
+/// (their response is before `i`'s invocation).
+pub(crate) fn predecessor_masks<O, R>(records: &[OpRecord<O, R>]) -> Vec<u128> {
+    let n = records.len();
+    let mut predecessors = vec![0u128; n];
+    for (i, a) in records.iter().enumerate() {
+        for (j, b) in records.iter().enumerate() {
+            if i != j && a.precedes(b) {
+                predecessors[j] |= 1u128 << i;
+            }
+        }
+    }
+    predecessors
+}
+
+/// `successors[i]` = bitmask of operations with op `i` as an *immediate*
+/// predecessor (no third op strictly between them in real time) — the
+/// only ops that can become ready the moment `i` is taken.
+///
+/// Restricting to the transitive reduction is sound: real-time precedence
+/// is transitive, so if the last-taken predecessor `k` of `j` were
+/// non-immediate, some intermediate `m` (with `k ≺ m ≺ j`) would have to
+/// be taken after `k` — contradicting `k` being last. And it matters:
+/// full successor sets grow linearly with the history (every op precedes
+/// all sufficiently-late ops), which would put an `O(n)` scan back into
+/// every DFS node.
+pub(crate) fn successor_masks(predecessors: &[u128]) -> Vec<u128> {
+    let n = predecessors.len();
+    let mut full = vec![0u128; n];
+    for (j, &preds) in predecessors.iter().enumerate() {
+        let mut p = preds;
+        while p != 0 {
+            let i = p.trailing_zeros() as usize;
+            p &= p - 1;
+            full[i] |= 1u128 << j;
+        }
+    }
+    let mut reduced = vec![0u128; n];
+    for (j, &preds) in predecessors.iter().enumerate() {
+        let mut p = preds;
+        while p != 0 {
+            let i = p.trailing_zeros() as usize;
+            p &= p - 1;
+            // i → j is immediate iff no k with i ≺ k ≺ j.
+            if full[i] & preds == 0 {
+                reduced[i] |= 1u128 << j;
+            }
+        }
+    }
+    reduced
+}
+
+/// The ops ready at the empty prefix: those with no predecessors.
+pub(crate) fn initial_ready(predecessors: &[u128]) -> u128 {
+    let mut ready = 0u128;
+    for (i, &preds) in predecessors.iter().enumerate() {
+        if preds == 0 {
+            ready |= 1u128 << i;
+        }
+    }
+    ready
+}
+
 enum DfsOutcome {
     /// A witness permutation was completed; `Dfs::order` holds it.
     Found,
@@ -178,10 +252,12 @@ enum DfsOutcome {
 
 struct Dfs<'a, S: SequentialSpec> {
     spec: &'a S,
-    records: &'a [skewbound_sim::history::OpRecord<S::Op, S::Resp>],
+    records: &'a [OpRecord<S::Op, S::Resp>],
     predecessors: &'a [u128],
+    successors: &'a [u128],
     full: u128,
-    seen: HashSet<(u128, S::State)>,
+    interner: StateInterner<S::State>,
+    seen: SeenSet,
     order: Vec<OpId>,
     longest_prefix: Vec<OpId>,
     nodes: u64,
@@ -189,7 +265,9 @@ struct Dfs<'a, S: SequentialSpec> {
 }
 
 impl<S: SequentialSpec> Dfs<'_, S> {
-    fn explore(&mut self, taken: u128, state: &S::State) -> DfsOutcome {
+    /// `ready` holds exactly the not-taken ops whose predecessors are all
+    /// in `taken`; candidates pop off it in ascending index order.
+    fn explore(&mut self, taken: u128, ready: u128, state: &S::State) -> DfsOutcome {
         self.nodes += 1;
         if self.nodes > self.max_nodes {
             return DfsOutcome::NodeLimit;
@@ -201,23 +279,32 @@ impl<S: SequentialSpec> Dfs<'_, S> {
             self.longest_prefix.clear();
             self.longest_prefix.extend_from_slice(&self.order);
         }
-        for (i, rec) in self.records.iter().enumerate() {
-            let bit = 1u128 << i;
-            if taken & bit != 0 {
-                continue;
-            }
-            // All real-time predecessors must already be linearized.
-            if self.predecessors[i] & !taken != 0 {
-                continue;
-            }
+        let mut candidates = ready;
+        while candidates != 0 {
+            let i = candidates.trailing_zeros() as usize;
+            candidates &= candidates - 1;
+            let rec = &self.records[i];
             let (next_state, resp) = self.spec.apply(state, &rec.op);
             if Some(&resp) != rec.resp() {
                 continue;
             }
+            let bit = 1u128 << i;
             let next_taken = taken | bit;
-            if self.seen.insert((next_taken, next_state.clone())) {
+            let state_id = self.interner.intern(&next_state);
+            if self.seen.insert((next_taken, state_id)) {
+                // Taking i may ready some of its successors: those whose
+                // remaining predecessors are now all taken.
+                let mut next_ready = ready & !bit;
+                let mut newly = self.successors[i] & !next_taken;
+                while newly != 0 {
+                    let j = newly.trailing_zeros() as usize;
+                    newly &= newly - 1;
+                    if self.predecessors[j] & !next_taken == 0 {
+                        next_ready |= 1u128 << j;
+                    }
+                }
                 self.order.push(rec.id);
-                match self.explore(next_taken, &next_state) {
+                match self.explore(next_taken, next_ready, &next_state) {
                     DfsOutcome::Exhausted => {
                         self.order.pop();
                     }
@@ -244,54 +331,54 @@ pub fn check_history_brute_force<S: SequentialSpec>(
     assert!(history.is_complete(), "complete histories only");
     let n = history.len();
     assert!(n <= 8, "brute force capped at 8 operations");
+    if n == 0 {
+        return true;
+    }
     let records = history.records();
-    let mut indices: Vec<usize> = (0..n).collect();
-    // Enumerate permutations via Heap's algorithm.
-    fn heaps(k: usize, arr: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+
+    // Tests one permutation; `true` stops the enumeration.
+    let accepts = |perm: &[usize]| {
+        // Real-time order respected?
+        for (pos_a, &a) in perm.iter().enumerate() {
+            for &b in &perm[pos_a + 1..] {
+                if records[b].precedes(&records[a]) {
+                    return false;
+                }
+            }
+        }
+        // Legal?
+        let mut state = spec.initial();
+        for &i in perm {
+            let (s2, r) = spec.apply(&state, &records[i].op);
+            if Some(&r) != records[i].resp() {
+                return false;
+            }
+            state = s2;
+        }
+        true
+    };
+
+    // Enumerate permutations via Heap's algorithm, streaming each through
+    // the acceptance test (returning on the first success) instead of
+    // materializing all n! of them up front.
+    fn heaps<F: FnMut(&[usize]) -> bool>(k: usize, arr: &mut [usize], accepts: &mut F) -> bool {
         if k == 1 {
-            out.push(arr.clone());
-            return;
+            return accepts(arr);
         }
         for i in 0..k {
-            heaps(k - 1, arr, out);
+            if heaps(k - 1, arr, accepts) {
+                return true;
+            }
             if k.is_multiple_of(2) {
                 arr.swap(i, k - 1);
             } else {
                 arr.swap(0, k - 1);
             }
         }
+        false
     }
-    let mut perms = Vec::new();
-    if n == 0 {
-        return true;
-    }
-    heaps(n, &mut indices, &mut perms);
-
-    'perm: for perm in perms {
-        // Real-time order respected?
-        for (pos_a, &a) in perm.iter().enumerate() {
-            for &b in &perm[pos_a + 1..] {
-                if records[b].precedes(&records[a]) {
-                    continue 'perm;
-                }
-            }
-        }
-        // Legal?
-        let mut state = spec.initial();
-        let mut ok = true;
-        for &i in &perm {
-            let (s2, r) = spec.apply(&state, &records[i].op);
-            if Some(&r) != records[i].resp() {
-                ok = false;
-                break;
-            }
-            state = s2;
-        }
-        if ok {
-            return true;
-        }
-    }
-    false
+    let mut indices: Vec<usize> = (0..n).collect();
+    heaps(n, &mut indices, &mut { accepts })
 }
 
 /// Verifies that a claimed linearization is valid for `history` under
@@ -309,12 +396,21 @@ pub fn validate_linearization<S: SequentialSpec>(
     }
     let mut used = vec![false; n];
     let mut state = spec.initial();
-    let mut seen: Vec<&skewbound_sim::history::OpRecord<S::Op, S::Resp>> = Vec::new();
+    let mut seen: Vec<&OpRecord<S::Op, S::Resp>> = Vec::new();
     for id in &lin.order {
+        // A linearization from another (larger) history, or a hand-built
+        // one, may carry foreign or non-dense ids: reject rather than
+        // index out of bounds or validate against the wrong record.
+        let idx = id.as_u64() as usize;
+        if idx >= n {
+            return false;
+        }
         let Some(rec) = history.get(*id) else {
             return false;
         };
-        let idx = id.as_u64() as usize;
+        if rec.id != *id {
+            return false;
+        }
         if used[idx] {
             return false;
         }
@@ -527,5 +623,44 @@ mod tests {
             nodes: 0,
         };
         assert!(!validate_linearization(&RwRegister::new(0), &h, &bad));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_ids_without_panicking() {
+        // Ids from a different (larger) history must be rejected, not
+        // index out of bounds in the used-op bookkeeping.
+        let h = reg_history(&[
+            (0, 0, 1, RegOp::Write(1), RegResp::Ack),
+            (0, 2, 3, RegOp::Read, RegResp::Value(1)),
+        ]);
+        let foreign = Linearization {
+            order: vec![
+                skewbound_sim::ids::OpId::new(0),
+                skewbound_sim::ids::OpId::new(u64::MAX),
+            ],
+            nodes: 0,
+        };
+        assert!(!validate_linearization(&RwRegister::new(0), &h, &foreign));
+        let oob = Linearization {
+            order: vec![
+                skewbound_sim::ids::OpId::new(2),
+                skewbound_sim::ids::OpId::new(3),
+            ],
+            nodes: 0,
+        };
+        assert!(!validate_linearization(&RwRegister::new(0), &h, &oob));
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_ids() {
+        let h = reg_history(&[
+            (0, 0, 1, RegOp::Write(1), RegResp::Ack),
+            (0, 2, 3, RegOp::Read, RegResp::Value(1)),
+        ]);
+        let dup = Linearization {
+            order: vec![skewbound_sim::ids::OpId::new(0), skewbound_sim::ids::OpId::new(0)],
+            nodes: 0,
+        };
+        assert!(!validate_linearization(&RwRegister::new(0), &h, &dup));
     }
 }

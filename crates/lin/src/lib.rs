@@ -29,6 +29,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod checker;
+pub mod intern;
 pub mod multi;
 pub mod pending;
 

@@ -13,13 +13,12 @@
 //! operations are linearized (remaining pending ops are then the
 //! "removed" ones).
 
-use std::collections::HashSet;
-
 use skewbound_sim::history::History;
 use skewbound_sim::ids::OpId;
 use skewbound_spec::seqspec::SequentialSpec;
 
-use crate::checker::{CheckLimits, CheckOutcome, Linearization, Violation};
+use crate::checker::{predecessor_masks, CheckLimits, CheckOutcome, Linearization, Violation};
+use crate::intern::{SeenSet, StateInterner};
 
 /// Checks a possibly-incomplete history: pending invocations may be
 /// linearized (with the specification's response) or dropped.
@@ -59,14 +58,7 @@ pub fn check_pending_with<S: SequentialSpec>(
     }
 
     let records = history.records();
-    let mut predecessors = vec![0u128; n];
-    for (i, a) in records.iter().enumerate() {
-        for (j, b) in records.iter().enumerate() {
-            if i != j && a.precedes(b) {
-                predecessors[j] |= 1u128 << i;
-            }
-        }
-    }
+    let predecessors = predecessor_masks(records);
     let completed_mask: u128 = records
         .iter()
         .enumerate()
@@ -74,7 +66,10 @@ pub fn check_pending_with<S: SequentialSpec>(
         .map(|(i, _)| 1u128 << i)
         .sum();
 
-    let mut seen: HashSet<(u128, S::State)> = HashSet::new();
+    // Same hash-consed memo representation as the complete-history
+    // checker: `(taken, interned state id)` under fxhash.
+    let mut interner: StateInterner<S::State> = StateInterner::new();
+    let mut seen: SeenSet = SeenSet::default();
     let mut stack: Vec<(u128, S::State, Vec<OpId>)> = vec![(0, spec.initial(), Vec::new())];
     let mut nodes = 0u64;
     let mut longest_prefix: Vec<OpId> = Vec::new();
@@ -109,7 +104,8 @@ pub fn check_pending_with<S: SequentialSpec>(
                 }
             }
             let next_taken = taken | bit;
-            if seen.insert((next_taken, next_state.clone())) {
+            let state_id = interner.intern(&next_state);
+            if seen.insert((next_taken, state_id)) {
                 let mut next_order = order.clone();
                 next_order.push(rec.id);
                 stack.push((next_taken, next_state, next_order));

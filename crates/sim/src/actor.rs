@@ -16,6 +16,7 @@ use core::fmt;
 
 use crate::ids::{ProcessId, TimerId};
 use crate::time::{ClockTime, SimDuration};
+use crate::timers::TimerSlab;
 
 /// A process in the message-passing system.
 ///
@@ -84,7 +85,7 @@ pub struct Context<'a, A: Actor> {
     pid: ProcessId,
     n: usize,
     clock: ClockTime,
-    next_timer_id: &'a mut u64,
+    timer_slab: &'a mut TimerSlab,
     effects: &'a mut Effects<A>,
 }
 
@@ -103,14 +104,14 @@ impl<'a, A: Actor> Context<'a, A> {
         pid: ProcessId,
         n: usize,
         clock: ClockTime,
-        next_timer_id: &'a mut u64,
+        timer_slab: &'a mut TimerSlab,
         effects: &'a mut Effects<A>,
     ) -> Self {
         Context {
             pid,
             n,
             clock,
-            next_timer_id,
+            timer_slab,
             effects,
         }
     }
@@ -166,8 +167,7 @@ impl<'a, A: Actor> Context<'a, A> {
     /// A zero delay fires at the current instant, after all effects of the
     /// current handler are applied.
     pub fn set_timer(&mut self, delay: SimDuration, timer: A::Timer) -> TimerId {
-        let id = TimerId::new(*self.next_timer_id);
-        *self.next_timer_id += 1;
+        let id = self.timer_slab.alloc();
         self.effects.timers.push((id, delay, timer));
         id
     }
@@ -218,13 +218,13 @@ mod tests {
 
     fn ctx_harness<F: FnOnce(&mut Context<'_, Echo>)>(f: F) -> Effects<Echo> {
         let mut effects = Effects::new();
-        let mut next = 0;
+        let mut slab = TimerSlab::new();
         {
             let mut ctx = Context::new(
                 ProcessId::new(0),
                 3,
                 ClockTime::from_ticks(5),
-                &mut next,
+                &mut slab,
                 &mut effects,
             );
             f(&mut ctx);

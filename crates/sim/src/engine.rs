@@ -16,7 +16,7 @@
 //! * clocks are fixed offsets from real time.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
 use crate::actor::{Actor, Context, Effects};
 use crate::clock::ClockAssignment;
@@ -24,6 +24,7 @@ use crate::delay::{DelayModel, MsgMeta};
 use crate::history::History;
 use crate::ids::{MsgId, OpId, ProcessId, TimerId};
 use crate::time::{SimDuration, SimTime};
+use crate::timers::TimerSlab;
 use crate::trace::{Trace, TraceEventKind};
 use crate::workload::Driver;
 
@@ -201,9 +202,10 @@ pub struct Simulation<A: Actor, D: DelayModel> {
     seq: u64,
     now: SimTime,
     started: bool,
-    next_timer_id: u64,
-    cancelled: HashSet<TimerId>,
-    pending_timers: HashSet<TimerId>,
+    /// Timer liveness: a generation-stamped slab instead of hash sets —
+    /// set/cancel/expiry are all O(1) integer compares (see
+    /// [`crate::timers`]).
+    timers: TimerSlab,
     pending_op: Vec<Option<OpId>>,
     /// Per ordered pair `(from, to)` send counters, flattened to
     /// `from * n + to` (grids run millions of short simulations; a flat
@@ -254,9 +256,7 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
             seq: 0,
             now: SimTime::ZERO,
             started: false,
-            next_timer_id: 0,
-            cancelled: HashSet::new(),
-            pending_timers: HashSet::new(),
+            timers: TimerSlab::with_capacity(2 * n),
             pending_op: vec![None; n],
             pair_seq: vec![0; n * n],
             next_msg_id: 0,
@@ -369,7 +369,9 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
         Dr: Driver<A::Op, A::Resp> + ?Sized,
     {
         let wall_start = std::time::Instant::now();
-        for (pid, at, op) in driver.initial() {
+        let initial = driver.initial();
+        self.queue.reserve(initial.len());
+        for (pid, at, op) in initial {
             self.schedule_invoke(pid, at, op);
         }
         if !self.started {
@@ -416,10 +418,11 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
                     self.activate(pid, |actor, ctx| actor.on_message(from, msg, ctx), driver);
                 }
                 EventKind::Timer { id, timer } => {
-                    if self.cancelled.remove(&id) {
+                    // A stale generation means the timer was cancelled
+                    // after this expiry event was queued.
+                    if !self.timers.fire(id) {
                         continue;
                     }
-                    self.pending_timers.remove(&id);
                     if let Some(trace) = &mut self.trace {
                         trace.record(
                             self.now,
@@ -450,7 +453,7 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
         let clock = self.clocks.clock_at(pid, self.now);
         let mut effects = Effects::new();
         {
-            let mut ctx = Context::new(pid, n, clock, &mut self.next_timer_id, &mut effects);
+            let mut ctx = Context::new(pid, n, clock, &mut self.timers, &mut effects);
             f(&mut self.actors[pid.index()], &mut ctx);
         }
         self.apply_effects(pid, effects, driver);
@@ -519,7 +522,7 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
         }
 
         for (id, delay, timer) in timers {
-            self.pending_timers.insert(id);
+            // Already allocated live in the slab by `Context::set_timer`.
             let seq = self.bump_seq();
             // Timer delays are in clock units; under drift (a non-unit
             // clock rate) convert to real time.
@@ -533,9 +536,7 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
         }
 
         for id in cancels {
-            if self.pending_timers.remove(&id) {
-                self.cancelled.insert(id);
-            }
+            self.timers.cancel(id);
         }
 
         if let Some(resp) = response {

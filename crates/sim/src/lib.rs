@@ -64,6 +64,7 @@ pub mod par;
 pub mod rt;
 pub mod stats;
 pub mod time;
+pub mod timers;
 pub mod trace;
 pub mod workload;
 

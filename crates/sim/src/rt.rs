@@ -36,6 +36,7 @@ use crate::delay::DelayBounds;
 use crate::history::History;
 use crate::ids::{OpId, ProcessId, TimerId};
 use crate::time::{SimDuration, SimTime};
+use crate::timers::TimerSlab;
 
 /// A scripted invocation for [`run_threaded`].
 #[derive(Debug, Clone)]
@@ -407,7 +408,10 @@ fn worker_loop<A: Actor>(
     }
 
     let mut timers: Vec<PendingTimer<A::Timer>> = Vec::new();
-    let mut next_timer_id = 0u64;
+    // Ids come from the same slab the engine uses; the worker's schedule
+    // stays in the Vec (fire order needs `fire_at`), the slab just hands
+    // out generation-stamped ids and retires them on cancel/fire.
+    let mut timer_slab = TimerSlab::new();
     let mut pending_op: Option<OpId> = None;
     let mut shutdown = false;
 
@@ -420,6 +424,7 @@ fn worker_loop<A: Actor>(
         done_tx: &Sender<()>,
         resp_tx: &Sender<A::Resp>,
         timers: &mut Vec<PendingTimer<A::Timer>>,
+        timer_slab: &mut TimerSlab,
         pending_op: &mut Option<OpId>,
         rng: &mut StdRng,
         bounds: DelayBounds,
@@ -449,7 +454,9 @@ fn worker_loop<A: Actor>(
             });
         }
         for id in cancels {
-            timers.retain(|t| t.id != id);
+            if timer_slab.cancel(id) {
+                timers.retain(|t| t.id != id);
+            }
         }
         if let Some(resp) = response {
             let op_id = pending_op
@@ -476,15 +483,16 @@ fn worker_loop<A: Actor>(
                 .map(|(i, _)| i);
             let Some(i) = due else { break };
             let t = timers.swap_remove(i);
+            timer_slab.fire(t.id);
             let mut effects = Effects::new();
             {
                 let clock = instant_to_sim(epoch, Instant::now()).to_clock(offset);
-                let mut ctx = Context::new(pid, n, clock, &mut next_timer_id, &mut effects);
+                let mut ctx = Context::new(pid, n, clock, &mut timer_slab, &mut effects);
                 actor.on_timer(t.timer, &mut ctx);
             }
             apply(
                 pid, effects, router_tx, history, done_tx, resp_tx, &mut timers,
-                &mut pending_op, rng, bounds, epoch,
+                &mut timer_slab, &mut pending_op, rng, bounds, epoch,
             );
         }
         if shutdown && timers.is_empty() {
@@ -502,7 +510,7 @@ fn worker_loop<A: Actor>(
                 let mut effects = Effects::new();
                 {
                     let clock = instant_to_sim(epoch, Instant::now()).to_clock(offset);
-                    let mut ctx = Context::new(pid, n, clock, &mut next_timer_id, &mut effects);
+                    let mut ctx = Context::new(pid, n, clock, &mut timer_slab, &mut effects);
                     match input {
                         Input::Invoke(op_id, op) => {
                             assert!(
@@ -520,7 +528,7 @@ fn worker_loop<A: Actor>(
                 }
                 apply(
                     pid, effects, router_tx, history, done_tx, resp_tx, &mut timers,
-                    &mut pending_op, rng, bounds, epoch,
+                    &mut timer_slab, &mut pending_op, rng, bounds, epoch,
                 );
             }
             Err(RecvTimeoutError::Timeout) => {}

@@ -1,0 +1,180 @@
+//! Generation-stamped slab allocation for timer ids.
+//!
+//! The engine used to track timer liveness with two `HashSet<TimerId>`s
+//! (`pending` and `cancelled`), paying a SipHash lookup-or-insert on
+//! every set, cancel and expiry. Timer churn is proportional to event
+//! count in every timer-driven protocol (Algorithm 1 arms a timer per
+//! operation), so those hashes sat directly on the hot path.
+//!
+//! A [`TimerSlab`] replaces them with the classic generational-index
+//! scheme: a [`TimerId`] packs `(generation << 32) | slot`, and a timer
+//! is live exactly while its slot's current generation matches the id's.
+//! Cancelling bumps the generation — the already-queued expiry event
+//! then fails the match and is dropped when popped. Every operation is
+//! a bounds check plus an integer compare: no hashing, no tombstone
+//! sets, and slots recycle through a free list so memory stays
+//! proportional to the number of *concurrently* pending timers, not the
+//! total ever set.
+
+use crate::ids::TimerId;
+
+const SLOT_BITS: u32 = 32;
+const SLOT_MASK: u64 = (1 << SLOT_BITS) - 1;
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    generation: u32,
+    live: bool,
+}
+
+/// Allocator and liveness oracle for [`TimerId`]s.
+///
+/// # Examples
+///
+/// ```
+/// use skewbound_sim::timers::TimerSlab;
+///
+/// let mut slab = TimerSlab::new();
+/// let a = slab.alloc();
+/// assert!(slab.cancel(a));
+/// assert!(!slab.fire(a), "cancelled timers do not fire");
+///
+/// let b = slab.alloc(); // recycles a's slot under a new generation
+/// assert_ne!(a, b);
+/// assert!(slab.fire(b));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TimerSlab {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+}
+
+impl TimerSlab {
+    /// Creates an empty slab.
+    #[must_use]
+    pub fn new() -> Self {
+        TimerSlab::default()
+    }
+
+    /// Creates an empty slab with room for `capacity` concurrently
+    /// pending timers before reallocating.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        TimerSlab {
+            slots: Vec::with_capacity(capacity),
+            free: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Allocates a fresh live timer id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u32::MAX` timers are pending at once.
+    pub fn alloc(&mut self) -> TimerId {
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize].live = true;
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len())
+                    .expect("more than u32::MAX concurrently pending timers");
+                self.slots.push(Slot {
+                    generation: 0,
+                    live: true,
+                });
+                slot
+            }
+        };
+        let generation = self.slots[slot as usize].generation;
+        TimerId::new((u64::from(generation) << SLOT_BITS) | u64::from(slot))
+    }
+
+    /// Cancels a live timer. Returns `false` (a no-op) if the id is
+    /// stale — already fired, already cancelled, or never allocated.
+    pub fn cancel(&mut self, id: TimerId) -> bool {
+        self.retire(id)
+    }
+
+    /// Marks a timer as fired and retires its slot. Returns `false` if
+    /// the id is stale (the timer was cancelled after its expiry event
+    /// was queued) — the caller must then drop the event.
+    pub fn fire(&mut self, id: TimerId) -> bool {
+        self.retire(id)
+    }
+
+    /// Number of currently live (pending) timers.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    fn retire(&mut self, id: TimerId) -> bool {
+        let raw = id.as_u64();
+        let slot = (raw & SLOT_MASK) as u32;
+        #[allow(clippy::cast_possible_truncation)]
+        let generation = (raw >> SLOT_BITS) as u32;
+        let Some(s) = self.slots.get_mut(slot as usize) else {
+            return false;
+        };
+        if !s.live || s.generation != generation {
+            return false;
+        }
+        s.live = false;
+        // A wrapped generation could collide with a stale id only after
+        // 2^32 reuses of one slot while that id is still queued —
+        // impossible within the engine's event cap.
+        s.generation = s.generation.wrapping_add(1);
+        self.free.push(slot);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fire_consumes_the_id() {
+        let mut slab = TimerSlab::new();
+        let id = slab.alloc();
+        assert_eq!(slab.pending(), 1);
+        assert!(slab.fire(id));
+        assert!(!slab.fire(id), "double fire must fail");
+        assert_eq!(slab.pending(), 0);
+    }
+
+    #[test]
+    fn cancel_prevents_fire_and_recycles() {
+        let mut slab = TimerSlab::new();
+        let a = slab.alloc();
+        assert!(slab.cancel(a));
+        assert!(!slab.cancel(a), "double cancel is a no-op");
+        assert!(!slab.fire(a), "cancelled timer must not fire");
+        let b = slab.alloc();
+        assert_ne!(a, b, "recycled slot carries a new generation");
+        assert!(slab.fire(b));
+        assert!(!slab.fire(a), "stale id stays dead after slot reuse");
+    }
+
+    #[test]
+    fn unknown_ids_are_noops() {
+        let mut slab = TimerSlab::new();
+        assert!(!slab.cancel(TimerId::new(99)));
+        assert!(!slab.fire(TimerId::new(u64::MAX)));
+    }
+
+    #[test]
+    fn many_concurrent_timers_distinct() {
+        let mut slab = TimerSlab::new();
+        let ids: Vec<_> = (0..100).map(|_| slab.alloc()).collect();
+        let distinct: std::collections::HashSet<_> = ids.iter().copied().collect();
+        assert_eq!(distinct.len(), 100);
+        assert_eq!(slab.pending(), 100);
+        for id in ids {
+            assert!(slab.fire(id));
+        }
+        assert_eq!(slab.pending(), 0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Offline stand-in for the `fxhash`/`rustc-hash` crates.
+//!
+//! `std`'s default hasher is SipHash-1-3, which is keyed and
+//! DoS-resistant but costs tens of nanoseconds per small key — far too
+//! much for hash tables sitting on a search hot path keyed by trusted,
+//! process-internal values (bitmasks, interned ids, small states). This
+//! crate provides the multiply-rotate hash Firefox and rustc use for
+//! exactly that situation: one rotate, one xor and one multiply per
+//! 8-byte word, no key material, fully deterministic.
+//!
+//! Like the other packages under `vendor/`, it exists because the build
+//! environment has no registry access; it mirrors the upstream API
+//! surface the workspace uses (`FxHasher`, `FxBuildHasher`, `FxHashMap`,
+//! `FxHashSet`) so code reads idiomatically.
+//!
+//! **Not** for untrusted input: an adversary who controls keys can
+//! construct collisions. All uses in this workspace hash values the
+//! process itself generated.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The multiplier: a 64-bit constant derived from the golden ratio,
+/// chosen (as in upstream FxHash) so multiplication diffuses the low
+/// bits that `HashMap`'s power-of-two indexing actually consumes.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+const ROTATE: u32 = 5;
+
+/// A speed-oriented, non-cryptographic [`Hasher`].
+///
+/// Each written word folds in as
+/// `hash = (hash <<< 5 ^ word) * SEED`; the final state is the hash.
+///
+/// # Examples
+///
+/// ```ignore
+/// use std::hash::Hasher;
+/// let mut h = fxhash::FxHasher::default();
+/// h.write_u64(42);
+/// let a = h.finish();
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            let mut word = [0u8; 8];
+            word[..tail.len()].copy_from_slice(tail);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_i8(&mut self, i: i8) {
+        self.add_to_hash(i as u8 as u64);
+    }
+
+    #[inline]
+    fn write_i16(&mut self, i: i16) {
+        self.add_to_hash(i as u16 as u64);
+    }
+
+    #[inline]
+    fn write_i32(&mut self, i: i32) {
+        self.add_to_hash(i as u32 as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, i: i64) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// [`BuildHasher`](std::hash::BuildHasher) producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A [`HashMap`] using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A [`HashSet`] using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Hashes one value with [`FxHasher`] (convenience mirroring upstream's
+/// `fxhash::hash64`).
+#[must_use]
+pub fn hash64<T: std::hash::Hash + ?Sized>(value: &T) -> u64 {
+    let mut hasher = FxHasher::default();
+    value.hash(&mut hasher);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_hashers() {
+        assert_eq!(hash64(&(7u128, 9u32)), hash64(&(7u128, 9u32)));
+        assert_ne!(hash64(&(7u128, 9u32)), hash64(&(7u128, 10u32)));
+    }
+
+    #[test]
+    fn tail_bytes_affect_hash() {
+        assert_ne!(hash64("abcdefghi"), hash64("abcdefghj"));
+        assert_ne!(hash64("a"), hash64("b"));
+    }
+
+    #[test]
+    fn write_paths_agree_on_width() {
+        // Widths are hashed through the same 64-bit fold, so equal
+        // numeric values of different types collide intentionally (as in
+        // upstream FxHash); distinct values must not.
+        let mut a = FxHasher::default();
+        a.write_u32(1);
+        a.write_u32(2);
+        let mut b = FxHasher::default();
+        b.write_u32(2);
+        b.write_u32(1);
+        assert_ne!(a.finish(), b.finish(), "order must matter");
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut map: FxHashMap<(u128, u32), u64> = FxHashMap::default();
+        map.insert((1 << 100, 3), 9);
+        assert_eq!(map.get(&(1 << 100, 3)), Some(&9));
+        let mut set: FxHashSet<u64> = FxHashSet::default();
+        assert!(set.insert(5));
+        assert!(!set.insert(5));
+    }
+
+    #[test]
+    fn memo_key_shape_disperses() {
+        // The checker's memo keys are (u128 taken-set, u32 state-id)
+        // pairs with small populations; neighbouring keys must not
+        // collide and should differ in low bits (what HashMap indexes by).
+        let mut seen = FxHashSet::default();
+        for taken in 0u128..64 {
+            for sid in 0u32..64 {
+                assert!(seen.insert(hash64(&(taken, sid))));
+            }
+        }
+        let low = |v: u64| v & 0xFF;
+        assert_ne!(low(hash64(&(1u128, 0u32))), low(hash64(&(2u128, 0u32))));
+    }
+}
