@@ -5,6 +5,9 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+echo "== rustfmt (check) =="
+cargo fmt --all -- --check
+
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -31,5 +34,29 @@ for field in sim_wall_nanos check_wall_nanos check_nodes check_nodes_per_sec; do
   fi
 done
 echo "BENCH_grid.json per-stage fields present and non-zero"
+
+echo "== skewlint (model checker + protocol lints) =="
+skewlint_out=target/skewlint
+cargo run --release -q -p skewbound-mc --bin skewlint -- --smoke --out "$skewlint_out" \
+  | tee /tmp/skewlint.log
+grep -q '^skewlint: OK$' /tmp/skewlint.log
+cert_count=0
+for cert in "$skewlint_out"/*.json; do
+  [ -e "$cert" ] || continue
+  if ! grep -q '"replay_confirmed": true' "$cert"; then
+    echo "certificate $cert is not replay-confirmed" >&2
+    exit 1
+  fi
+  if ! grep -q '"schema": "skewbound-certificate/v1"' "$cert"; then
+    echo "certificate $cert has the wrong schema" >&2
+    exit 1
+  fi
+  cert_count=$((cert_count + 1))
+done
+if [ "$cert_count" -lt 2 ]; then
+  echo "expected at least 2 foil certificates, found $cert_count" >&2
+  exit 1
+fi
+echo "skewlint emitted $cert_count replay-confirmed certificates"
 
 echo "ci.sh: all checks passed"

@@ -74,7 +74,11 @@ fn memo_stress_history(total_ops: usize) -> History<RegOp<i64>, RegResp<i64>> {
         wave_start += 10;
     }
     ids.push((
-        h.record_invoke(ProcessId::new(0), RegOp::Read, SimTime::from_ticks(wave_start)),
+        h.record_invoke(
+            ProcessId::new(0),
+            RegOp::Read,
+            SimTime::from_ticks(wave_start),
+        ),
         RegResp::Value(i64::MIN),
         wave_start + 1,
     ));
@@ -120,11 +124,9 @@ fn bench(c: &mut Criterion) {
     }
     for n in [20usize, 40, 60, 80, 128] {
         let history = memo_stress_history(n);
-        group.bench_with_input(
-            BenchmarkId::new("memo_stress", n),
-            &history,
-            |b, h| b.iter(|| check_history(&RwRegister::new(0), h)),
-        );
+        group.bench_with_input(BenchmarkId::new("memo_stress", n), &history, |b, h| {
+            b.iter(|| check_history(&RwRegister::new(0), h))
+        });
     }
     group.finish();
     for n in [20usize, 40, 60, 80, 128] {

@@ -18,7 +18,10 @@ fn bench(c: &mut Criterion) {
         )
     );
 
-    let bounds = DelayBounds::new(SimDuration::from_ticks(9_000), SimDuration::from_ticks(2_400));
+    let bounds = DelayBounds::new(
+        SimDuration::from_ticks(9_000),
+        SimDuration::from_ticks(2_400),
+    );
     let mut group = c.benchmark_group("clock_sync");
     for n in [2usize, 4, 8, 16] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {

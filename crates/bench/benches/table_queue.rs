@@ -21,9 +21,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| measure_replica_grid(Queue::<i64>::new(), &params, 4, queue_gen, queue_label))
     });
     group.bench_function("centralized_grid", |b| {
-        b.iter(|| {
-            measure_centralized_grid(Queue::<i64>::new(), &params, 4, queue_gen, queue_label)
-        })
+        b.iter(|| measure_centralized_grid(Queue::<i64>::new(), &params, 4, queue_gen, queue_label))
     });
     group.finish();
 }

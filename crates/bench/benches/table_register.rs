@@ -23,7 +23,13 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1_register");
     group.bench_function("algorithm1_grid", |b| {
         b.iter(|| {
-            measure_replica_grid(RmwRegister::default(), &params, 4, register_gen, register_label)
+            measure_replica_grid(
+                RmwRegister::default(),
+                &params,
+                4,
+                register_gen,
+                register_label,
+            )
         })
     });
     group.bench_function("centralized_grid", |b| {

@@ -21,9 +21,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| measure_replica_grid(Stack::<i64>::new(), &params, 4, stack_gen, stack_label))
     });
     group.bench_function("centralized_grid", |b| {
-        b.iter(|| {
-            measure_centralized_grid(Stack::<i64>::new(), &params, 4, stack_gen, stack_label)
-        })
+        b.iter(|| measure_centralized_grid(Stack::<i64>::new(), &params, 4, stack_gen, stack_label))
     });
     group.finish();
 }

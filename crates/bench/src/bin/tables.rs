@@ -7,10 +7,10 @@
 //! With no arguments, prints everything: Tables I–IV and all figure
 //! experiments, using the workspace default parameters.
 
+use skewbound_bench::default_params;
 use skewbound_bench::figures;
 use skewbound_bench::measure::GridStats;
 use skewbound_bench::report::{table_report_stats, Object};
-use skewbound_bench::default_params;
 use skewbound_sim::time::SimDuration;
 
 fn main() {
@@ -26,12 +26,18 @@ fn main() {
         match arg.as_str() {
             "--object" => {
                 object_filter = Some(Box::leak(
-                    iter.next().expect("--object needs a value").clone().into_boxed_str(),
+                    iter.next()
+                        .expect("--object needs a value")
+                        .clone()
+                        .into_boxed_str(),
                 ));
             }
             "--fig" => {
                 fig_filter = Some(Box::leak(
-                    iter.next().expect("--fig needs a value").clone().into_boxed_str(),
+                    iter.next()
+                        .expect("--fig needs a value")
+                        .clone()
+                        .into_boxed_str(),
                 ));
             }
             "--csv" => csv = true,

@@ -47,7 +47,11 @@ pub fn fig1(params: &Params) -> String {
     // between the second write's send and its arrival.
     eager.schedule_invoke(p(0), SimTime::ZERO, RegOp::Write(0));
     eager.schedule_invoke(p(0), SimTime::ZERO + d * 2, RegOp::Write(1));
-    eager.schedule_invoke(p(1), SimTime::ZERO + d * 2 + SimDuration::from_ticks(1), RegOp::Read);
+    eager.schedule_invoke(
+        p(1),
+        SimTime::ZERO + d * 2 + SimDuration::from_ticks(1),
+        RegOp::Read,
+    );
     eager.run().expect("fig1 eager run");
     let eager_read = format!("{:?}", eager.history().records()[2].resp());
     let eager_check = check_history(&RwRegister::new(0), eager.history());
@@ -85,7 +89,9 @@ pub fn fig1(params: &Params) -> String {
 pub fn thm_c1(params: &Params) -> String {
     let family = insc_dequeue_family(params);
     let honest = probe(&family, || Replica::group(Queue::<i64>::new(), params));
-    let local_first = probe(&family, || LocalFirstReplica::group(Queue::<i64>::new(), params.n()));
+    let local_first = probe(&family, || {
+        LocalFirstReplica::group(Queue::<i64>::new(), params.n())
+    });
     let halved = probe(&family, || eager_group(Queue::<i64>::new(), params, 1, 2));
     format!(
         "Theorem C.1 (dequeue ≥ d + min{{eps,u,d/3}} = {}):\n\
@@ -94,11 +100,23 @@ pub fn thm_c1(params: &Params) -> String {
            half-timer foil (latency ≈ (d+eps)/2 = {}): {} (violations: {:?})\n",
         bounds::lb_strongly_insc(params).as_ticks(),
         bounds::ub_oop(params).as_ticks(),
-        if honest.all_passed() { "PASS (linearizable in every run)" } else { "FAIL" },
-        if local_first.all_passed() { "NOT caught (unexpected!)" } else { "caught" },
+        if honest.all_passed() {
+            "PASS (linearizable in every run)"
+        } else {
+            "FAIL"
+        },
+        if local_first.all_passed() {
+            "NOT caught (unexpected!)"
+        } else {
+            "caught"
+        },
         local_first.violations(),
         bounds::ub_oop(params).as_ticks() / 2,
-        if halved.all_passed() { "NOT caught (unexpected!)" } else { "caught" },
+        if halved.all_passed() {
+            "NOT caught (unexpected!)"
+        } else {
+            "caught"
+        },
         halved.violations(),
     )
 }
@@ -114,7 +132,11 @@ pub fn thm_d1(params: &Params, k: usize) -> String {
         fast_mutator_group(RmwRegister::default(), params, SimDuration::ZERO)
     });
     let barely = probe(&family, || {
-        fast_mutator_group(RmwRegister::default(), params, lb - SimDuration::from_ticks(1))
+        fast_mutator_group(
+            RmwRegister::default(),
+            params,
+            lb - SimDuration::from_ticks(1),
+        )
     });
     format!(
         "Theorem D.1 (write ≥ (1 - 1/k)u = {} at k = {k}):\n\
@@ -124,10 +146,18 @@ pub fn thm_d1(params: &Params, k: usize) -> String {
         lb.as_ticks(),
         bounds::ub_mop(params).as_ticks(),
         if honest.all_passed() { "PASS" } else { "FAIL" },
-        if instant.all_passed() { "NOT caught (unexpected!)" } else { "caught" },
+        if instant.all_passed() {
+            "NOT caught (unexpected!)"
+        } else {
+            "caught"
+        },
         instant.violations(),
         (lb - SimDuration::from_ticks(1)).as_ticks(),
-        if barely.all_passed() { "NOT caught (unexpected!)" } else { "caught" },
+        if barely.all_passed() {
+            "NOT caught (unexpected!)"
+        } else {
+            "caught"
+        },
         barely.violations(),
     )
 }
@@ -143,7 +173,9 @@ pub fn thm_e1(params: &Params) -> String {
         QueueOp::Enqueue(7),
     );
     let honest_family = pair_enqueue_peek_family(params, honest_w);
-    let honest = probe(&honest_family, || Replica::group(Queue::<i64>::new(), params));
+    let honest = probe(&honest_family, || {
+        Replica::group(Queue::<i64>::new(), params)
+    });
 
     let fast_wait = SimDuration::from_ticks(1_000.min(params.d().as_ticks() / 4));
     let make_foil = || eager_accessor_group(Queue::<i64>::new(), params, fast_wait);
@@ -159,7 +191,11 @@ pub fn thm_e1(params: &Params) -> String {
         bounds::ub_pair(params).as_ticks(),
         if honest.all_passed() { "PASS" } else { "FAIL" },
         (foil_w + fast_wait).as_ticks(),
-        if foil.all_passed() { "NOT caught (unexpected!)" } else { "caught" },
+        if foil.all_passed() {
+            "NOT caught (unexpected!)"
+        } else {
+            "caught"
+        },
         foil.violations(),
     )
 }
@@ -243,7 +279,11 @@ pub fn derivation(params: &Params) -> String {
     let reg_states = probes::register_states();
     fmt_group(
         &mut out,
-        &analyze_group(&reg, &reg_states, &OpGroup::new("write", probes::register_writes(3))),
+        &analyze_group(
+            &reg,
+            &reg_states,
+            &OpGroup::new("write", probes::register_writes(3)),
+        ),
     );
     fmt_group(
         &mut out,
@@ -276,7 +316,11 @@ pub fn derivation(params: &Params) -> String {
     let q_states = probes::queue_states();
     fmt_group(
         &mut out,
-        &analyze_group(&q, &q_states, &OpGroup::new("enqueue", probes::queue_enqueues(3))),
+        &analyze_group(
+            &q,
+            &q_states,
+            &OpGroup::new("enqueue", probes::queue_enqueues(3)),
+        ),
     );
     fmt_pair(
         &mut out,
@@ -481,8 +525,7 @@ pub fn skew_experiment(d: SimDuration, u: SimDuration, max_n: usize) -> String {
     for n in 2..=max_n {
         let clocks = ClockAssignment::spread(n, SimDuration::from_ticks(1_000_000));
         let outcome = run_sync_round(&clocks, bounds, n as u64);
-        let naive =
-            run_sync_round_with(&clocks, bounds, n as u64, SyncStrategy::Pessimistic);
+        let naive = run_sync_round_with(&clocks, bounds, n as u64, SyncStrategy::Pessimistic);
         out.push_str(&format!(
             "  {:>2}    {:>12}    {:>8}    {:>11}    {:>16}\n",
             n,
@@ -512,8 +555,14 @@ mod tests {
     #[test]
     fn fig1_report_shows_violation_and_fix() {
         let text = fig1(&params());
-        assert!(text.contains("NOT linearizable (as the paper argues)"), "{text}");
-        assert!(text.contains("Algorithm 1:                 read returned Some(Value(1))"), "{text}");
+        assert!(
+            text.contains("NOT linearizable (as the paper argues)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("Algorithm 1:                 read returned Some(Value(1))"),
+            "{text}"
+        );
         assert!(!text.contains("unexpected"), "{text}");
     }
 
@@ -532,7 +581,10 @@ mod tests {
     fn ablation_shows_violations_for_short_timers() {
         let text = ablation_timers(&params());
         // The honest row passes…
-        assert!(text.lines().nth(2).unwrap().contains("linearizable"), "{text}");
+        assert!(
+            text.lines().nth(2).unwrap().contains("linearizable"),
+            "{text}"
+        );
         // …and at least one shortened row is caught.
         assert!(text.contains("VIOLATION"), "{text}");
     }

@@ -228,8 +228,7 @@ where
     assert!(sim.history().is_complete(), "incomplete measurement run");
     let check_start = std::time::Instant::now();
     let nodes = check(sim.history());
-    let check_wall =
-        u64::try_from(check_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let check_wall = u64::try_from(check_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
     let mut acc = MaxLatencies::new();
     for rec in sim.history().records() {
         let lat = rec.latency().expect("complete");
@@ -523,7 +522,8 @@ mod tests {
     #[test]
     fn register_measured_matches_formulas() {
         let p = params();
-        let measured = measure_replica_grid(RmwRegister::default(), &p, 6, register_gen, register_label);
+        let measured =
+            measure_replica_grid(RmwRegister::default(), &p, 6, register_gen, register_label);
         assert_eq!(measured["write"], bounds::ub_mop(&p), "write = eps + X");
         assert_eq!(measured["read"], bounds::ub_aop(&p), "read = d + eps - X");
         assert!(measured["read-modify-write"] <= bounds::ub_oop(&p));
@@ -545,13 +545,8 @@ mod tests {
     #[test]
     fn grid_stats_split_both_stages_populated() {
         let p = params();
-        let (_, stats) = measure_replica_grid_stats(
-            RmwRegister::default(),
-            &p,
-            4,
-            register_gen,
-            register_label,
-        );
+        let (_, stats) =
+            measure_replica_grid_stats(RmwRegister::default(), &p, 4, register_gen, register_label);
         assert!(stats.runs > 0);
         assert!(stats.events > 0);
         assert!(stats.sim_wall_nanos > 0, "sim stage must be timed");

@@ -100,11 +100,7 @@ impl SyncProcess {
 
     /// One process per slot with an explicit strategy.
     #[must_use]
-    pub fn group_with_strategy(
-        n: usize,
-        bounds: DelayBounds,
-        strategy: SyncStrategy,
-    ) -> Vec<Self> {
+    pub fn group_with_strategy(n: usize, bounds: DelayBounds, strategy: SyncStrategy) -> Vec<Self> {
         (0..n)
             .map(|_| SyncProcess::with_strategy(n, bounds, strategy))
             .collect()
@@ -233,8 +229,16 @@ pub fn run_sync_round_with(
             ClockOffset::from_ticks(clocks.offset(pid).as_ticks() + adjustments[pid.index()])
         })
         .collect();
-    let min = adjusted_offsets.iter().map(|o| o.as_ticks()).min().unwrap_or(0);
-    let max = adjusted_offsets.iter().map(|o| o.as_ticks()).max().unwrap_or(0);
+    let min = adjusted_offsets
+        .iter()
+        .map(|o| o.as_ticks())
+        .min()
+        .unwrap_or(0);
+    let max = adjusted_offsets
+        .iter()
+        .map(|o| o.as_ticks())
+        .max()
+        .unwrap_or(0);
     SyncOutcome {
         initial_skew: clocks.max_skew(),
         adjustments,
@@ -251,7 +255,10 @@ mod tests {
     use skewbound_sim::clock::ClockAssignment;
 
     fn bounds() -> DelayBounds {
-        DelayBounds::new(SimDuration::from_ticks(10_000), SimDuration::from_ticks(2_000))
+        DelayBounds::new(
+            SimDuration::from_ticks(10_000),
+            SimDuration::from_ticks(2_000),
+        )
     }
 
     /// Rounding slack: one tick per integer division.

@@ -190,8 +190,8 @@ pub fn analyze_group<S: SequentialSpec>(
     let ops = &group.instances;
     let mutator = classify::mutator_witness(spec, states, ops).is_some();
     let accessor = classify::accessor_witness(spec, states, ops).is_some();
-    let strongly_insc = classify::strongly_immediately_non_self_commuting(spec, states, ops)
-        .is_some();
+    let strongly_insc =
+        classify::strongly_immediately_non_self_commuting(spec, states, ops).is_some();
     let insc = classify::immediately_non_commuting(spec, states, ops, ops).is_some();
     let eventually_nsc = classify::eventually_non_self_commuting(spec, states, ops).is_some();
     let overwriter = mutator && classify::is_overwriter(spec, states, ops);
@@ -402,19 +402,10 @@ pub fn analyze_pair<S: SequentialSpec>(
     mutators: &OpGroup<S>,
     accessors: &OpGroup<S>,
 ) -> PairAnalysis {
-    let imm_self_commuting = classify::immediately_non_commuting(
-        spec,
-        states,
-        &mutators.instances,
-        &mutators.instances,
-    )
-    .is_none();
-    let witness = e1_hypothesis_witness(
-        spec,
-        states,
-        &mutators.instances,
-        &accessors.instances,
-    );
+    let imm_self_commuting =
+        classify::immediately_non_commuting(spec, states, &mutators.instances, &mutators.instances)
+            .is_none();
+    let witness = e1_hypothesis_witness(spec, states, &mutators.instances, &accessors.instances);
     let e1 = imm_self_commuting && witness.is_some();
     PairAnalysis {
         mutator: mutators.name.clone(),

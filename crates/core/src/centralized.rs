@@ -88,7 +88,9 @@ impl<S: SequentialSpec> Centralized<S> {
     /// One process per replica slot, sharing an existing spec.
     #[must_use]
     pub fn group_shared(spec: &Arc<S>, n: usize) -> Vec<Self> {
-        (0..n).map(|_| Centralized::new_shared(Arc::clone(spec))).collect()
+        (0..n)
+            .map(|_| Centralized::new_shared(Arc::clone(spec)))
+            .collect()
     }
 }
 

@@ -119,7 +119,9 @@ pub struct Gossip<S: SequentialSpec> {
 
 impl<S: SequentialSpec> Clone for Gossip<S> {
     fn clone(&self) -> Self {
-        Gossip { op: self.op.clone() }
+        Gossip {
+            op: self.op.clone(),
+        }
     }
 }
 
@@ -283,10 +285,7 @@ mod tests {
         sim.schedule_invoke(p(0), t(100), RegOp::Write(1));
         sim.schedule_invoke(p(1), t(300), RegOp::Read);
         sim.run().unwrap();
-        assert_eq!(
-            sim.history().records()[2].resp(),
-            Some(&RegResp::Value(1))
-        );
+        assert_eq!(sim.history().records()[2].resp(), Some(&RegResp::Value(1)));
         assert!(check_history(&RwRegister::new(0), sim.history()).is_linearizable());
     }
 }

@@ -85,18 +85,13 @@ mod tests {
             SimDuration::ZERO,
         )
         .unwrap();
-        let mut driver = ClosedLoop::new(
-            ProcessId::all(3).collect(),
-            4,
-            7,
-            |_pid, idx, _rng| {
-                if idx % 2 == 0 {
-                    CounterOp::Add(1)
-                } else {
-                    CounterOp::Read
-                }
-            },
-        );
+        let mut driver = ClosedLoop::new(ProcessId::all(3).collect(), 4, 7, |_pid, idx, _rng| {
+            if idx % 2 == 0 {
+                CounterOp::Add(1)
+            } else {
+                CounterOp::Read
+            }
+        });
         let history = run_history(
             Replica::group(Counter::default(), &params),
             ClockAssignment::zero(3),
@@ -117,11 +112,7 @@ mod tests {
             SimDuration::ZERO,
         )
         .unwrap();
-        let mut script = Script::new().at(
-            ProcessId::new(0),
-            SimTime::ZERO,
-            CounterOp::Add(5),
-        );
+        let mut script = Script::new().at(ProcessId::new(0), SimTime::ZERO, CounterOp::Add(5));
         let (history, sim) = run_simulation(
             Replica::group(Counter::default(), &params),
             ClockAssignment::zero(2),

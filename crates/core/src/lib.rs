@@ -51,6 +51,7 @@ pub mod bounds;
 pub mod centralized;
 pub mod foils;
 pub mod harness;
+pub mod invariants;
 pub mod params;
 pub mod replica;
 pub mod timestamp;

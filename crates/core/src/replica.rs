@@ -146,9 +146,9 @@ impl<S: SequentialSpec> Clone for ReplicaTimer<S> {
                 ts: *ts,
             },
             ReplicaTimer::Execute { ts } => ReplicaTimer::Execute { ts: *ts },
-            ReplicaTimer::MutatorRespond { resp } => ReplicaTimer::MutatorRespond {
-                resp: resp.clone(),
-            },
+            ReplicaTimer::MutatorRespond { resp } => {
+                ReplicaTimer::MutatorRespond { resp: resp.clone() }
+            }
             ReplicaTimer::AccessorRespond { op, ts } => ReplicaTimer::AccessorRespond {
                 op: op.clone(),
                 ts: *ts,
@@ -415,16 +415,10 @@ impl<S: SequentialSpec> Actor for Replica<S> {
             }
             class => {
                 let ts = Timestamp::new(ctx.clock(), ctx.pid());
-                ctx.broadcast(OpMsg {
-                    op: op.clone(),
-                    ts,
-                });
+                ctx.broadcast(OpMsg { op: op.clone(), ts });
                 ctx.set_timer(
                     self.profile.self_add,
-                    ReplicaTimer::SelfAdd {
-                        op: op.clone(),
-                        ts,
-                    },
+                    ReplicaTimer::SelfAdd { op: op.clone(), ts },
                 );
                 if class == OpClass::PureMutator {
                     // A pure mutator's response is state-independent
@@ -507,7 +501,10 @@ mod tests {
         let prof = TimerProfile::scaled(&p, 1, 2);
         assert_eq!(prof.self_add.as_ticks(), 35);
         assert_eq!(prof.hold.as_ticks(), 25);
-        assert_eq!(TimerProfile::scaled(&p, 1, 1), TimerProfile::from_params(&p));
+        assert_eq!(
+            TimerProfile::scaled(&p, 1, 1),
+            TimerProfile::from_params(&p)
+        );
     }
 
     #[test]
@@ -537,7 +534,10 @@ mod tests {
         sim.run().unwrap();
         let rec = &sim.history().records()[0];
         assert_eq!(rec.resp(), Some(&RmwResp::Value(0)));
-        assert_eq!(rec.latency().unwrap(), params.d() + params.eps() - params.x());
+        assert_eq!(
+            rec.latency().unwrap(),
+            params.d() + params.eps() - params.x()
+        );
     }
 
     #[test]
@@ -570,10 +570,7 @@ mod tests {
         sim.schedule_invoke(p(0), t(0), RmwOp::Write(42));
         sim.schedule_invoke(p(2), t(1_000), RmwOp::Read);
         sim.run().unwrap();
-        assert_eq!(
-            sim.history().records()[1].resp(),
-            Some(&RmwResp::Value(42))
-        );
+        assert_eq!(sim.history().records()[1].resp(), Some(&RmwResp::Value(42)));
     }
 
     #[test]
@@ -603,7 +600,11 @@ mod tests {
             UniformDelay::new(params.delay_bounds(), 9),
         );
         for i in 0..5 {
-            sim.schedule_invoke(p(i % 3), t(u64::from(i) * 300), QueueOp::Enqueue(i64::from(i)));
+            sim.schedule_invoke(
+                p(i % 3),
+                t(u64::from(i) * 300),
+                QueueOp::Enqueue(i64::from(i)),
+            );
         }
         sim.run().unwrap();
         let s0 = sim.actor(p(0)).local_state().clone();
@@ -648,11 +649,7 @@ mod tests {
             UniformDelay::new(params.delay_bounds(), 77),
         );
         for i in 0..6u64 {
-            sim.schedule_invoke(
-                p((i % 3) as u32),
-                t(i * 400),
-                QueueOp::Enqueue(i as i64),
-            );
+            sim.schedule_invoke(p((i % 3) as u32), t(i * 400), QueueOp::Enqueue(i as i64));
         }
         sim.run().unwrap();
         let order0 = sim.actor(p(0)).executed_order().to_vec();

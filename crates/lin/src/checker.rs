@@ -144,7 +144,11 @@ pub fn check_history_with<S: SequentialSpec>(
     let successors = successor_masks(&predecessors);
     let ready = initial_ready(&predecessors);
 
-    let full: u128 = if n == 128 { u128::MAX } else { (1u128 << n) - 1 };
+    let full: u128 = if n == 128 {
+        u128::MAX
+    } else {
+        (1u128 << n) - 1
+    };
     let mut dfs = Dfs {
         spec,
         records,
@@ -592,11 +596,7 @@ mod tests {
             entries.push((i, 0, 100, RegOp::Write(i64::from(i)), RegResp::Ack));
         }
         let h = reg_history(&entries);
-        let out = check_history_with(
-            &RwRegister::new(0),
-            &h,
-            CheckLimits { max_nodes: 1 },
-        );
+        let out = check_history_with(&RwRegister::new(0), &h, CheckLimits { max_nodes: 1 });
         assert!(matches!(out, CheckOutcome::Unknown { .. }));
     }
 
@@ -619,7 +619,10 @@ mod tests {
             (0, 2, 3, RegOp::Read, RegResp::Value(1)),
         ]);
         let bad = Linearization {
-            order: vec![skewbound_sim::ids::OpId::new(1), skewbound_sim::ids::OpId::new(0)],
+            order: vec![
+                skewbound_sim::ids::OpId::new(1),
+                skewbound_sim::ids::OpId::new(0),
+            ],
             nodes: 0,
         };
         assert!(!validate_linearization(&RwRegister::new(0), &h, &bad));
@@ -658,7 +661,10 @@ mod tests {
             (0, 2, 3, RegOp::Read, RegResp::Value(1)),
         ]);
         let dup = Linearization {
-            order: vec![skewbound_sim::ids::OpId::new(0), skewbound_sim::ids::OpId::new(0)],
+            order: vec![
+                skewbound_sim::ids::OpId::new(0),
+                skewbound_sim::ids::OpId::new(0),
+            ],
             nodes: 0,
         };
         assert!(!validate_linearization(&RwRegister::new(0), &h, &dup));

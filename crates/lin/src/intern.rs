@@ -119,6 +119,12 @@ mod tests {
         let a = i.intern(&(1, vec![1]));
         let b = i.intern(&(1, vec![2]));
         let c = i.intern(&(2, vec![1]));
-        assert_eq!([a, b, c].iter().collect::<std::collections::HashSet<_>>().len(), 3);
+        assert_eq!(
+            [a, b, c]
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len(),
+            3
+        );
     }
 }

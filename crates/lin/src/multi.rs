@@ -57,9 +57,7 @@ impl MultiOutcome {
     /// locality, exactly when the whole multi-object history is.
     #[must_use]
     pub fn is_linearizable(&self) -> bool {
-        self.per_object
-            .iter()
-            .all(|(_, o)| o.is_linearizable())
+        self.per_object.iter().all(|(_, o)| o.is_linearizable())
     }
 
     /// Indices of objects whose sub-histories are violations.

@@ -55,7 +55,11 @@ fn build_history(raw: Vec<RawOp>) -> History<RegOp<i64>, RegResp<i64>> {
     entries.sort_by_key(|e| e.1);
     let mut ids = Vec::new();
     for (pid, start, _end, op, _resp) in &entries {
-        ids.push(h.record_invoke(ProcessId::new(*pid), op.clone(), SimTime::from_ticks(*start)));
+        ids.push(h.record_invoke(
+            ProcessId::new(*pid),
+            op.clone(),
+            SimTime::from_ticks(*start),
+        ));
     }
     for (i, (_pid, _start, end, _op, resp)) in entries.iter().enumerate() {
         h.record_response(ids[i], resp.clone(), SimTime::from_ticks(*end));

@@ -17,9 +17,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use skewbound_lin::checker::{
-    check_history, check_history_brute_force, CheckOutcome,
-};
+use skewbound_lin::checker::{check_history, check_history_brute_force, CheckOutcome};
 use skewbound_lin::validate_linearization;
 use skewbound_sim::history::History;
 use skewbound_sim::ids::ProcessId;
@@ -73,7 +71,11 @@ fn build<O: Clone + std::fmt::Debug, R: Clone + std::fmt::Debug>(
     }
     for (i, (iv, (_, resp))) in intervals.iter().zip(&ops).enumerate() {
         let _ = iv;
-        h.record_response(ids[i], resp.clone(), SimTime::from_ticks(intervals[i].respond));
+        h.record_response(
+            ids[i],
+            resp.clone(),
+            SimTime::from_ticks(intervals[i].respond),
+        );
     }
     h
 }
@@ -255,7 +257,10 @@ fn sequential_histories_witness_is_realtime_order() {
                 assert!(legal, "case {case}: illegal sequential history accepted");
                 let order: Vec<u64> = lin.order.iter().map(|id| id.as_u64()).collect();
                 let expected: Vec<u64> = (0..len as u64).collect();
-                assert_eq!(order, expected, "case {case}: witness must be program order");
+                assert_eq!(
+                    order, expected,
+                    "case {case}: witness must be program order"
+                );
             }
             CheckOutcome::NotLinearizable(_) => {
                 assert!(!legal, "case {case}: legal sequential history rejected");

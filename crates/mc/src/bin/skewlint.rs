@@ -1,0 +1,362 @@
+//! `skewlint` — the protocol-invariant analyzer CI runs.
+//!
+//! Three gates, in order:
+//!
+//! 1. **Routing lints** (static): the declared operation classes of the
+//!    register/queue/stack specifications are cross-checked against
+//!    their behavior on the probe sets ([`skewbound_core::invariants::
+//!    routing_lint`]). Honest specs must come back clean; a canned
+//!    misrouted spec must be flagged (the lint itself is tested here,
+//!    not trusted).
+//! 2. **Model checking** (honest): small register/queue/stack scenarios
+//!    under Algorithm 1 are explored over every delay corner, clock
+//!    corner and same-time delivery order. Zero violations expected;
+//!    each scenario is explored under both the DPOR and the naive
+//!    independence relation and the DPOR schedule count must be
+//!    *strictly* smaller — the reduction is measured, not assumed.
+//! 3. **Foils**: known-broken implementations must be caught, and each
+//!    catch is shrunk to a minimized, replay-confirmed certificate,
+//!    written to the output directory and schema-validated by re-parse.
+//!
+//! Usage: `skewlint [--smoke] [--out DIR]`. `--smoke` trims the clock
+//! grid for CI latency; `--out` defaults to `target/skewlint`.
+//! Exits nonzero (after finishing all gates) if any expectation fails;
+//! the final line is `skewlint: OK` exactly when everything held.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use skewbound_core::foils::{eager_group, LocalFirstReplica};
+use skewbound_core::invariants::routing_lint;
+use skewbound_core::params::Params;
+use skewbound_core::replica::Replica;
+use skewbound_mc::{
+    certify, model_check, validate_certificate, Independence, McConfig, ModelActor,
+};
+use skewbound_sim::ids::ProcessId;
+use skewbound_sim::time::{SimDuration, SimTime};
+use skewbound_spec::prelude::*;
+use skewbound_spec::probes;
+
+fn params() -> Params {
+    Params::with_optimal_skew(
+        3,
+        SimDuration::from_ticks(9_000),
+        SimDuration::from_ticks(2_400),
+        SimDuration::ZERO,
+    )
+    .expect("valid parameters")
+}
+
+/// A register that misdeclares its read as a pure mutator — the lint
+/// gate's canary.
+#[derive(Debug, Clone, Default)]
+struct MisroutedRegister;
+
+impl SequentialSpec for MisroutedRegister {
+    type State = i64;
+    type Op = RmwOp;
+    type Resp = RmwResp;
+
+    fn initial(&self) -> i64 {
+        0
+    }
+    fn apply(&self, state: &i64, op: &RmwOp) -> (i64, RmwResp) {
+        RmwRegister::default().apply(state, op)
+    }
+    fn class(&self, _op: &RmwOp) -> OpClass {
+        OpClass::PureMutator
+    }
+}
+
+struct Gate {
+    failures: u32,
+}
+
+impl Gate {
+    fn expect(&mut self, ok: bool, what: &str) {
+        if ok {
+            println!("  ok: {what}");
+        } else {
+            self.failures += 1;
+            println!("  FAIL: {what}");
+        }
+    }
+}
+
+fn lint_gate(gate: &mut Gate) {
+    println!("[1/3] routing lints");
+    let clean_register = routing_lint(
+        &RmwRegister::default(),
+        &probes::register_states(),
+        &probes::register_ops(),
+    );
+    gate.expect(clean_register.is_empty(), "register routing clean");
+    let clean_queue = routing_lint(
+        &Queue::<i64>::new(),
+        &probes::queue_states(),
+        &probes::queue_ops(),
+    );
+    gate.expect(clean_queue.is_empty(), "queue routing clean");
+    let clean_stack = routing_lint(
+        &Stack::<i64>::new(),
+        &probes::stack_states(),
+        &probes::stack_ops(),
+    );
+    gate.expect(clean_stack.is_empty(), "stack routing clean");
+    for finding in clean_register
+        .iter()
+        .chain(&clean_queue)
+        .chain(&clean_stack)
+    {
+        println!("    {finding}");
+    }
+    let canary = routing_lint(
+        &MisroutedRegister,
+        &probes::register_states(),
+        &probes::register_ops(),
+    );
+    gate.expect(
+        canary.iter().any(|v| v.invariant == "routing-consistency"),
+        "misrouted canary flagged",
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_honest<A, F>(
+    gate: &mut Gate,
+    name: &str,
+    spec: &A::Spec,
+    make_actors: F,
+    p: &Params,
+    script: &[(ProcessId, SimTime, A::Op)],
+    probe_states: Vec<<A::Spec as SequentialSpec>::State>,
+    smoke: bool,
+) where
+    A: ModelActor,
+    F: Fn() -> Vec<A>,
+{
+    let mut config = McConfig::corners(p, probe_states);
+    if smoke {
+        config.clock_choices.truncate(3);
+    }
+    let dpor = model_check(spec, &make_actors, p, script, &config);
+    config.independence = Independence::Naive;
+    // The naive baseline exists to be outgrown; cap it so measuring the
+    // reduction stays cheap (a capped count is a lower bound).
+    config.max_schedules = 20_000;
+    let naive = model_check(spec, &make_actors, p, script, &config);
+    println!(
+        "  {name}: messages={} cells={} schedules dpor={} naive{}{} pruned={} violations={}",
+        dpor.messages,
+        dpor.cells,
+        dpor.schedules,
+        if naive.capped { ">=" } else { "=" },
+        naive.schedules,
+        dpor.pruned,
+        dpor.violations.len(),
+    );
+    gate.expect(dpor.all_passed(), &format!("{name} honest runs all pass"));
+    gate.expect(
+        naive.violations.is_empty() && naive.unknown == 0,
+        &format!("{name} naive exploration agrees"),
+    );
+    gate.expect(
+        dpor.schedules < naive.schedules,
+        &format!(
+            "{name} DPOR reduction is real ({} < {})",
+            dpor.schedules, naive.schedules
+        ),
+    );
+}
+
+fn honest_gate(gate: &mut Gate, smoke: bool) {
+    println!("[2/3] model-check honest implementations (Algorithm 1)");
+    let p = params();
+    let t = SimTime::from_ticks;
+    let pid = ProcessId::new;
+
+    check_honest(
+        gate,
+        "register",
+        &RmwRegister::default(),
+        || Replica::group(RmwRegister::default(), &p),
+        &p,
+        &[
+            (pid(0), t(0), RmwOp::Write(1)),
+            (pid(1), t(0), RmwOp::Write(2)),
+            (pid(2), t(40_000), RmwOp::Read),
+        ],
+        probes::register_states(),
+        smoke,
+    );
+    check_honest(
+        gate,
+        "queue",
+        &Queue::<i64>::new(),
+        || Replica::group(Queue::<i64>::new(), &p),
+        &p,
+        &[
+            (pid(0), t(0), QueueOp::Enqueue(1)),
+            (pid(1), t(0), QueueOp::Enqueue(2)),
+            (pid(2), t(40_000), QueueOp::Dequeue),
+        ],
+        probes::queue_states(),
+        smoke,
+    );
+    check_honest(
+        gate,
+        "stack",
+        &Stack::<i64>::new(),
+        || Replica::group(Stack::<i64>::new(), &p),
+        &p,
+        &[
+            (pid(0), t(0), StackOp::Push(7)),
+            (pid(1), t(200), StackOp::Pop),
+        ],
+        probes::stack_states(),
+        smoke,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_foil<A, F>(
+    gate: &mut Gate,
+    out_dir: &std::path::Path,
+    file: &str,
+    object: &str,
+    implementation: &str,
+    spec: &A::Spec,
+    make_actors: F,
+    p: &Params,
+    script: &[(ProcessId, SimTime, A::Op)],
+    probe_states: Vec<<A::Spec as SequentialSpec>::State>,
+) where
+    A: ModelActor,
+    F: Fn() -> Vec<A>,
+{
+    let mut config = McConfig::corners(p, probe_states);
+    config.stop_at_first_violation = true;
+    let report = model_check(spec, &make_actors, p, script, &config);
+    let name = format!("{object}/{implementation}");
+    gate.expect(
+        !report.violations.is_empty(),
+        &format!("{name} foil caught"),
+    );
+    let Some(violation) = report.violations.first() else {
+        return;
+    };
+    let cert = certify(
+        spec,
+        &make_actors,
+        p,
+        script,
+        &config,
+        violation,
+        object,
+        implementation,
+        &report,
+    );
+    println!(
+        "  {name}: {} at clock#{} delays={:?} choices={:?} (minimized)",
+        cert.violation_kind, violation.clock_idx, cert.delay_ticks, cert.schedule_choices,
+    );
+    gate.expect(cert.replay_confirmed, &format!("{name} replay confirmed"));
+    let text = cert.to_json();
+    match validate_certificate(&text) {
+        Ok(()) => gate.expect(true, &format!("{name} certificate schema-valid")),
+        Err(e) => gate.expect(false, &format!("{name} certificate schema-valid: {e}")),
+    }
+    let path = out_dir.join(file);
+    match std::fs::write(&path, &text) {
+        Ok(()) => println!("  wrote {}", path.display()),
+        Err(e) => gate.expect(false, &format!("write {}: {e}", path.display())),
+    }
+}
+
+fn foil_gate(gate: &mut Gate, out_dir: &std::path::Path) {
+    println!("[3/3] foils must be caught, with certificates");
+    let p = params();
+    let t = SimTime::from_ticks;
+    let pid = ProcessId::new;
+
+    // Local-first: responds from local state before agreement — even a
+    // register with one writer and one later reader is broken.
+    check_foil(
+        gate,
+        out_dir,
+        "local_first_register.json",
+        "register",
+        "local-first",
+        &RwRegister::<i64>::default(),
+        || LocalFirstReplica::group(RwRegister::<i64>::default(), p.n()),
+        &p,
+        &[
+            // The write's local-first ack completes before t = 100, but
+            // gossip needs at least d − u = 6600 ticks: the read must
+            // observe the write yet can only see local state.
+            (pid(0), t(0), RegOp::Write(1)),
+            (pid(1), t(100), RegOp::Read),
+        ],
+        probes::register_states(),
+    );
+
+    // Eager Algorithm 1 with halved timer waits: responds before the
+    // delivery horizon, so a corner schedule reorders a dequeue past the
+    // enqueue it should observe.
+    check_foil(
+        gate,
+        out_dir,
+        "eager_queue.json",
+        "queue",
+        "eager-timers",
+        &Queue::<i64>::new(),
+        || eager_group(Queue::<i64>::new(), &p, 1, 2),
+        &p,
+        &[
+            (pid(2), t(0), QueueOp::Enqueue(7)),
+            (pid(0), t(40_000), QueueOp::Dequeue),
+            (pid(1), t(40_500), QueueOp::Dequeue),
+        ],
+        probes::queue_states(),
+    );
+}
+
+fn main() -> ExitCode {
+    let mut smoke = false;
+    let mut out_dir = PathBuf::from("target/skewlint");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("--out needs a directory");
+                    return ExitCode::FAILURE;
+                };
+                out_dir = PathBuf::from(dir);
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (usage: skewlint [--smoke] [--out DIR])");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+
+    let mut gate = Gate { failures: 0 };
+    lint_gate(&mut gate);
+    honest_gate(&mut gate, smoke);
+    foil_gate(&mut gate, &out_dir);
+
+    if gate.failures == 0 {
+        println!("skewlint: OK");
+        ExitCode::SUCCESS
+    } else {
+        println!("skewlint: {} expectation(s) failed", gate.failures);
+        ExitCode::FAILURE
+    }
+}

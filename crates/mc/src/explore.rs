@@ -1,0 +1,719 @@
+//! The stateful explorer: every delivery order, every delay corner,
+//! every clock corner — pruned by dynamic partial-order reduction.
+//!
+//! [`skewbound_shift::exhaustive_probe`] enumerates delay and clock
+//! assignments but leaves same-time events in the engine's deterministic
+//! FIFO order. This module closes that gap: a [`SchedulePolicy`] replays
+//! a recorded choice prefix and branches over every order of same-time
+//! event batches, turning the engine into a stateless model checker
+//! (re-execution instead of state snapshots, in the Verisoft tradition).
+//!
+//! Exploration is pruned with **sleep sets**: after the branch executing
+//! event `a` before its sibling `b` has been fully explored, the branch
+//! that defers `a` keeps `a` asleep until some executed event is
+//! *dependent* with it — if `a` is still asleep when it would run, the
+//! interleaving is a commutation of one already checked and the run is
+//! abandoned ([`SimError::PolicyAbort`]). Independence is structural
+//! (events at different processes commute; the engine applies them to
+//! disjoint actors) plus semantic: two same-process deliveries commute
+//! when their payload operations commute on every probe state
+//! ([`immediately_non_commuting`] finds no witness). The semantic check
+//! is an approximation on the probe set — see `DESIGN.md §8` for why
+//! this is used as a *reduction* only in tandem with batches that are
+//! conservatively re-branched whenever any pair is dependent.
+//!
+//! Every run additionally passes through the linearizability checker and
+//! the [`skewbound_core::invariants`] protocol invariants; violations
+//! carry a replayable coordinate (`clock × delays × choices`) that
+//! [`minimize`] shrinks to a locally-minimal failing configuration for
+//! certificate emission.
+
+use skewbound_core::invariants::{check_invariants, standard_invariants, RunView};
+use skewbound_core::params::Params;
+use skewbound_lin::checker::{check_history_with, CheckLimits, CheckOutcome};
+use skewbound_shift::exhaustive::{
+    verify_send_order_independence, AssignmentExhausted, EnumeratedDelay,
+};
+use skewbound_sim::clock::ClockAssignment;
+use skewbound_sim::engine::{EventView, ScheduleDecision, SchedulePolicy, SimError, Simulation};
+use skewbound_sim::history::History;
+use skewbound_sim::ids::ProcessId;
+use skewbound_sim::time::{SimDuration, SimTime};
+use skewbound_spec::classify::immediately_non_commuting;
+use skewbound_spec::seqspec::SequentialSpec;
+
+use crate::model::ModelActor;
+
+/// The independence relation the explorer prunes with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Independence {
+    /// Structural + commuting-delivery independence (the real relation).
+    Dpor,
+    /// Nothing is independent: every same-time batch branches over every
+    /// order. Exists so the DPOR reduction is *measurable* — explored
+    /// schedule counts under [`Independence::Dpor`] must come out
+    /// strictly smaller on any scenario with concurrent deliveries.
+    Naive,
+}
+
+/// Grid, limits and relation for [`model_check`].
+#[derive(Debug, Clone)]
+pub struct McConfig<S: SequentialSpec> {
+    /// Delay values each message may take (all within `[d − u, d]`).
+    pub delay_choices: Vec<SimDuration>,
+    /// Clock assignments to explore (all within skew `ε`).
+    pub clock_choices: Vec<ClockAssignment>,
+    /// Probe states for the commuting-delivery independence check.
+    pub probe_states: Vec<S::State>,
+    /// The independence relation ([`Independence::Dpor`] normally).
+    pub independence: Independence,
+    /// Hard cap on executed schedules across the whole exploration.
+    pub max_schedules: u64,
+    /// Limits for the per-run linearizability check.
+    pub check_limits: CheckLimits,
+    /// Stop at the first violating run instead of exploring on.
+    pub stop_at_first_violation: bool,
+}
+
+impl<S: SequentialSpec> McConfig<S> {
+    /// Endpoint delays `{d − u, d}` and `±ε`-corner clocks, mirroring
+    /// [`skewbound_shift::exhaustive::ExhaustiveConfig::corners`]: the
+    /// shifting proofs construct their adversarial runs at exactly these
+    /// corners.
+    #[must_use]
+    pub fn corners(params: &Params, probe_states: Vec<S::State>) -> Self {
+        let bounds = params.delay_bounds();
+        let n = params.n();
+        let eps = params.eps();
+        let mut clock_choices = vec![ClockAssignment::zero(n)];
+        for pid in ProcessId::all(n) {
+            clock_choices.push(ClockAssignment::single_late(n, pid, eps));
+            let mut ahead = ClockAssignment::zero(n);
+            ahead.shift(pid, i64::try_from(eps.as_ticks()).expect("eps fits"));
+            clock_choices.push(ahead);
+        }
+        McConfig {
+            delay_choices: vec![bounds.min(), bounds.max()],
+            clock_choices,
+            probe_states,
+            independence: Independence::Dpor,
+            max_schedules: 1_000_000,
+            check_limits: CheckLimits::default(),
+            stop_at_first_violation: false,
+        }
+    }
+}
+
+/// Why one explored run was rejected (or not).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// The history admits no legal linearization.
+    NotLinearizable,
+    /// An operation never received a response at quiescence.
+    IncompleteHistory,
+    /// A protocol invariant failed (`skewbound_core::invariants`).
+    Invariant {
+        /// The invariant's stable name.
+        name: String,
+        /// The first violation's evidence.
+        detail: String,
+    },
+}
+
+impl ViolationKind {
+    /// Stable machine-matchable label.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            ViolationKind::NotLinearizable => "not-linearizable",
+            ViolationKind::IncompleteHistory => "incomplete-history",
+            ViolationKind::Invariant { .. } => "invariant",
+        }
+    }
+
+    /// `true` when `other` is the same *kind* of failure (for invariant
+    /// violations: the same invariant, details may differ). Minimization
+    /// shrinks a counterexample only while the kind is preserved.
+    #[must_use]
+    pub fn same_kind(&self, other: &ViolationKind) -> bool {
+        match (self, other) {
+            (
+                ViolationKind::Invariant { name: a, .. },
+                ViolationKind::Invariant { name: b, .. },
+            ) => a == b,
+            _ => self.label() == other.label(),
+        }
+    }
+}
+
+impl core::fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ViolationKind::NotLinearizable => write!(f, "history is not linearizable"),
+            ViolationKind::IncompleteHistory => {
+                write!(f, "an operation never responded (incomplete history)")
+            }
+            ViolationKind::Invariant { name, detail } => {
+                write!(f, "protocol invariant {name} violated: {detail}")
+            }
+        }
+    }
+}
+
+/// Verdict of a single (re-)executed run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunVerdict {
+    /// Linearizable and every invariant held.
+    Clean,
+    /// The sleep set proved the run a commutation of one already
+    /// explored; it was abandoned unchecked.
+    Pruned,
+    /// The run requested more delays than the enumerated assignment
+    /// covers — it left the enumerated space and proves nothing.
+    OffSpace(AssignmentExhausted),
+    /// The linearizability checker hit its node limit.
+    Unknown,
+    /// A genuine violation.
+    Violation(ViolationKind),
+}
+
+/// A replayable coordinate of one violating run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct McViolation {
+    /// Index into [`McConfig::clock_choices`].
+    pub clock_idx: usize,
+    /// Per-message indices into [`McConfig::delay_choices`], in global
+    /// send order.
+    pub delay_digits: Vec<usize>,
+    /// Branch taken at each schedule choice point, in order.
+    pub choices: Vec<usize>,
+    /// What failed.
+    pub kind: ViolationKind,
+}
+
+/// What [`model_check`] explored and found.
+#[derive(Debug, Clone)]
+pub struct McReport {
+    /// Messages per run (delay-assignment dimensionality).
+    pub messages: usize,
+    /// `clock × delay` grid cells visited.
+    pub cells: u64,
+    /// Schedules executed (including pruned ones).
+    pub schedules: u64,
+    /// Schedules the sleep sets abandoned as redundant.
+    pub pruned: u64,
+    /// Runs that left the enumerated delay space.
+    pub off_space: u64,
+    /// Runs the linearizability checker could not decide.
+    pub unknown: u64,
+    /// Exploration hit [`McConfig::max_schedules`] before finishing.
+    pub capped: bool,
+    /// Every violating run found (first per cell under
+    /// `stop_at_first_violation`).
+    pub violations: Vec<McViolation>,
+}
+
+impl McReport {
+    /// `true` when the whole explored space is violation-free and fully
+    /// decided.
+    #[must_use]
+    pub fn all_passed(&self) -> bool {
+        self.violations.is_empty() && self.unknown == 0 && !self.capped
+    }
+}
+
+/// Sleep-set key: what we must remember about an event to decide
+/// dependence later, after its `EventView` is gone.
+#[derive(Debug, Clone)]
+enum EvKey<Op> {
+    Invoke(ProcessId),
+    Timer(ProcessId),
+    Deliver(ProcessId, Option<Op>),
+}
+
+impl<Op> EvKey<Op> {
+    fn pid(&self) -> ProcessId {
+        match self {
+            EvKey::Invoke(p) | EvKey::Timer(p) | EvKey::Deliver(p, _) => *p,
+        }
+    }
+}
+
+fn key_of<A: ModelActor>(ev: &EventView<'_, A>) -> EvKey<A::Op> {
+    match ev {
+        EventView::Invoke { pid, .. } => EvKey::Invoke(*pid),
+        EventView::Timer { pid, .. } => EvKey::Timer(*pid),
+        EventView::Deliver { pid, msg, .. } => EvKey::Deliver(*pid, A::payload_op(msg).cloned()),
+    }
+}
+
+/// The dependence relation. Sound over-approximation: anything not
+/// provably commuting is dependent.
+fn dependent<S: SequentialSpec>(
+    independence: Independence,
+    spec: &S,
+    states: &[S::State],
+    a: &EvKey<S::Op>,
+    b: &EvKey<S::Op>,
+) -> bool {
+    if independence == Independence::Naive {
+        return true;
+    }
+    if a.pid() != b.pid() {
+        // The engine dispatches each event to exactly one actor; events
+        // at different processes touch disjoint state and commute. (Their
+        // *sends* enqueue with the same delays either way.)
+        return false;
+    }
+    if let (EvKey::Deliver(_, Some(x)), EvKey::Deliver(_, Some(y))) = (a, b) {
+        // Same process, both deliveries: commuting payload operations
+        // reach the same replica state in either order.
+        return immediately_non_commuting(
+            spec,
+            states,
+            core::slice::from_ref(x),
+            core::slice::from_ref(y),
+        )
+        .is_some();
+    }
+    true
+}
+
+/// One schedule choice point: how many alternatives the policy saw, and
+/// which it took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChoicePoint {
+    /// Non-sleeping candidates in the batch.
+    pub alts: usize,
+    /// Index of the branch taken.
+    pub chosen: usize,
+}
+
+/// A [`SchedulePolicy`] that replays a choice prefix, defaults to the
+/// first alternative beyond it, and maintains the sleep set.
+struct ReplayPolicy<'a, S: SequentialSpec> {
+    spec: &'a S,
+    states: &'a [S::State],
+    independence: Independence,
+    plan: &'a [usize],
+    depth: usize,
+    trace: Vec<ChoicePoint>,
+    sleep: Vec<(u64, EvKey<S::Op>)>,
+}
+
+impl<'a, S: SequentialSpec> ReplayPolicy<'a, S> {
+    fn new(
+        spec: &'a S,
+        states: &'a [S::State],
+        independence: Independence,
+        plan: &'a [usize],
+    ) -> Self {
+        ReplayPolicy {
+            spec,
+            states,
+            independence,
+            plan,
+            depth: 0,
+            trace: Vec::new(),
+            sleep: Vec::new(),
+        }
+    }
+}
+
+impl<A> SchedulePolicy<A> for ReplayPolicy<'_, A::Spec>
+where
+    A: ModelActor,
+{
+    fn choose(&mut self, _now: SimTime, enabled: &[EventView<'_, A>]) -> ScheduleDecision {
+        let keys: Vec<EvKey<A::Op>> = enabled.iter().map(key_of::<A>).collect();
+        let cands: Vec<usize> = (0..enabled.len())
+            .filter(|&i| !self.sleep.iter().any(|(seq, _)| *seq == enabled[i].seq()))
+            .collect();
+        if cands.is_empty() {
+            // Every enabled event is asleep: any continuation is a
+            // commutation of an already-explored schedule.
+            return ScheduleDecision::Abort;
+        }
+        let pick = if cands.len() == 1 {
+            0
+        } else {
+            let branching = cands.iter().enumerate().any(|(i, &a)| {
+                cands[i + 1..].iter().any(|&b| {
+                    dependent(
+                        self.independence,
+                        self.spec,
+                        self.states,
+                        &keys[a],
+                        &keys[b],
+                    )
+                })
+            });
+            if branching {
+                let chosen = if self.depth < self.plan.len() {
+                    self.plan[self.depth]
+                } else {
+                    0
+                };
+                if chosen >= cands.len() {
+                    // The plan no longer fits the run's branching
+                    // structure. Unreachable from `model_check` (plans
+                    // are prefixes of recorded traces and replays are
+                    // deterministic), but `minimize` probes perturbed
+                    // plans — a divergent trial is simply abandoned.
+                    return ScheduleDecision::Abort;
+                }
+                self.depth += 1;
+                self.trace.push(ChoicePoint {
+                    alts: cands.len(),
+                    chosen,
+                });
+                // Earlier siblings were (or will have been) fully explored
+                // by branches to our left: they go to sleep.
+                for &ci in &cands[..chosen] {
+                    self.sleep.push((enabled[ci].seq(), keys[ci].clone()));
+                }
+                chosen
+            } else {
+                // Whole batch pairwise-independent: one order suffices.
+                0
+            }
+        };
+        let chosen_idx = cands[pick];
+        let chosen_key = keys[chosen_idx].clone();
+        // Executing an event wakes every sleeping event dependent with it
+        // (their orders relative to it now matter again).
+        self.sleep.retain(|(seq, key)| {
+            *seq != enabled[chosen_idx].seq()
+                && !dependent(self.independence, self.spec, self.states, key, &chosen_key)
+        });
+        ScheduleDecision::Take(chosen_idx)
+    }
+}
+
+/// One run's full result: verdict plus everything a certificate needs.
+#[derive(Debug)]
+pub struct RunOutcome<S: SequentialSpec> {
+    /// The verdict.
+    pub verdict: RunVerdict,
+    /// The observed history.
+    pub history: History<S::Op, S::Resp>,
+    /// Every choice point the run passed through, in order (the replayed
+    /// plan prefix plus default-first decisions beyond it).
+    pub trace: Vec<ChoicePoint>,
+}
+
+impl<S: SequentialSpec> RunOutcome<S> {
+    /// The branch taken at each choice point — a plan that replays this
+    /// exact run.
+    #[must_use]
+    pub fn choices(&self) -> Vec<usize> {
+        self.trace.iter().map(|cp| cp.chosen).collect()
+    }
+}
+
+fn decode_digits(mut code: u64, base: usize, len: usize) -> Vec<usize> {
+    let mut digits = vec![0usize; len];
+    for d in digits.iter_mut() {
+        *d = usize::try_from(code % base as u64).expect("digit fits");
+        code /= base as u64;
+    }
+    digits
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_one<A, F>(
+    spec: &A::Spec,
+    make_actors: &F,
+    params: &Params,
+    script: &[(ProcessId, SimTime, A::Op)],
+    config: &McConfig<A::Spec>,
+    clocks: &ClockAssignment,
+    digits: &[usize],
+    plan: &[usize],
+) -> RunOutcome<A::Spec>
+where
+    A: ModelActor,
+    F: Fn() -> Vec<A>,
+{
+    let bounds = params.delay_bounds();
+    let assignment: Vec<SimDuration> = digits.iter().map(|&d| config.delay_choices[d]).collect();
+    let mut sim = Simulation::new(
+        make_actors(),
+        clocks.clone(),
+        EnumeratedDelay::new(bounds, assignment),
+    );
+    for (pid, at, op) in script {
+        sim.schedule_invoke(*pid, *at, op.clone());
+    }
+    let mut policy =
+        ReplayPolicy::<A::Spec>::new(spec, &config.probe_states, config.independence, plan);
+    let result = sim.run_scheduled(&mut policy);
+    let trace = policy.trace;
+    let history = sim.history().clone();
+    let verdict = match result {
+        Err(SimError::PolicyAbort) => RunVerdict::Pruned,
+        Err(e) => panic!("model-checked run failed: {e}"),
+        Ok(_) => {
+            if let Err(exhausted) = sim.delays().check_exhausted() {
+                RunVerdict::OffSpace(exhausted)
+            } else if !history.is_complete() {
+                RunVerdict::Violation(ViolationKind::IncompleteHistory)
+            } else if history.len() > 128 {
+                RunVerdict::Unknown
+            } else {
+                match check_history_with(spec, &history, config.check_limits) {
+                    CheckOutcome::NotLinearizable(_) => {
+                        RunVerdict::Violation(ViolationKind::NotLinearizable)
+                    }
+                    CheckOutcome::Unknown { .. } => RunVerdict::Unknown,
+                    CheckOutcome::Linearizable(_) => {
+                        let executed_orders: Vec<_> = ProcessId::all(params.n())
+                            .filter_map(|pid| sim.actor(pid).executed_order().map(<[_]>::to_vec))
+                            .collect();
+                        let view = RunView {
+                            params,
+                            spec,
+                            history: &history,
+                            executed_orders: &executed_orders,
+                        };
+                        let violations = check_invariants(&view, &standard_invariants());
+                        match violations.into_iter().next() {
+                            Some(v) => RunVerdict::Violation(ViolationKind::Invariant {
+                                name: v.invariant.to_owned(),
+                                detail: v.detail,
+                            }),
+                            None => RunVerdict::Clean,
+                        }
+                    }
+                }
+            }
+        }
+    };
+    RunOutcome {
+        verdict,
+        history,
+        trace,
+    }
+}
+
+/// Re-executes the single run a violation (or any coordinate) names.
+#[allow(clippy::too_many_arguments)]
+pub fn replay<A, F>(
+    spec: &A::Spec,
+    make_actors: &F,
+    params: &Params,
+    script: &[(ProcessId, SimTime, A::Op)],
+    config: &McConfig<A::Spec>,
+    clock_idx: usize,
+    delay_digits: &[usize],
+    choices: &[usize],
+) -> RunOutcome<A::Spec>
+where
+    A: ModelActor,
+    F: Fn() -> Vec<A>,
+{
+    run_one(
+        spec,
+        make_actors,
+        params,
+        script,
+        config,
+        &config.clock_choices[clock_idx],
+        delay_digits,
+        choices,
+    )
+}
+
+/// Explores every `(clock, delay assignment, schedule)` combination of
+/// the scripted scenario, checking each run's history against `spec` and
+/// the protocol invariants.
+///
+/// # Panics
+///
+/// Panics if the send pattern is delay-dependent (the enumerated grid
+/// would be unsound — verified up front exactly as in
+/// [`skewbound_shift::exhaustive_probe`]), or if the delay grid exceeds
+/// `u64` cells.
+pub fn model_check<A, F>(
+    spec: &A::Spec,
+    make_actors: F,
+    params: &Params,
+    script: &[(ProcessId, SimTime, A::Op)],
+    config: &McConfig<A::Spec>,
+) -> McReport
+where
+    A: ModelActor,
+    F: Fn() -> Vec<A>,
+{
+    assert!(!config.delay_choices.is_empty(), "need delay choices");
+    assert!(!config.clock_choices.is_empty(), "need clock choices");
+    let bounds = params.delay_bounds();
+    let messages =
+        verify_send_order_independence(&make_actors, &config.clock_choices[0], bounds, script)
+            .unwrap_or_else(|divergence| panic!("{divergence}"));
+
+    let c = config.delay_choices.len() as u64;
+    let assignments = c
+        .checked_pow(u32::try_from(messages).expect("too many messages"))
+        .expect("delay grid exceeds u64");
+
+    let mut report = McReport {
+        messages,
+        cells: 0,
+        schedules: 0,
+        pruned: 0,
+        off_space: 0,
+        unknown: 0,
+        capped: false,
+        violations: Vec::new(),
+    };
+
+    'grid: for (clock_idx, clocks) in config.clock_choices.iter().enumerate() {
+        for code in 0..assignments {
+            report.cells += 1;
+            let digits = decode_digits(code, config.delay_choices.len(), messages);
+            // Depth-first over schedule choice points within this cell.
+            let mut plan: Vec<usize> = Vec::new();
+            loop {
+                if report.schedules >= config.max_schedules {
+                    report.capped = true;
+                    break 'grid;
+                }
+                let outcome = run_one(
+                    spec,
+                    &make_actors,
+                    params,
+                    script,
+                    config,
+                    clocks,
+                    &digits,
+                    &plan,
+                );
+                report.schedules += 1;
+                let run_choices = outcome.choices();
+                match outcome.verdict {
+                    RunVerdict::Clean => {}
+                    RunVerdict::Pruned => report.pruned += 1,
+                    RunVerdict::OffSpace(_) => report.off_space += 1,
+                    RunVerdict::Unknown => report.unknown += 1,
+                    RunVerdict::Violation(kind) => {
+                        report.violations.push(McViolation {
+                            clock_idx,
+                            delay_digits: digits.clone(),
+                            choices: run_choices,
+                            kind,
+                        });
+                        if config.stop_at_first_violation {
+                            break 'grid;
+                        }
+                    }
+                }
+                // Backtrack: advance the deepest choice point that still
+                // has an unexplored alternative; the prefix above it is
+                // kept, everything below falls back to default-first.
+                match next_plan(&outcome.trace) {
+                    Some(next) => plan = next,
+                    None => break,
+                }
+            }
+        }
+    }
+    report
+}
+
+fn next_plan(trace: &[ChoicePoint]) -> Option<Vec<usize>> {
+    for depth in (0..trace.len()).rev() {
+        let cp = trace[depth];
+        if cp.chosen + 1 < cp.alts {
+            let mut plan: Vec<usize> = trace[..depth].iter().map(|c| c.chosen).collect();
+            plan.push(cp.chosen + 1);
+            return Some(plan);
+        }
+    }
+    None
+}
+
+/// Shrinks a violation to a locally-minimal failing configuration of the
+/// *same kind*: the shortest failing choice prefix, with every surviving
+/// choice as small as possible and every delay digit reset to the
+/// default (last delay choice, i.e. `d`) where the failure allows.
+///
+/// Delta-debugging by re-execution: every candidate reduction is
+/// re-run, and kept only if the violation kind is preserved.
+pub fn minimize<A, F>(
+    spec: &A::Spec,
+    make_actors: &F,
+    params: &Params,
+    script: &[(ProcessId, SimTime, A::Op)],
+    config: &McConfig<A::Spec>,
+    violation: &McViolation,
+) -> McViolation
+where
+    A: ModelActor,
+    F: Fn() -> Vec<A>,
+{
+    let kind = &violation.kind;
+    let still_fails = |digits: &[usize], choices: &[usize]| -> bool {
+        let outcome = run_one(
+            spec,
+            make_actors,
+            params,
+            script,
+            config,
+            &config.clock_choices[violation.clock_idx],
+            digits,
+            choices,
+        );
+        matches!(&outcome.verdict, RunVerdict::Violation(k) if k.same_kind(kind))
+    };
+    let default_digit = config.delay_choices.len() - 1;
+    let mut digits = violation.delay_digits.clone();
+    let mut choices = violation.choices.clone();
+    // Each pass is monotone (only shrinks); iterate to a fixpoint with a
+    // hard round bound as a backstop.
+    for _round in 0..8 {
+        let mut changed = false;
+        // 1. Shortest failing choice prefix (the suffix falls back to
+        //    the policy's default-first decisions).
+        for k in 0..choices.len() {
+            if still_fails(&digits, &choices[..k]) {
+                choices.truncate(k);
+                changed = true;
+                break;
+            }
+        }
+        // 2. Smallest branch index per surviving choice point.
+        for i in 0..choices.len() {
+            while choices[i] > 0 {
+                let mut trial = choices.clone();
+                trial[i] -= 1;
+                if still_fails(&digits, &trial) {
+                    choices = trial;
+                    changed = true;
+                } else {
+                    break;
+                }
+            }
+        }
+        // 3. Default delay (`d`) per message where the failure survives.
+        for i in 0..digits.len() {
+            if digits[i] != default_digit {
+                let mut trial = digits.clone();
+                trial[i] = default_digit;
+                if still_fails(&trial, &choices) {
+                    digits = trial;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    McViolation {
+        clock_idx: violation.clock_idx,
+        delay_digits: digits,
+        choices,
+        kind: kind.clone(),
+    }
+}

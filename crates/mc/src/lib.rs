@@ -1,0 +1,68 @@
+//! # skewbound-mc
+//!
+//! A stateful model checker and protocol-invariant analyzer for the
+//! shared-object implementations in this workspace.
+//!
+//! The lower-bound machinery (`skewbound-shift`) checks *specific*
+//! adversarial runs; [`exhaustive_probe`](skewbound_shift::exhaustive)
+//! enumerates delay and clock assignments but keeps the engine's FIFO
+//! order for same-time events. This crate closes the remaining gap:
+//!
+//! * [`explore`] — replay-based depth-first exploration of **every**
+//!   delivery order among same-time events, on top of every delay and
+//!   clock corner, pruned with sleep sets over a commuting-delivery
+//!   independence relation (dynamic partial-order reduction);
+//! * [`model`] — the small contract ([`ModelActor`]) an implementation
+//!   satisfies to be explorable: message payload ops (for the
+//!   independence relation) and executed timestamp orders (for the
+//!   Lemma C.10 invariant);
+//! * protocol invariants from [`skewbound_core::invariants`] checked on
+//!   every explored run, next to full linearizability checking;
+//! * [`certificate`] — minimized, replay-confirmed counterexample
+//!   certificates in a stable JSON schema, via the in-tree [`json`]
+//!   module;
+//! * `skewlint` (in `src/bin`) — the command-line analyzer CI runs:
+//!   static routing lints, honest-implementation verification with
+//!   DPOR-vs-naive schedule accounting, and certificate emission for
+//!   the known-broken foils.
+//!
+//! ```
+//! use skewbound_core::{params::Params, replica::Replica};
+//! use skewbound_mc::{model_check, McConfig};
+//! use skewbound_sim::{ids::ProcessId, time::{SimDuration, SimTime}};
+//! use skewbound_spec::{prelude::*, probes};
+//!
+//! let p = Params::with_optimal_skew(
+//!     2,
+//!     SimDuration::from_ticks(9_000),
+//!     SimDuration::from_ticks(2_400),
+//!     SimDuration::ZERO,
+//! )?;
+//! let mut config = McConfig::corners(&p, probes::register_states());
+//! config.clock_choices.truncate(1); // zero-skew only, for doc-test speed
+//! let script = [(ProcessId::new(0), SimTime::ZERO, RmwOp::Write(7))];
+//! let report = model_check(
+//!     &RmwRegister::default(),
+//!     || Replica::group(RmwRegister::default(), &p),
+//!     &p,
+//!     &script,
+//!     &config,
+//! );
+//! assert!(report.all_passed());
+//! # Ok::<(), skewbound_core::params::ParamError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod certificate;
+pub mod explore;
+pub mod json;
+pub mod model;
+
+pub use certificate::{certify, validate_certificate, CertRecord, Certificate, SCHEMA};
+pub use explore::{
+    minimize, model_check, replay, ChoicePoint, Independence, McConfig, McReport, McViolation,
+    RunOutcome, RunVerdict, ViolationKind,
+};
+pub use model::ModelActor;

@@ -276,7 +276,10 @@ mod tests {
 
     #[test]
     fn chop_without_target_message_is_identity() {
-        let run = Run::new(vec![View::new(0, RunTime(5)), View::new(0, RunTime(5))], vec![]);
+        let run = Run::new(
+            vec![View::new(0, RunTime(5)), View::new(0, RunTime(5))],
+            vec![],
+        );
         let matrix = vec![vec![0, 10], vec![10, 0]];
         assert_eq!(chop(&run, &matrix, (p(0), p(1)), 8, bounds()), run);
     }
@@ -284,7 +287,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "outside")]
     fn chop_validates_delta() {
-        let run = Run::new(vec![View::new(0, RunTime(5)), View::new(0, RunTime(5))], vec![]);
+        let run = Run::new(
+            vec![View::new(0, RunTime(5)), View::new(0, RunTime(5))],
+            vec![],
+        );
         let matrix = vec![vec![0, 10], vec![10, 0]];
         let _ = chop(&run, &matrix, (p(0), p(1)), 3, bounds());
     }

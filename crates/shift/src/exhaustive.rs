@@ -13,7 +13,10 @@
 //! *number and order of message sends* is delay-independent (replicas
 //! broadcast on invocation only), so a dry run under any delay model
 //! discovers the message count, and the delay grid then spans the whole
-//! space.
+//! space. That assumption is **verified**, not trusted:
+//! [`verify_send_order_independence`] executes two dry runs under the
+//! opposite-extreme delay models and fails with a diagnostic if their
+//! send sequences differ.
 
 use skewbound_core::params::Params;
 use skewbound_lin::checker::{check_history, CheckOutcome};
@@ -25,6 +28,36 @@ use skewbound_sim::ids::ProcessId;
 use skewbound_sim::par::run_grid;
 use skewbound_sim::time::{SimDuration, SimTime};
 use skewbound_spec::seqspec::SequentialSpec;
+
+/// Structured evidence that a run requested more delays than its
+/// enumerated assignment covers — the run left the enumerated space.
+///
+/// [`EnumeratedDelay::delay`] cannot refuse mid-run (the engine needs
+/// *some* admissible delay for every send), so overruns are recorded and
+/// surfaced here afterwards via [`EnumeratedDelay::check_exhausted`].
+/// Callers decide the severity: [`exhaustive_probe`] treats it as
+/// unsoundness and fails loudly; a model-checking explorer treats it as
+/// a pruned branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AssignmentExhausted {
+    /// Delays the assignment covered.
+    pub assigned: usize,
+    /// Delays the run actually requested (`> assigned`).
+    pub requested: usize,
+}
+
+impl core::fmt::Display for AssignmentExhausted {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "enumerated delay assignment exhausted: run requested {} delays \
+             but only {} were assigned (extra messages fell back to d)",
+            self.requested, self.assigned
+        )
+    }
+}
+
+impl std::error::Error for AssignmentExhausted {}
 
 /// A delay model that replays a fixed per-message assignment, in global
 /// send order.
@@ -53,6 +86,30 @@ impl EnumeratedDelay {
             next: 0,
         }
     }
+
+    /// Delays requested so far.
+    #[must_use]
+    pub fn requested(&self) -> usize {
+        self.next
+    }
+
+    /// Checks that the run stayed within the enumerated assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AssignmentExhausted`] when the run requested more delays
+    /// than were assigned; those extra messages silently took the maximal
+    /// delay `d`, so the run is *admissible* but outside the enumerated
+    /// space.
+    pub fn check_exhausted(&self) -> Result<(), AssignmentExhausted> {
+        if self.next > self.assignment.len() {
+            return Err(AssignmentExhausted {
+                assigned: self.assignment.len(),
+                requested: self.next,
+            });
+        }
+        Ok(())
+    }
 }
 
 impl DelayModel for EnumeratedDelay {
@@ -69,6 +126,105 @@ impl DelayModel for EnumeratedDelay {
     fn bounds(&self) -> DelayBounds {
         self.bounds
     }
+}
+
+/// First divergence between the send sequences of the two extreme dry
+/// runs, as reported by [`verify_send_order_independence`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SendOrderDivergence {
+    /// Index into the global send order at which the runs differ.
+    pub index: usize,
+    /// `(from, to)` of the `index`-th send under `FixedDelay::minimal`,
+    /// if that run sent that many messages.
+    pub under_minimal: Option<(ProcessId, ProcessId)>,
+    /// `(from, to)` of the `index`-th send under `FixedDelay::maximal`.
+    pub under_maximal: Option<(ProcessId, ProcessId)>,
+    /// Total sends under the minimal-delay run.
+    pub minimal_count: usize,
+    /// Total sends under the maximal-delay run.
+    pub maximal_count: usize,
+}
+
+impl core::fmt::Display for SendOrderDivergence {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "send order depends on message delays: at send #{} the \
+             minimal-delay run sends {:?} but the maximal-delay run sends \
+             {:?} ({} vs {} total sends); an enumerated delay grid indexed \
+             by send order is unsound for this implementation",
+            self.index,
+            self.under_minimal,
+            self.under_maximal,
+            self.minimal_count,
+            self.maximal_count
+        )
+    }
+}
+
+impl std::error::Error for SendOrderDivergence {}
+
+/// Verifies — rather than assumes — that the implementation's send
+/// pattern is delay-independent: runs the scripted scenario twice, under
+/// `FixedDelay::minimal` and `FixedDelay::maximal` (the opposite extremes
+/// of the admissible space), and compares the global `(from, to)` send
+/// sequences.
+///
+/// On success returns the (common) message count, which is exactly the
+/// dimensionality an enumerated delay grid needs.
+///
+/// # Errors
+///
+/// Returns [`SendOrderDivergence`] describing the first differing send
+/// when the sequences differ.
+///
+/// # Panics
+///
+/// Panics if either dry run fails to reach quiescence.
+pub fn verify_send_order_independence<A, F>(
+    make_actors: &F,
+    clocks: &ClockAssignment,
+    bounds: DelayBounds,
+    script: &[(ProcessId, SimTime, A::Op)],
+) -> Result<usize, SendOrderDivergence>
+where
+    A: Actor,
+    A::Op: Clone,
+    F: Fn() -> Vec<A>,
+{
+    let dry = |maximal: bool| {
+        let delays = if maximal {
+            FixedDelay::maximal(bounds)
+        } else {
+            FixedDelay::minimal(bounds)
+        };
+        let mut sim = Simulation::new(make_actors(), clocks.clone(), delays);
+        for (pid, at, op) in script {
+            sim.schedule_invoke(*pid, *at, op.clone());
+        }
+        sim.run().expect("dry run failed");
+        sim.message_log()
+            .iter()
+            .map(|m| (m.from, m.to))
+            .collect::<Vec<_>>()
+    };
+    let lo = dry(false);
+    let hi = dry(true);
+    if lo == hi {
+        return Ok(hi.len());
+    }
+    let index = lo
+        .iter()
+        .zip(hi.iter())
+        .position(|(a, b)| a != b)
+        .unwrap_or_else(|| lo.len().min(hi.len()));
+    Err(SendOrderDivergence {
+        index,
+        under_minimal: lo.get(index).copied(),
+        under_maximal: hi.get(index).copied(),
+        minimal_count: lo.len(),
+        maximal_count: hi.len(),
+    })
 }
 
 /// Limits and grid for [`exhaustive_probe`].
@@ -138,9 +294,10 @@ impl ExhaustiveReport {
 ///
 /// # Panics
 ///
-/// Panics if the message count differs between runs (the implementation's
-/// send pattern must be delay-independent), or the run-space exceeds
-/// `config.max_runs`.
+/// Panics if [`verify_send_order_independence`] finds the send pattern
+/// delay-dependent (the enumerated grid would be unsound), if any run
+/// leaves the enumerated space ([`AssignmentExhausted`]), or if the
+/// run-space exceeds `config.max_runs`.
 pub fn exhaustive_probe<S, A, F>(
     spec: &S,
     make_actors: F,
@@ -158,19 +315,11 @@ where
     assert!(!config.clock_choices.is_empty(), "need clock choices");
     let bounds = params.delay_bounds();
 
-    // Dry run: count messages.
-    let messages = {
-        let mut sim = Simulation::new(
-            make_actors(),
-            config.clock_choices[0].clone(),
-            FixedDelay::maximal(bounds),
-        );
-        for (pid, at, op) in script {
-            sim.schedule_invoke(*pid, *at, op.clone());
-        }
-        sim.run().expect("dry run failed");
-        sim.message_log().len()
-    };
+    // Two extreme dry runs: count messages AND verify the count/order is
+    // the same at both ends of the delay space.
+    let messages =
+        verify_send_order_independence(&make_actors, &config.clock_choices[0], bounds, script)
+            .unwrap_or_else(|divergence| panic!("{divergence}"));
 
     let c = config.delay_choices.len() as u64;
     let assignments = c
@@ -217,10 +366,17 @@ where
             sim.schedule_invoke(*pid, *at, op.clone());
         }
         sim.run().expect("exploration run failed");
-        (sim.message_log().len(), check_history(spec, sim.history()))
+        (
+            sim.message_log().len(),
+            sim.delays().check_exhausted().err(),
+            check_history(spec, sim.history()),
+        )
     });
 
-    for (idx, (sent, outcome)) in outcomes.into_iter().enumerate() {
+    for (idx, (sent, exhausted, outcome)) in outcomes.into_iter().enumerate() {
+        if let Some(e) = exhausted {
+            panic!("run {idx} left the enumerated space: {e}");
+        }
         assert_eq!(
             sent, messages,
             "send pattern depends on delays; exhaustive grid is unsound here"
@@ -344,7 +500,88 @@ mod tests {
         };
         assert_eq!(model.delay(meta).as_ticks(), 6);
         assert_eq!(model.delay(meta).as_ticks(), 10);
-        // Past the assignment: defaults to d.
+        assert_eq!(model.check_exhausted(), Ok(()));
+        // Past the assignment: defaults to d, and the overrun is recorded
+        // as a structured error instead of a panic, so explorers can
+        // treat the run as a pruned branch.
         assert_eq!(model.delay(meta).as_ticks(), 10);
+        assert_eq!(
+            model.check_exhausted(),
+            Err(AssignmentExhausted {
+                assigned: 2,
+                requested: 3
+            })
+        );
+        assert_eq!(model.requested(), 3);
+    }
+
+    /// An implementation whose send *order* depends on delays: p0's
+    /// invocation sends to p1, which relays to p2 on receipt. Under
+    /// minimal delays the relay beats a scripted broadcast from p2;
+    /// under maximal delays it loses the race.
+    #[derive(Debug, Default)]
+    struct Relay;
+
+    impl Actor for Relay {
+        type Msg = u8;
+        type Op = u8;
+        type Resp = u8;
+        type Timer = ();
+
+        fn on_invoke(&mut self, op: u8, ctx: &mut Context<'_, Self>) {
+            match op {
+                0 => ctx.send(ProcessId::new(1), 0),
+                _ => ctx.broadcast(1),
+            }
+            ctx.respond(op);
+        }
+        fn on_message(&mut self, _from: ProcessId, msg: u8, ctx: &mut Context<'_, Self>) {
+            if msg == 0 && ctx.pid() == ProcessId::new(1) {
+                ctx.send(ProcessId::new(2), 2);
+            }
+        }
+        fn on_timer(&mut self, _t: (), _ctx: &mut Context<'_, Self>) {}
+    }
+
+    use skewbound_sim::actor::Context;
+
+    #[test]
+    fn send_order_independence_verified_for_honest_replicas() {
+        let params = params();
+        let messages = verify_send_order_independence(
+            &|| Replica::group(Queue::<i64>::new(), &params),
+            &ClockAssignment::zero(params.n()),
+            params.delay_bounds(),
+            &script(),
+        )
+        .expect("Algorithm 1 broadcasts on invocation only");
+        assert_eq!(messages, 6);
+    }
+
+    #[test]
+    fn delay_dependent_send_order_is_diagnosed() {
+        // d = 10, u = 4: the relay send happens at t = 6 (minimal) or
+        // t = 10 (maximal); the scripted broadcast at t = 8 sits between.
+        let bounds = DelayBounds::new(SimDuration::from_ticks(10), SimDuration::from_ticks(4));
+        let p = ProcessId::new;
+        let t = SimTime::from_ticks;
+        let script = vec![(p(0), t(0), 0u8), (p(2), t(8), 1u8)];
+        let err = verify_send_order_independence(
+            &|| vec![Relay, Relay, Relay],
+            &ClockAssignment::zero(3),
+            bounds,
+            &script,
+        )
+        .expect_err("relay send order must depend on delays");
+        assert_eq!(err.index, 1);
+        assert_eq!(err.minimal_count, err.maximal_count);
+        assert_eq!(err.under_minimal, Some((p(1), p(2))));
+        assert_eq!(err.under_maximal, Some((p(2), p(0))));
+        // The diagnostic names the divergence.
+        let msg = err.to_string();
+        assert!(
+            msg.contains("send #1"),
+            "diagnostic should locate it: {msg}"
+        );
     }
 }

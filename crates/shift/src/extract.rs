@@ -27,9 +27,7 @@ where
     D: DelayModel,
 {
     let n = sim.n();
-    let end = RunTime(
-        i64::try_from(sim.now().as_ticks()).expect("run time fits i64") + 1,
-    );
+    let end = RunTime(i64::try_from(sim.now().as_ticks()).expect("run time fits i64") + 1);
 
     // Collect (time, pid, kind) triples, then split per process.
     let mut events: Vec<(RunTime, ProcessId, StepKind)> = Vec::new();
@@ -107,11 +105,8 @@ mod tests {
         let p = params();
         let sim = executed_sim();
         let run = run_from_sim(&sim);
-        run.check_admissible(
-            p.delay_bounds(),
-            i64::try_from(p.eps().as_ticks()).unwrap(),
-        )
-        .unwrap();
+        run.check_admissible(p.delay_bounds(), i64::try_from(p.eps().as_ticks()).unwrap())
+            .unwrap();
         assert!(run.all_delivered());
         assert_eq!(run.n(), 3);
     }
@@ -149,10 +144,7 @@ mod tests {
         let run = run_from_sim(&sim);
         let shifted = crate::shiftop::shift_run(&run, &[100, 100, 100]);
         shifted
-            .check_admissible(
-                p.delay_bounds(),
-                i64::try_from(p.eps().as_ticks()).unwrap(),
-            )
+            .check_admissible(p.delay_bounds(), i64::try_from(p.eps().as_ticks()).unwrap())
             .unwrap();
     }
 
@@ -167,10 +159,7 @@ mod tests {
         let too_much = i64::try_from(p.u().as_ticks()).unwrap() * 2;
         let shifted = crate::shiftop::shift_run(&run, &[too_much, 0, 0]);
         assert!(shifted
-            .check_admissible(
-                p.delay_bounds(),
-                i64::try_from(p.eps().as_ticks()).unwrap(),
-            )
+            .check_admissible(p.delay_bounds(), i64::try_from(p.eps().as_ticks()).unwrap(),)
             .is_err());
     }
 
@@ -179,10 +168,14 @@ mod tests {
         let sim = executed_sim();
         let run = run_from_sim(&sim);
         // Claim admissibility with a tighter eps than the actual spread.
-        assert!(run.check_admissible(
-            DelayBounds::new(SimDuration::from_ticks(9_000), SimDuration::from_ticks(2_400)),
-            10,
-        )
-        .is_err());
+        assert!(run
+            .check_admissible(
+                DelayBounds::new(
+                    SimDuration::from_ticks(9_000),
+                    SimDuration::from_ticks(2_400)
+                ),
+                10,
+            )
+            .is_err());
     }
 }

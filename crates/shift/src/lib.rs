@@ -47,7 +47,10 @@ pub mod scenarios;
 pub mod shiftop;
 
 pub use chop::{chop, shortest_paths, DelayMatrix};
-pub use exhaustive::{exhaustive_probe, EnumeratedDelay, ExhaustiveConfig, ExhaustiveReport};
+pub use exhaustive::{
+    exhaustive_probe, verify_send_order_independence, AssignmentExhausted, EnumeratedDelay,
+    ExhaustiveConfig, ExhaustiveReport, SendOrderDivergence,
+};
 pub use extract::run_from_sim;
 pub use probe::{measure_single_op_latency, probe, ProbeReport};
 pub use run::{AdmissibilityError, Message, Run, RunTime, Step, StepKind, View};

@@ -141,22 +141,19 @@ mod tests {
             &p
         ))
         .all_passed());
-        assert!(
-            probe(&insc_rmw_family(&p), || Replica::group(
-                RmwRegister::default(),
-                &p
-            ))
-            .all_passed()
-        );
+        assert!(probe(&insc_rmw_family(&p), || Replica::group(
+            RmwRegister::default(),
+            &p
+        ))
+        .all_passed());
     }
 
     #[test]
     fn local_first_foil_fails_insc_family() {
         let p = params();
-        let report = probe(&insc_dequeue_family(&p), || LocalFirstReplica::group(
-            Queue::<i64>::new(),
-            3,
-        ));
+        let report = probe(&insc_dequeue_family(&p), || {
+            LocalFirstReplica::group(Queue::<i64>::new(), 3)
+        });
         assert!(!report.all_passed(), "zero-latency dequeues must be caught");
     }
 
@@ -164,12 +161,9 @@ mod tests {
     fn halved_timer_foil_fails_insc_family() {
         let p = params();
         // Latency (d + eps)/2 = 5300 < d + m = 10600: below the bound.
-        let report = probe(&insc_dequeue_family(&p), || eager_group(
-            Queue::<i64>::new(),
-            &p,
-            1,
-            2,
-        ));
+        let report = probe(&insc_dequeue_family(&p), || {
+            eager_group(Queue::<i64>::new(), &p, 1, 2)
+        });
         assert!(
             !report.all_passed(),
             "dequeue faster than d + min(eps,u,d/3) must be caught; latencies {:?}",
@@ -205,11 +199,7 @@ mod tests {
         let p = params();
         let fam = permute_write_family(&p, 3);
         let report = probe(&fam, || Replica::group(RmwRegister::default(), &p));
-        assert!(
-            report.all_passed(),
-            "violations: {:?}",
-            report.violations()
-        );
+        assert!(report.all_passed(), "violations: {:?}", report.violations());
     }
 
     #[test]
@@ -217,11 +207,9 @@ mod tests {
         let p = params();
         let fam = permute_write_family(&p, 3);
         // Mutator wait 0 < (1 − 1/3)u = 1600.
-        let report = probe(&fam, || fast_mutator_group(
-            RmwRegister::default(),
-            &p,
-            SimDuration::ZERO,
-        ));
+        let report = probe(&fam, || {
+            fast_mutator_group(RmwRegister::default(), &p, SimDuration::ZERO)
+        });
         assert!(!report.all_passed(), "instant writes must be caught");
     }
 
@@ -231,11 +219,9 @@ mod tests {
         let fam = permute_write_family(&p, 3);
         // One tick below the bound: still incorrect.
         let wait = SimDuration::from_ticks(1_599);
-        let report = probe(&fam, || fast_mutator_group(
-            RmwRegister::default(),
-            &p,
-            wait,
-        ));
+        let report = probe(&fam, || {
+            fast_mutator_group(RmwRegister::default(), &p, wait)
+        });
         assert!(
             !report.all_passed(),
             "mutator one tick under (1-1/k)u must be caught"
@@ -258,12 +244,14 @@ mod tests {
         .all_passed());
         // Instant mutators are caught: the drain observes an insertion
         // order that contradicts the real-time precedences.
-        assert!(!probe(&permute_enqueue_family(&p, 3), || fast_mutator_group(
-            Queue::<i64>::new(),
-            &p,
-            SimDuration::ZERO
-        ))
-        .all_passed());
+        assert!(
+            !probe(&permute_enqueue_family(&p, 3), || fast_mutator_group(
+                Queue::<i64>::new(),
+                &p,
+                SimDuration::ZERO
+            ))
+            .all_passed()
+        );
         assert!(!probe(&permute_push_family(&p, 3), || fast_mutator_group(
             Stack::<i64>::new(),
             &p,
@@ -288,11 +276,9 @@ mod tests {
             |_| CounterOp::Read,
             "negctl-counter",
         );
-        let report = probe(&fam, || fast_mutator_group(
-            Counter::default(),
-            &p,
-            SimDuration::ZERO,
-        ));
+        let report = probe(&fam, || {
+            fast_mutator_group(Counter::default(), &p, SimDuration::ZERO)
+        });
         assert!(
             report.all_passed(),
             "self-commuting mutators owe no (1-1/k)u wait: {:?}",
@@ -317,8 +303,7 @@ mod tests {
         assert!(probe(&fam, || Replica::group(Stack::<i64>::new(), &p)).all_passed());
         let make_foil =
             || eager_accessor_group(Stack::<i64>::new(), &p, SimDuration::from_ticks(1_000));
-        let foil_w =
-            measure_single_op_latency(make_foil, &p, ProcessId::new(0), StackOp::Push(7));
+        let foil_w = measure_single_op_latency(make_foil, &p, ProcessId::new(0), StackOp::Push(7));
         let foil_fam = pair_push_peek_family(&p, foil_w);
         assert!(!probe(&foil_fam, make_foil).all_passed());
     }
@@ -335,11 +320,7 @@ mod tests {
         assert_eq!(w_m, p.eps() + p.x());
         let fam = pair_enqueue_peek_family(&p, w_m);
         let report = probe(&fam, || Replica::group(Queue::<i64>::new(), &p));
-        assert!(
-            report.all_passed(),
-            "violations: {:?}",
-            report.violations()
-        );
+        assert!(report.all_passed(), "violations: {:?}", report.violations());
     }
 
     #[test]

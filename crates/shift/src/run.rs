@@ -90,7 +90,11 @@ impl View {
         if let Some(last) = self.steps.last() {
             assert!(at >= last.at, "steps must be in time order");
         }
-        assert!(at < self.end, "step at {at} not before view end {}", self.end);
+        assert!(
+            at < self.end,
+            "step at {at} not before view end {}",
+            self.end
+        );
         self.steps.push(Step { at, kind });
     }
 

@@ -519,13 +519,17 @@ pub fn pair_family<S: SequentialSpec + Clone>(
     // R1 (Fig. 16): equal clocks; both mutators at t0. Delays:
     // d_{i,k} = d_{i,l} = d_{j,k} = d_{j,l} = d, and d − m for
     // i↔j and everyone → i, everyone → j.
-    let r1_delays = MatrixDelay::from_fn(n, bounds, |_from, to| {
-        if to == pi || to == pj {
-            d - m
-        } else {
-            d
-        }
-    });
+    let r1_delays = MatrixDelay::from_fn(
+        n,
+        bounds,
+        |_from, to| {
+            if to == pi || to == pj {
+                d - m
+            } else {
+                d
+            }
+        },
+    );
     // "Immediately after" the mutators respond: one tick later, so the
     // invocation does not race the response at the same instant.
     let tick = SimDuration::from_ticks(1);
@@ -634,10 +638,7 @@ mod tests {
         let fam = insc_dequeue_family(&params());
         assert_eq!(fam.len(), 3);
         // R1: p1's clock behind by m.
-        assert_eq!(
-            fam[0].clocks.offset(p(1)).as_ticks(),
-            -1_600
-        );
+        assert_eq!(fam[0].clocks.offset(p(1)).as_ticks(), -1_600);
         // R2: equal clocks, simultaneous invocations.
         assert_eq!(fam[1].clocks.max_skew(), SimDuration::ZERO);
         let last_two: Vec<_> = fam[1].script.iter().rev().take(2).collect();
@@ -658,11 +659,7 @@ mod tests {
             for z in 0..k {
                 let succ = (z + 1) % k;
                 let gap = permute_shift(u, k, z, succ) - permute_shift(u, k, z, z);
-                assert_eq!(
-                    gap,
-                    (u as i64) * (k as i64 - 1) / k as i64,
-                    "k={k} z={z}"
-                );
+                assert_eq!(gap, (u as i64) * (k as i64 - 1) / k as i64, "k={k} z={z}");
                 // And z is the earliest invoker.
                 for i in 0..k {
                     assert!(permute_shift(u, k, z, i) >= permute_shift(u, k, z, z));

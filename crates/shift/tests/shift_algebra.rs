@@ -134,7 +134,12 @@ fn chop_always_restores_admissibility() {
         }
         // Rebuild the run so delays match the cleaned matrix exactly.
         let mut views: Vec<View> = (0..n)
-            .map(|i| View::new(shifted.view(ProcessId::new(i as u32)).offset, RunTime(20_000)))
+            .map(|i| {
+                View::new(
+                    shifted.view(ProcessId::new(i as u32)).offset,
+                    RunTime(20_000),
+                )
+            })
             .collect();
         let mut msgs = Vec::new();
         for (i, row) in new_matrix.iter().enumerate() {

@@ -220,8 +220,18 @@ impl ClockAssignment {
     /// The maximum pairwise skew `max_{i,j} |c_i − c_j|`.
     #[must_use]
     pub fn max_skew(&self) -> SimDuration {
-        let min = self.offsets.iter().min().copied().unwrap_or(ClockOffset::ZERO);
-        let max = self.offsets.iter().max().copied().unwrap_or(ClockOffset::ZERO);
+        let min = self
+            .offsets
+            .iter()
+            .min()
+            .copied()
+            .unwrap_or(ClockOffset::ZERO);
+        let max = self
+            .offsets
+            .iter()
+            .max()
+            .copied()
+            .unwrap_or(ClockOffset::ZERO);
         min.skew_to(max)
     }
 
@@ -259,7 +269,8 @@ mod tests {
         assert_eq!(c.max_skew(), SimDuration::from_ticks(7));
         // A late clock reads an earlier value.
         assert_eq!(
-            c.clock_at(ProcessId::new(1), SimTime::from_ticks(10)).as_ticks(),
+            c.clock_at(ProcessId::new(1), SimTime::from_ticks(10))
+                .as_ticks(),
             3
         );
     }
@@ -281,7 +292,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         for _ in 0..50 {
             let c = ClockAssignment::random_within(6, SimDuration::from_ticks(13), &mut rng);
-            assert!(c.within_skew(SimDuration::from_ticks(13)), "skew {:?}", c.max_skew());
+            assert!(
+                c.within_skew(SimDuration::from_ticks(13)),
+                "skew {:?}",
+                c.max_skew()
+            );
         }
     }
 

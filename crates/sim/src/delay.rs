@@ -468,7 +468,7 @@ mod tests {
         assert_eq!(m.pair(p(1), p(0)), SimDuration::from_ticks(90)); // r=1
         assert_eq!(m.pair(p(0), p(1)), SimDuration::from_ticks(70)); // r=3
         assert_eq!(m.pair(p(3), p(1)), SimDuration::from_ticks(80)); // r=2
-        // Pairs involving p4 (index ≥ k) take the midpoint d − u/2 = 80.
+                                                                     // Pairs involving p4 (index ≥ k) take the midpoint d − u/2 = 80.
         assert_eq!(m.pair(p(4), p(0)), SimDuration::from_ticks(80));
         assert_eq!(m.pair(p(2), p(4)), SimDuration::from_ticks(80));
         // Every entry admissible.

@@ -52,6 +52,10 @@ pub enum SimError {
         /// The configured cap.
         cap: u64,
     },
+    /// A [`SchedulePolicy`] abandoned the run
+    /// ([`ScheduleDecision::Abort`]) — e.g. a model-checking explorer
+    /// proved the remaining branch redundant.
+    PolicyAbort,
 }
 
 impl core::fmt::Display for SimError {
@@ -60,6 +64,7 @@ impl core::fmt::Display for SimError {
             SimError::EventCapExceeded { cap } => {
                 write!(f, "event cap of {cap} events exceeded before quiescence")
             }
+            SimError::PolicyAbort => write!(f, "the schedule policy abandoned the run"),
         }
     }
 }
@@ -125,9 +130,148 @@ pub struct MsgEvent {
 }
 
 enum EventKind<A: Actor> {
-    Invoke { op: A::Op },
-    Deliver { from: ProcessId, msg: A::Msg, msg_id: MsgId },
-    Timer { id: TimerId, timer: A::Timer },
+    Invoke {
+        op: A::Op,
+    },
+    Deliver {
+        from: ProcessId,
+        msg: A::Msg,
+        msg_id: MsgId,
+    },
+    Timer {
+        id: TimerId,
+        timer: A::Timer,
+    },
+}
+
+/// Read-only view of one schedulable event, as presented to a
+/// [`SchedulePolicy`] by [`Simulation::run_scheduled_with`].
+///
+/// The `seq` field is the engine's internal scheduling sequence number:
+/// it identifies the *same* event across deterministic replays of the
+/// same choice prefix (the basis for sleep-set bookkeeping in explorers).
+pub enum EventView<'a, A: Actor> {
+    /// An operation invocation at `pid`.
+    Invoke {
+        /// Stable event identity within a deterministic replay.
+        seq: u64,
+        /// The invoked process.
+        pid: ProcessId,
+        /// The operation being invoked.
+        op: &'a A::Op,
+    },
+    /// Delivery of a message at `pid`.
+    Deliver {
+        /// Stable event identity within a deterministic replay.
+        seq: u64,
+        /// The receiving process.
+        pid: ProcessId,
+        /// The sender.
+        from: ProcessId,
+        /// The run-unique message id.
+        msg_id: MsgId,
+        /// The payload.
+        msg: &'a A::Msg,
+    },
+    /// A live timer expiry at `pid` (stale expiries are filtered out
+    /// before the policy sees the batch).
+    Timer {
+        /// Stable event identity within a deterministic replay.
+        seq: u64,
+        /// The process whose timer fires.
+        pid: ProcessId,
+    },
+}
+
+impl<A: Actor> EventView<'_, A> {
+    /// The engine's scheduling sequence number — stable event identity
+    /// across deterministic replays of the same prefix.
+    #[must_use]
+    pub fn seq(&self) -> u64 {
+        match self {
+            EventView::Invoke { seq, .. }
+            | EventView::Deliver { seq, .. }
+            | EventView::Timer { seq, .. } => *seq,
+        }
+    }
+
+    /// The process at which the event takes place.
+    #[must_use]
+    pub fn pid(&self) -> ProcessId {
+        match self {
+            EventView::Invoke { pid, .. }
+            | EventView::Deliver { pid, .. }
+            | EventView::Timer { pid, .. } => *pid,
+        }
+    }
+}
+
+impl<A: Actor> core::fmt::Debug for EventView<'_, A> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            EventView::Invoke { seq, pid, op } => f
+                .debug_struct("Invoke")
+                .field("seq", seq)
+                .field("pid", pid)
+                .field("op", op)
+                .finish(),
+            EventView::Deliver {
+                seq,
+                pid,
+                from,
+                msg_id,
+                msg,
+            } => f
+                .debug_struct("Deliver")
+                .field("seq", seq)
+                .field("pid", pid)
+                .field("from", from)
+                .field("msg_id", msg_id)
+                .field("msg", msg)
+                .finish(),
+            EventView::Timer { seq, pid } => f
+                .debug_struct("Timer")
+                .field("seq", seq)
+                .field("pid", pid)
+                .finish(),
+        }
+    }
+}
+
+/// Verdict of a [`SchedulePolicy`] on one batch of same-time events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleDecision {
+    /// Process `enabled[i]` next; the rest stay queued.
+    Take(usize),
+    /// Abandon the whole run; [`Simulation::run_scheduled_with`] returns
+    /// [`SimError::PolicyAbort`].
+    Abort,
+}
+
+/// Chooses which of the events enabled at the current instant runs next.
+///
+/// [`Simulation::run_scheduled_with`] consults the policy with the batch
+/// of *all* queued events sharing the minimal real time, in the engine's
+/// default (FIFO schedule) order — index 0 reproduces the default run.
+/// This is the replayable hook model-checking explorers drive: choices
+/// are deterministic functions of the prefix, so identical choice
+/// sequences replay identical runs.
+pub trait SchedulePolicy<A: Actor> {
+    /// Picks the next event from `enabled` (never empty). Called for
+    /// every batch, including singletons, so policies can maintain
+    /// bookkeeping over the full event sequence.
+    fn choose(&mut self, now: SimTime, enabled: &[EventView<'_, A>]) -> ScheduleDecision;
+}
+
+/// The engine's own deterministic order: always take the first enabled
+/// event. `run_scheduled_with(&mut FifoPolicy, …)` reproduces `run_with`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FifoPolicy;
+
+impl<A: Actor> SchedulePolicy<A> for FifoPolicy {
+    fn choose(&mut self, _now: SimTime, _enabled: &[EventView<'_, A>]) -> ScheduleDecision {
+        ScheduleDecision::Take(0)
+    }
 }
 
 struct Scheduled<A: Actor> {
@@ -316,6 +460,13 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
         &self.msg_log
     }
 
+    /// The delay model — e.g. to inspect an enumerated model's state
+    /// after a run (did the run stay within its assignment?).
+    #[must_use]
+    pub fn delays(&self) -> &D {
+        &self.delays
+    }
+
     /// Current simulated real time.
     #[must_use]
     pub fn now(&self) -> SimTime {
@@ -388,59 +539,198 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
                     cap: self.config.max_events,
                 });
             }
-            debug_assert!(ev.at >= self.now, "time went backwards");
-            self.now = ev.at;
-            let pid = ev.pid;
-            match ev.kind {
-                EventKind::Invoke { op } => {
-                    assert!(
-                        self.pending_op[pid.index()].is_none(),
-                        "{pid}: invocation while another operation is pending \
-                         (the application layer allows one pending operation per process)"
-                    );
-                    if let Some(trace) = &mut self.trace {
-                        trace.record(
-                            self.now,
-                            pid,
-                            TraceEventKind::Invoke {
-                                op: format!("{op:?}"),
-                            },
-                        );
-                    }
-                    let op_id = self.history.record_invoke(pid, op.clone(), self.now);
-                    self.pending_op[pid.index()] = Some(op_id);
-                    self.activate(pid, |actor, ctx| actor.on_invoke(op, ctx), driver);
-                }
-                EventKind::Deliver { from, msg, msg_id } => {
-                    if let Some(trace) = &mut self.trace {
-                        trace.record(self.now, pid, TraceEventKind::Recv { from, msg: msg_id });
-                    }
-                    self.activate(pid, |actor, ctx| actor.on_message(from, msg, ctx), driver);
-                }
-                EventKind::Timer { id, timer } => {
-                    // A stale generation means the timer was cancelled
-                    // after this expiry event was queued.
-                    if !self.timers.fire(id) {
-                        continue;
-                    }
-                    if let Some(trace) = &mut self.trace {
-                        trace.record(
-                            self.now,
-                            pid,
-                            TraceEventKind::Timer {
-                                tag: format!("{timer:?}"),
-                            },
-                        );
-                    }
-                    self.activate(pid, |actor, ctx| actor.on_timer(timer, ctx), driver);
-                }
-            }
+            self.dispatch_event(ev, driver);
         }
         Ok(SimReport {
             events,
             end_time: self.now,
             wall_nanos: u64::try_from(wall_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
         })
+    }
+
+    /// Runs to quiescence under `policy`, which picks among same-time
+    /// events. A convenience for [`Simulation::run_scheduled_with`] with
+    /// no driver.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulation::run_scheduled_with`].
+    pub fn run_scheduled<P>(&mut self, policy: &mut P) -> Result<SimReport, SimError>
+    where
+        P: SchedulePolicy<A> + ?Sized,
+    {
+        self.run_scheduled_with(policy, &mut crate::workload::NoDriver)
+    }
+
+    /// Runs to quiescence, consulting `policy` for the order of same-time
+    /// events — the replayable scheduler hook for model-checking
+    /// explorers.
+    ///
+    /// At every step, *all* queued events sharing the minimal real time
+    /// are collected into a batch (in the engine's deterministic FIFO
+    /// order), stale timer expiries are dropped, and the policy picks one
+    /// to process; the rest are re-queued unchanged. With [`FifoPolicy`]
+    /// this path produces exactly the history [`Simulation::run_with`]
+    /// does; the separate hot path in `run_with` exists because grid
+    /// sweeps never pay for the batching.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EventCapExceeded`] if the configured event cap
+    /// is hit first, or [`SimError::PolicyAbort`] if the policy abandons
+    /// the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy returns an out-of-range index.
+    pub fn run_scheduled_with<P, Dr>(
+        &mut self,
+        policy: &mut P,
+        driver: &mut Dr,
+    ) -> Result<SimReport, SimError>
+    where
+        P: SchedulePolicy<A> + ?Sized,
+        Dr: Driver<A::Op, A::Resp> + ?Sized,
+    {
+        let wall_start = std::time::Instant::now();
+        let initial = driver.initial();
+        self.queue.reserve(initial.len());
+        for (pid, at, op) in initial {
+            self.schedule_invoke(pid, at, op);
+        }
+        if !self.started {
+            self.started = true;
+            for pid in ProcessId::all(self.n()) {
+                self.activate(pid, |actor, ctx| actor.on_start(ctx), driver);
+            }
+        }
+        let mut events = 0u64;
+        let mut batch: Vec<Scheduled<A>> = Vec::new();
+        while let Some(first) = self.queue.pop() {
+            let at = first.at;
+            batch.clear();
+            batch.push(first);
+            while self.queue.peek().is_some_and(|next| next.at == at) {
+                batch.push(self.queue.pop().expect("peeked"));
+            }
+            // The heap pops in (at, seq) order, so the batch is already in
+            // the engine's default FIFO order. Stale timer expiries are
+            // not schedulable events — drop them before the policy looks.
+            let timers = &self.timers;
+            batch.retain(|ev| match &ev.kind {
+                EventKind::Timer { id, .. } => timers.is_live(*id),
+                _ => true,
+            });
+            if batch.is_empty() {
+                continue;
+            }
+            let chosen = {
+                let views: Vec<EventView<'_, A>> = batch
+                    .iter()
+                    .map(|ev| match &ev.kind {
+                        EventKind::Invoke { op } => EventView::Invoke {
+                            seq: ev.seq,
+                            pid: ev.pid,
+                            op,
+                        },
+                        EventKind::Deliver { from, msg, msg_id } => EventView::Deliver {
+                            seq: ev.seq,
+                            pid: ev.pid,
+                            from: *from,
+                            msg_id: *msg_id,
+                            msg,
+                        },
+                        EventKind::Timer { .. } => EventView::Timer {
+                            seq: ev.seq,
+                            pid: ev.pid,
+                        },
+                    })
+                    .collect();
+                match policy.choose(at, &views) {
+                    ScheduleDecision::Take(i) => {
+                        assert!(
+                            i < batch.len(),
+                            "schedule policy chose event {i} of {}",
+                            batch.len()
+                        );
+                        i
+                    }
+                    ScheduleDecision::Abort => return Err(SimError::PolicyAbort),
+                }
+            };
+            let ev = batch.remove(chosen);
+            for rest in batch.drain(..) {
+                self.queue.push(rest);
+            }
+            events += 1;
+            if events > self.config.max_events {
+                return Err(SimError::EventCapExceeded {
+                    cap: self.config.max_events,
+                });
+            }
+            self.dispatch_event(ev, driver);
+        }
+        Ok(SimReport {
+            events,
+            end_time: self.now,
+            wall_nanos: u64::try_from(wall_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        })
+    }
+
+    /// Advances time to the event and runs the actor handler. Stale timer
+    /// expiries (cancelled after queueing) are dropped silently.
+    #[inline]
+    fn dispatch_event<Dr>(&mut self, ev: Scheduled<A>, driver: &mut Dr)
+    where
+        Dr: Driver<A::Op, A::Resp> + ?Sized,
+    {
+        debug_assert!(ev.at >= self.now, "time went backwards");
+        self.now = ev.at;
+        let pid = ev.pid;
+        match ev.kind {
+            EventKind::Invoke { op } => {
+                assert!(
+                    self.pending_op[pid.index()].is_none(),
+                    "{pid}: invocation while another operation is pending \
+                     (the application layer allows one pending operation per process)"
+                );
+                if let Some(trace) = &mut self.trace {
+                    trace.record(
+                        self.now,
+                        pid,
+                        TraceEventKind::Invoke {
+                            op: format!("{op:?}"),
+                        },
+                    );
+                }
+                let op_id = self.history.record_invoke(pid, op.clone(), self.now);
+                self.pending_op[pid.index()] = Some(op_id);
+                self.activate(pid, |actor, ctx| actor.on_invoke(op, ctx), driver);
+            }
+            EventKind::Deliver { from, msg, msg_id } => {
+                if let Some(trace) = &mut self.trace {
+                    trace.record(self.now, pid, TraceEventKind::Recv { from, msg: msg_id });
+                }
+                self.activate(pid, |actor, ctx| actor.on_message(from, msg, ctx), driver);
+            }
+            EventKind::Timer { id, timer } => {
+                // A stale generation means the timer was cancelled
+                // after this expiry event was queued.
+                if !self.timers.fire(id) {
+                    return;
+                }
+                if let Some(trace) = &mut self.trace {
+                    trace.record(
+                        self.now,
+                        pid,
+                        TraceEventKind::Timer {
+                            tag: format!("{timer:?}"),
+                        },
+                    );
+                }
+                self.activate(pid, |actor, ctx| actor.on_timer(timer, ctx), driver);
+            }
+        }
     }
 
     /// Runs one actor handler and applies its effects.
@@ -517,7 +807,11 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
                 at: recv_at,
                 seq,
                 pid: to,
-                kind: EventKind::Deliver { from: pid, msg, msg_id: id },
+                kind: EventKind::Deliver {
+                    from: pid,
+                    msg,
+                    msg_id: id,
+                },
             });
         }
 
@@ -781,30 +1075,28 @@ mod tests {
         )
         .with_config(SimConfig { max_events: 100 });
         sim.schedule_invoke(ProcessId::new(0), SimTime::ZERO, ());
-        assert_eq!(
-            sim.run(),
-            Err(SimError::EventCapExceeded { cap: 100 })
-        );
+        assert_eq!(sim.run(), Err(SimError::EventCapExceeded { cap: 100 }));
+    }
+
+    #[derive(Debug, Default)]
+    struct Recorder {
+        seen: Vec<u32>,
+    }
+    impl Actor for Recorder {
+        type Msg = ();
+        type Op = u32;
+        type Resp = ();
+        type Timer = ();
+        fn on_invoke(&mut self, op: u32, ctx: &mut Context<'_, Self>) {
+            self.seen.push(op);
+            ctx.respond(());
+        }
+        fn on_message(&mut self, _: ProcessId, _: (), _: &mut Context<'_, Self>) {}
+        fn on_timer(&mut self, _: (), _: &mut Context<'_, Self>) {}
     }
 
     #[test]
     fn same_time_events_fifo_by_schedule_order() {
-        #[derive(Debug, Default)]
-        struct Recorder {
-            seen: Vec<u32>,
-        }
-        impl Actor for Recorder {
-            type Msg = ();
-            type Op = u32;
-            type Resp = ();
-            type Timer = ();
-            fn on_invoke(&mut self, op: u32, ctx: &mut Context<'_, Self>) {
-                self.seen.push(op);
-                ctx.respond(());
-            }
-            fn on_message(&mut self, _: ProcessId, _: (), _: &mut Context<'_, Self>) {}
-            fn on_timer(&mut self, _: (), _: &mut Context<'_, Self>) {}
-        }
         // Two invocations at the same instant on the same process would
         // violate the pending-op rule, so use the response to sequence:
         // each invocation completes instantly, so both run at t=5 in
@@ -818,5 +1110,96 @@ mod tests {
         sim.schedule_invoke(ProcessId::new(0), SimTime::from_ticks(5), 2);
         sim.run().unwrap();
         assert_eq!(sim.actor(ProcessId::new(0)).seen, vec![1, 2]);
+    }
+
+    #[test]
+    fn scheduled_fifo_reproduces_the_default_run() {
+        let build = || {
+            let mut sim = Simulation::new(
+                vec![PingPong::default(), PingPong::default()],
+                ClockAssignment::zero(2),
+                FixedDelay::maximal(bounds()),
+            );
+            sim.schedule_invoke(ProcessId::new(0), SimTime::ZERO, ());
+            sim
+        };
+        let mut plain = build();
+        let plain_report = plain.run().unwrap();
+        let mut hooked = build();
+        let hooked_report = hooked.run_scheduled(&mut FifoPolicy).unwrap();
+        assert_eq!(plain_report, hooked_report);
+        assert_eq!(plain.message_log(), hooked.message_log());
+        assert_eq!(
+            plain.history().records()[0].resp(),
+            hooked.history().records()[0].resp()
+        );
+    }
+
+    #[test]
+    fn policy_reorders_same_time_events() {
+        struct TakeLast;
+        impl<A: Actor> SchedulePolicy<A> for TakeLast {
+            fn choose(&mut self, _: SimTime, enabled: &[EventView<'_, A>]) -> ScheduleDecision {
+                ScheduleDecision::Take(enabled.len() - 1)
+            }
+        }
+        let mut sim = Simulation::new(
+            vec![Recorder::default()],
+            ClockAssignment::zero(1),
+            FixedDelay::maximal(bounds()),
+        );
+        sim.schedule_invoke(ProcessId::new(0), SimTime::from_ticks(5), 1);
+        sim.schedule_invoke(ProcessId::new(0), SimTime::from_ticks(5), 2);
+        sim.run_scheduled(&mut TakeLast).unwrap();
+        assert_eq!(
+            sim.actor(ProcessId::new(0)).seen,
+            vec![2, 1],
+            "the policy must be able to invert the default order"
+        );
+    }
+
+    #[test]
+    fn policy_abort_surfaces_as_error() {
+        struct AbortAll;
+        impl<A: Actor> SchedulePolicy<A> for AbortAll {
+            fn choose(&mut self, _: SimTime, _: &[EventView<'_, A>]) -> ScheduleDecision {
+                ScheduleDecision::Abort
+            }
+        }
+        let mut sim = Simulation::new(
+            vec![Recorder::default()],
+            ClockAssignment::zero(1),
+            FixedDelay::maximal(bounds()),
+        );
+        sim.schedule_invoke(ProcessId::new(0), SimTime::ZERO, 1);
+        assert_eq!(sim.run_scheduled(&mut AbortAll), Err(SimError::PolicyAbort));
+    }
+
+    #[test]
+    fn scheduled_run_filters_stale_timer_batches() {
+        // The canceller's first timer is cancelled at set time; when its
+        // expiry would pop, the scheduled path must not present it as a
+        // choice.
+        struct CountBatches {
+            multi: u32,
+        }
+        impl<A: Actor> SchedulePolicy<A> for CountBatches {
+            fn choose(&mut self, _: SimTime, enabled: &[EventView<'_, A>]) -> ScheduleDecision {
+                if enabled.len() > 1 {
+                    self.multi += 1;
+                }
+                ScheduleDecision::Take(0)
+            }
+        }
+        let mut sim = Simulation::new(
+            vec![Canceller::default()],
+            ClockAssignment::zero(1),
+            FixedDelay::maximal(bounds()),
+        );
+        sim.schedule_invoke(ProcessId::new(0), SimTime::ZERO, ());
+        let mut policy = CountBatches { multi: 0 };
+        sim.run_scheduled(&mut policy).unwrap();
+        assert_eq!(sim.actor(ProcessId::new(0)).fired, vec![2]);
+        assert_eq!(policy.multi, 0, "no batch should contain the stale expiry");
     }
 }

@@ -116,10 +116,7 @@ impl<O, R> History<O, R> {
             .records
             .get_mut(id.as_u64() as usize)
             .expect("response for unknown operation id");
-        assert!(
-            rec.response.is_none(),
-            "operation {id:?} responded twice"
-        );
+        assert!(rec.response.is_none(), "operation {id:?} responded twice");
         assert!(
             at >= rec.invoked_at,
             "operation {id:?} responded before its invocation"

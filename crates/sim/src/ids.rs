@@ -18,33 +18,25 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(p.index(), 2);
 /// assert_eq!(format!("{p}"), "p2");
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ProcessId(u32);
 
 /// Identifies a single operation *instance* within a run (unique across
 /// processes).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct OpId(u64);
 
 /// Identifies a message instance within a run.
 ///
 /// The thesis assumes every message carries a unique id identifying sender
 /// and recipient (Chapter III §B.2); the engine assigns these.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct MsgId(u64);
 
 /// Identifies a pending timer at a process. Returned by
 /// [`Context::set_timer`](crate::actor::Context::set_timer) and accepted by
 /// [`Context::cancel_timer`](crate::actor::Context::cancel_timer).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct TimerId(u64);
 
 impl ProcessId {
@@ -157,7 +149,10 @@ mod tests {
     #[test]
     fn process_id_iteration() {
         let ids: Vec<_> = ProcessId::all(3).collect();
-        assert_eq!(ids, vec![ProcessId::new(0), ProcessId::new(1), ProcessId::new(2)]);
+        assert_eq!(
+            ids,
+            vec![ProcessId::new(0), ProcessId::new(1), ProcessId::new(2)]
+        );
     }
 
     #[test]

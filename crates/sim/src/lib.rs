@@ -76,7 +76,10 @@ pub mod prelude {
         BimodalDelay, DelayBounds, DelayModel, FixedDelay, MatrixDelay, MsgMeta, ScriptedDelay,
         UniformDelay,
     };
-    pub use crate::engine::{SimConfig, SimError, SimReport, Simulation};
+    pub use crate::engine::{
+        EventView, FifoPolicy, ScheduleDecision, SchedulePolicy, SimConfig, SimError, SimReport,
+        Simulation,
+    };
     pub use crate::history::{History, OpRecord};
     pub use crate::ids::{MsgId, OpId, ProcessId, TimerId};
     pub use crate::stats::LatencySummary;

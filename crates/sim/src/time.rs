@@ -45,9 +45,7 @@ pub struct SimTime(u64);
 /// assert_eq!(d / 4, SimDuration::from_ticks(2_500));
 /// assert_eq!(d * 2, SimDuration::from_ticks(20_000));
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct SimDuration(u64);
 
 /// A *clock time*: what a process reads off its local clock.
@@ -72,9 +70,7 @@ pub struct ClockTime(i64);
 ///
 /// Offsets are what the skew bound constrains: a run is admissible when
 /// `|c_i − c_j| ≤ ε` for all process pairs (Chapter III §B.3).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct ClockOffset(i64);
 
 impl SimTime {
@@ -449,7 +445,10 @@ mod tests {
         let d = SimDuration::from_ticks(9);
         assert_eq!(d * 3, SimDuration::from_ticks(27));
         assert_eq!(d / 2, SimDuration::from_ticks(4));
-        assert_eq!(d.min(SimDuration::from_ticks(4)), SimDuration::from_ticks(4));
+        assert_eq!(
+            d.min(SimDuration::from_ticks(4)),
+            SimDuration::from_ticks(4)
+        );
         assert_eq!(d.max(SimDuration::from_ticks(4)), d);
     }
 

@@ -47,6 +47,10 @@ struct Slot {
 pub struct TimerSlab {
     slots: Vec<Slot>,
     free: Vec<u32>,
+    /// Slots permanently retired because their generation counter
+    /// saturated (see [`TimerSlab::retire`] — recycling such a slot would
+    /// wrap the generation back to zero and resurrect stale ids).
+    exhausted: usize,
 }
 
 impl TimerSlab {
@@ -63,6 +67,7 @@ impl TimerSlab {
         TimerSlab {
             slots: Vec::with_capacity(capacity),
             free: Vec::with_capacity(capacity),
+            exhausted: 0,
         }
     }
 
@@ -104,10 +109,25 @@ impl TimerSlab {
         self.retire(id)
     }
 
+    /// `true` while the timer is pending: allocated, not yet fired, not
+    /// cancelled. Unlike [`TimerSlab::fire`] this does not consume the
+    /// id, so schedulers can filter stale expiry events without retiring
+    /// live ones.
+    #[must_use]
+    pub fn is_live(&self, id: TimerId) -> bool {
+        let raw = id.as_u64();
+        let slot = (raw & SLOT_MASK) as u32;
+        #[allow(clippy::cast_possible_truncation)]
+        let generation = (raw >> SLOT_BITS) as u32;
+        self.slots
+            .get(slot as usize)
+            .is_some_and(|s| s.live && s.generation == generation)
+    }
+
     /// Number of currently live (pending) timers.
     #[must_use]
     pub fn pending(&self) -> usize {
-        self.slots.len() - self.free.len()
+        self.slots.len() - self.free.len() - self.exhausted
     }
 
     fn retire(&mut self, id: TimerId) -> bool {
@@ -122,10 +142,19 @@ impl TimerSlab {
             return false;
         }
         s.live = false;
-        // A wrapped generation could collide with a stale id only after
-        // 2^32 reuses of one slot while that id is still queued —
-        // impossible within the engine's event cap.
-        s.generation = s.generation.wrapping_add(1);
+        if s.generation == u32::MAX {
+            // Bumping would wrap the generation back to 0, and a stale id
+            // minted for this slot's generation 0 (if one were still
+            // queued) would match again. Saturate instead: the slot is
+            // retired permanently and never re-enters the free list.
+            debug_assert!(
+                self.exhausted < self.slots.len(),
+                "more exhausted slots than slots"
+            );
+            self.exhausted += 1;
+            return true;
+        }
+        s.generation += 1;
         self.free.push(slot);
         true
     }
@@ -163,6 +192,49 @@ mod tests {
         let mut slab = TimerSlab::new();
         assert!(!slab.cancel(TimerId::new(99)));
         assert!(!slab.fire(TimerId::new(u64::MAX)));
+    }
+
+    #[test]
+    fn is_live_tracks_lifecycle_without_consuming() {
+        let mut slab = TimerSlab::new();
+        let a = slab.alloc();
+        assert!(slab.is_live(a));
+        assert!(slab.is_live(a), "is_live must not retire the timer");
+        assert!(slab.fire(a));
+        assert!(!slab.is_live(a));
+        let b = slab.alloc();
+        assert!(slab.is_live(b));
+        assert!(slab.cancel(b));
+        assert!(!slab.is_live(b));
+        assert!(!slab.is_live(TimerId::new(u64::MAX)));
+    }
+
+    /// Forces a slot's generation counter to its maximum and checks the
+    /// saturating retirement: the exhausted slot never re-enters the free
+    /// list, so a wrapped generation can never resurrect a stale id.
+    #[test]
+    fn generation_wrap_saturates_the_slot() {
+        let mut slab = TimerSlab::new();
+        let a = slab.alloc(); // slot 0, generation 0
+        assert!(slab.fire(a));
+        // Fast-forward the recycled slot to the last generation.
+        slab.slots[0].generation = u32::MAX;
+        let b = slab.alloc();
+        assert_eq!(b.as_u64() & SLOT_MASK, 0, "free list recycles slot 0");
+        assert_eq!(slab.pending(), 1);
+        assert!(slab.fire(b));
+        assert_eq!(slab.pending(), 0, "exhausted slot is not counted pending");
+        // The slot is permanently retired: a fresh alloc gets a new slot
+        // instead of wrapping slot 0 back to generation 0.
+        let c = slab.alloc();
+        assert_eq!(c.as_u64() & SLOT_MASK, 1, "slot 0 must not be recycled");
+        assert!(slab.is_live(c));
+        // Ids minted for slot 0 stay dead forever, including the id that
+        // a generation-0 wraparound would have resurrected.
+        let resurrected = TimerId::new(0); // slot 0, generation 0
+        assert!(!slab.fire(resurrected));
+        assert!(!slab.cancel(b));
+        assert!(slab.fire(c));
     }
 
     #[test]

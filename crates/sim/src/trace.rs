@@ -193,7 +193,14 @@ mod tests {
                 payload: "m".into(),
             },
         );
-        tr.record(t(3), p(1), TraceEventKind::Recv { from: p(0), msg: MsgId::new(0) });
+        tr.record(
+            t(3),
+            p(1),
+            TraceEventKind::Recv {
+                from: p(0),
+                msg: MsgId::new(0),
+            },
+        );
         let text = tr.render();
         assert!(text.contains("INVOKE  deq"));
         assert!(text.contains("SEND    -> p1"));

@@ -174,10 +174,13 @@ mod cluster {
 
     #[test]
     fn concurrent_clients_from_threads() {
-        let bounds =
-            DelayBounds::new(SimDuration::from_ticks(1_000), SimDuration::from_ticks(500));
+        let bounds = DelayBounds::new(SimDuration::from_ticks(1_000), SimDuration::from_ticks(500));
         let mut cluster = RtCluster::start(
-            vec![GossipCounter::default(), GossipCounter::default(), GossipCounter::default()],
+            vec![
+                GossipCounter::default(),
+                GossipCounter::default(),
+                GossipCounter::default(),
+            ],
             &ClockAssignment::zero(3),
             bounds,
             5,

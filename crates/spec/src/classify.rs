@@ -79,12 +79,7 @@ impl<S: SequentialSpec> fmt::Debug for EventualWitness<S> {
 
 /// Whether `ρ ∘ opA ∘ opB` is legal when both responses were fixed by
 /// `state` (the deterministic-object reading of Definition B.1).
-fn order_legal<S: SequentialSpec>(
-    spec: &S,
-    state: &S::State,
-    op_a: &S::Op,
-    op_b: &S::Op,
-) -> bool {
+fn order_legal<S: SequentialSpec>(spec: &S, state: &S::State, op_a: &S::Op, op_b: &S::Op) -> bool {
     // Responses fixed by ρ alone.
     let (state_a, _ret_a) = spec.apply(state, op_a);
     let (_, ret_b_fixed) = spec.apply(state, op_b);
@@ -273,9 +268,7 @@ impl<S: SequentialSpec> PermutationAnalysis<S> {
         // There must actually be two legal permutations with different
         // last ops for the clause to bite; otherwise it holds vacuously
         // and is not a meaningful witness.
-        self.legal.iter().any(|p| {
-            self.legal[0].last() != p.last()
-        })
+        self.legal.iter().any(|p| self.legal[0].last() != p.last())
     }
 }
 
@@ -573,7 +566,11 @@ mod tests {
     #[test]
     fn enqueue_is_any_permuting() {
         let spec: Queue<i64> = Queue::new();
-        let ops = vec![QueueOp::Enqueue(1), QueueOp::Enqueue(2), QueueOp::Enqueue(3)];
+        let ops = vec![
+            QueueOp::Enqueue(1),
+            QueueOp::Enqueue(2),
+            QueueOp::Enqueue(3),
+        ];
         let a = analyze_permutations(&spec, &spec.initial(), &ops);
         assert_eq!(a.legal.len(), 6);
         assert_eq!(a.distinct_final_states(), 6);
@@ -614,9 +611,16 @@ mod tests {
     fn write_overwrites_increment_does_not() {
         let spec = RmwRegister::default();
         let states = vec![0i64, 7];
-        assert!(is_overwriter(&spec, &states, &[RmwOp::Write(1), RmwOp::Write(2)]));
+        assert!(is_overwriter(
+            &spec,
+            &states,
+            &[RmwOp::Write(1), RmwOp::Write(2)]
+        ));
         let counter = Counter::default();
-        assert!(non_overwriter_witness(&counter, &[0], &[CounterOp::Add(1), CounterOp::Add(2)]).is_some());
+        assert!(
+            non_overwriter_witness(&counter, &[0], &[CounterOp::Add(1), CounterOp::Add(2)])
+                .is_some()
+        );
     }
 
     #[test]
@@ -636,7 +640,12 @@ mod tests {
         check_class_consistency(
             &q,
             &[vec![], vec![1], vec![1, 2]],
-            &[QueueOp::Enqueue(9), QueueOp::Dequeue, QueueOp::Peek, QueueOp::Len],
+            &[
+                QueueOp::Enqueue(9),
+                QueueOp::Dequeue,
+                QueueOp::Peek,
+                QueueOp::Len,
+            ],
         )
         .unwrap();
 
@@ -644,7 +653,11 @@ mod tests {
         check_class_consistency(
             &r,
             &[0, 1, 5],
-            &[RmwOp::Read, RmwOp::Write(2), RmwOp::Rmw(RmwKind::FetchAdd(1))],
+            &[
+                RmwOp::Read,
+                RmwOp::Write(2),
+                RmwOp::Rmw(RmwKind::FetchAdd(1)),
+            ],
         )
         .unwrap();
     }

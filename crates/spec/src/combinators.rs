@@ -87,7 +87,11 @@ impl<S: SequentialSpec> SequentialSpec for MultiObject<S> {
     }
 
     fn apply(&self, state: &Vec<S::State>, op: &IndexedOp<S::Op>) -> (Vec<S::State>, S::Resp) {
-        assert!(op.index < self.count, "object index {} out of range", op.index);
+        assert!(
+            op.index < self.count,
+            "object index {} out of range",
+            op.index
+        );
         let (sub, resp) = self.inner.apply(&state[op.index], &op.op);
         let mut next = state.clone();
         next[op.index] = sub;
@@ -221,13 +225,15 @@ mod tests {
     #[test]
     fn ops_on_different_objects_commute() {
         let spec = MultiObject::new(Queue::<i64>::new(), 2);
-        let e0 = IndexedOp { index: 0, op: QueueOp::Enqueue(1) };
-        let e1 = IndexedOp { index: 1, op: QueueOp::Enqueue(2) };
-        assert!(spec.equivalent_after(
-            &spec.initial(),
-            &[e0.clone(), e1.clone()],
-            &[e1, e0]
-        ));
+        let e0 = IndexedOp {
+            index: 0,
+            op: QueueOp::Enqueue(1),
+        };
+        let e1 = IndexedOp {
+            index: 1,
+            op: QueueOp::Enqueue(2),
+        };
+        assert!(spec.equivalent_after(&spec.initial(), &[e0.clone(), e1.clone()], &[e1, e0]));
     }
 
     #[test]
@@ -236,13 +242,31 @@ mod tests {
         let s = spec.state_after(
             &spec.initial(),
             &[
-                IndexedOp { index: 1, op: QueueOp::Enqueue(1) },
-                IndexedOp { index: 1, op: QueueOp::Enqueue(2) },
+                IndexedOp {
+                    index: 1,
+                    op: QueueOp::Enqueue(1),
+                },
+                IndexedOp {
+                    index: 1,
+                    op: QueueOp::Enqueue(2),
+                },
             ],
         );
-        let (_, r) = spec.apply(&s, &IndexedOp { index: 1, op: QueueOp::Dequeue });
+        let (_, r) = spec.apply(
+            &s,
+            &IndexedOp {
+                index: 1,
+                op: QueueOp::Dequeue,
+            },
+        );
         assert_eq!(r, QueueResp::Value(Some(1)));
-        let (_, r0) = spec.apply(&s, &IndexedOp { index: 0, op: QueueOp::Dequeue });
+        let (_, r0) = spec.apply(
+            &s,
+            &IndexedOp {
+                index: 0,
+                op: QueueOp::Dequeue,
+            },
+        );
         assert_eq!(r0, QueueResp::Value(None));
     }
 

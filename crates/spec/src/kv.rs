@@ -99,9 +99,7 @@ impl SequentialSpec for KvStore {
                 (s, KvResp::Ack)
             }
             KvOp::Get { key } => (state.clone(), KvResp::Value(state.get(key).copied())),
-            KvOp::ContainsKey { key } => {
-                (state.clone(), KvResp::Present(state.contains_key(key)))
-            }
+            KvOp::ContainsKey { key } => (state.clone(), KvResp::Present(state.contains_key(key))),
             KvOp::Len => (state.clone(), KvResp::Count(state.len())),
         }
     }
@@ -153,14 +151,12 @@ mod tests {
             spec.state_after(&spec.initial(), &[put(1, 20)])
         );
         // Different keys: both survive — the type is a non-overwriter.
-        assert!(
-            classify::non_overwriter_witness(
-                &spec,
-                &[spec.initial()],
-                &[put(1, 10), put(2, 20)]
-            )
-            .is_some()
-        );
+        assert!(classify::non_overwriter_witness(
+            &spec,
+            &[spec.initial()],
+            &[put(1, 10), put(2, 20)]
+        )
+        .is_some());
     }
 
     #[test]

@@ -204,7 +204,10 @@ mod tests {
     #[test]
     fn read_returns_latest_write() {
         let spec = RwRegister::new(0);
-        let (s, rs) = spec.run(&spec.initial(), &[RegOp::Write(1), RegOp::Write(2), RegOp::Read]);
+        let (s, rs) = spec.run(
+            &spec.initial(),
+            &[RegOp::Write(1), RegOp::Write(2), RegOp::Read],
+        );
         assert_eq!(s, 2);
         assert_eq!(rs[2], RegResp::Value(2));
     }
@@ -228,8 +231,14 @@ mod tests {
     #[test]
     fn rmw_kinds() {
         assert_eq!(RmwKind::FetchAdd(3).apply(4), (7, 4));
-        assert_eq!(RmwKind::CompareAndSwap { expect: 4, new: 9 }.apply(4), (9, 4));
-        assert_eq!(RmwKind::CompareAndSwap { expect: 5, new: 9 }.apply(4), (4, 4));
+        assert_eq!(
+            RmwKind::CompareAndSwap { expect: 4, new: 9 }.apply(4),
+            (9, 4)
+        );
+        assert_eq!(
+            RmwKind::CompareAndSwap { expect: 5, new: 9 }.apply(4),
+            (4, 4)
+        );
         assert_eq!(RmwKind::Swap(9).apply(4), (9, 4));
     }
 
@@ -260,7 +269,10 @@ mod tests {
         let spec = RmwRegister::default();
         assert_eq!(spec.class(&RmwOp::Read), OpClass::PureAccessor);
         assert_eq!(spec.class(&RmwOp::Write(1)), OpClass::PureMutator);
-        assert_eq!(spec.class(&RmwOp::Rmw(RmwKind::FetchAdd(1))), OpClass::Other);
+        assert_eq!(
+            spec.class(&RmwOp::Rmw(RmwKind::FetchAdd(1))),
+            OpClass::Other
+        );
     }
 
     #[test]
@@ -275,7 +287,10 @@ mod tests {
         assert_ne!(
             spec.state_after(
                 &0,
-                &[RmwOp::Rmw(RmwKind::FetchAdd(1)), RmwOp::Rmw(RmwKind::FetchAdd(2))]
+                &[
+                    RmwOp::Rmw(RmwKind::FetchAdd(1)),
+                    RmwOp::Rmw(RmwKind::FetchAdd(2))
+                ]
             ),
             spec.state_after(&0, &[RmwOp::Rmw(RmwKind::FetchAdd(2))])
         );

@@ -188,7 +188,11 @@ mod tests {
     #[test]
     fn equivalence_is_state_equality() {
         // Two writes in either order end with the last writer's value.
-        assert!(!MiniReg.equivalent_after(&0, &[Op::Write(1), Op::Write(2)], &[Op::Write(2), Op::Write(1)]));
+        assert!(!MiniReg.equivalent_after(
+            &0,
+            &[Op::Write(1), Op::Write(2)],
+            &[Op::Write(2), Op::Write(1)]
+        ));
         assert!(MiniReg.equivalent_after(&0, &[Op::Write(1), Op::Write(2)], &[Op::Write(2)]));
     }
 

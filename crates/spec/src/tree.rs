@@ -186,7 +186,10 @@ mod tests {
     fn insert_requires_existing_parent() {
         let t = Tree::new();
         let s = t.state_after(&t.initial(), &[ins(5, 9)]);
-        assert_eq!(t.apply(&s, &TreeOp::Search { node: 5 }).1, TreeResp::Found(false));
+        assert_eq!(
+            t.apply(&s, &TreeOp::Search { node: 5 }).1,
+            TreeResp::Found(false)
+        );
     }
 
     #[test]
@@ -202,11 +205,26 @@ mod tests {
         let t = Tree::new();
         let s = t.state_after(
             &t.initial(),
-            &[ins(1, 0), ins(2, 1), ins(3, 2), ins(4, 0), TreeOp::Delete { node: 1 }],
+            &[
+                ins(1, 0),
+                ins(2, 1),
+                ins(3, 2),
+                ins(4, 0),
+                TreeOp::Delete { node: 1 },
+            ],
         );
-        assert_eq!(t.apply(&s, &TreeOp::Search { node: 2 }).1, TreeResp::Found(false));
-        assert_eq!(t.apply(&s, &TreeOp::Search { node: 3 }).1, TreeResp::Found(false));
-        assert_eq!(t.apply(&s, &TreeOp::Search { node: 4 }).1, TreeResp::Found(true));
+        assert_eq!(
+            t.apply(&s, &TreeOp::Search { node: 2 }).1,
+            TreeResp::Found(false)
+        );
+        assert_eq!(
+            t.apply(&s, &TreeOp::Search { node: 3 }).1,
+            TreeResp::Found(false)
+        );
+        assert_eq!(
+            t.apply(&s, &TreeOp::Search { node: 4 }).1,
+            TreeResp::Found(true)
+        );
         assert_eq!(t.apply(&s, &TreeOp::Depth).1, TreeResp::Depth(1));
     }
 
@@ -214,14 +232,21 @@ mod tests {
     fn root_is_permanent() {
         let t = Tree::new();
         let s = t.state_after(&t.initial(), &[TreeOp::Delete { node: ROOT }]);
-        assert_eq!(t.apply(&s, &TreeOp::Search { node: ROOT }).1, TreeResp::Found(true));
+        assert_eq!(
+            t.apply(&s, &TreeOp::Search { node: ROOT }).1,
+            TreeResp::Found(true)
+        );
         assert_eq!(s, t.initial());
     }
 
     #[test]
     fn disjoint_inserts_commute_sibling_inserts_too() {
         let t = Tree::new();
-        assert!(t.equivalent_after(&t.initial(), &[ins(1, 0), ins(2, 0)], &[ins(2, 0), ins(1, 0)]));
+        assert!(t.equivalent_after(
+            &t.initial(),
+            &[ins(1, 0), ins(2, 0)],
+            &[ins(2, 0), ins(1, 0)]
+        ));
     }
 
     #[test]
@@ -229,7 +254,11 @@ mod tests {
         // Inserting a child before its parent silently fails, so order
         // matters.
         let t = Tree::new();
-        assert!(!t.equivalent_after(&t.initial(), &[ins(1, 0), ins(2, 1)], &[ins(2, 1), ins(1, 0)]));
+        assert!(!t.equivalent_after(
+            &t.initial(),
+            &[ins(1, 0), ins(2, 1)],
+            &[ins(2, 1), ins(1, 0)]
+        ));
     }
 
     #[test]

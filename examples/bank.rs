@@ -30,9 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let spec = MultiObject::new(Counter::default(), ACCOUNTS);
 
-    println!(
-        "{TELLERS} teller processes over {ACCOUNTS} accounts, {params} (1 tick = 1 µs)"
-    );
+    println!("{TELLERS} teller processes over {ACCOUNTS} accounts, {params} (1 tick = 1 µs)");
 
     let mut cluster = RtCluster::start(
         Replica::group(spec, &params),
@@ -51,10 +49,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let to = (teller + 1) % ACCOUNTS;
             let amount = 10 * (teller as i64 + 1);
             for _ in 0..3 {
-                client.invoke(IndexedOp { index: from, op: CounterOp::Add(-amount) });
-                client.invoke(IndexedOp { index: to, op: CounterOp::Add(amount) });
+                client.invoke(IndexedOp {
+                    index: from,
+                    op: CounterOp::Add(-amount),
+                });
+                client.invoke(IndexedOp {
+                    index: to,
+                    op: CounterOp::Add(amount),
+                });
             }
-            let balance = client.invoke(IndexedOp { index: from, op: CounterOp::Read });
+            let balance = client.invoke(IndexedOp {
+                index: from,
+                op: CounterOp::Read,
+            });
             (from, balance)
         }));
     }

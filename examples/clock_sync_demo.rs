@@ -59,7 +59,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let outcome = check_history(&Stack::<i64>::new(), sim.history());
     println!(
         "linearizable on synchronized clocks: {}",
-        if outcome.is_linearizable() { "yes" } else { "NO" }
+        if outcome.is_linearizable() {
+            "yes"
+        } else {
+            "NO"
+        }
     );
     assert!(outcome.is_linearizable());
     Ok(())

@@ -45,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let family = insc_dequeue_family(&params);
     let honest = probe(&family, || Replica::group(Queue::<i64>::new(), &params));
-    println!("  honest (responds in d + eps): {}", verdict(honest.all_passed()));
+    println!(
+        "  honest (responds in d + eps): {}",
+        verdict(honest.all_passed())
+    );
     let foil = probe(&family, || eager_group(Queue::<i64>::new(), &params, 1, 2));
     println!(
         "  half-timers foil (responds in (d + eps)/2): {} {:?}",
@@ -64,9 +67,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let family = permute_write_family(&params, params.n());
     let honest = probe(&family, || Replica::group(RmwRegister::default(), &params));
-    println!("  honest (acks in eps + X): {}", verdict(honest.all_passed()));
+    println!(
+        "  honest (acks in eps + X): {}",
+        verdict(honest.all_passed())
+    );
     let foil = probe(&family, || {
-        fast_mutator_group(RmwRegister::default(), &params, lb - SimDuration::from_ticks(1))
+        fast_mutator_group(
+            RmwRegister::default(),
+            &params,
+            lb - SimDuration::from_ticks(1),
+        )
     });
     println!(
         "  one-tick-under foil: {} {:?}",
@@ -98,7 +108,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let make_foil =
         || eager_accessor_group(Queue::<i64>::new(), &params, SimDuration::from_ticks(500));
-    let foil_w = measure_single_op_latency(make_foil, &params, ProcessId::new(0), QueueOp::Enqueue(1));
+    let foil_w =
+        measure_single_op_latency(make_foil, &params, ProcessId::new(0), QueueOp::Enqueue(1));
     let foil = probe(&pair_enqueue_peek_family(&params, foil_w), make_foil);
     println!(
         "  eager-peek foil (sum = {}): {} {:?}",

@@ -17,7 +17,11 @@ const STOREFRONTS: usize = 3;
 const WORKERS: usize = 2;
 const ORDERS_PER_STOREFRONT: usize = 4;
 
-fn run_workload<A>(actors: Vec<A>, params: &Params, label: &str) -> History<QueueOp<i64>, QueueResp<i64>>
+fn run_workload<A>(
+    actors: Vec<A>,
+    params: &Params,
+    label: &str,
+) -> History<QueueOp<i64>, QueueResp<i64>>
 where
     A: skewbound_sim::actor::Actor<Op = QueueOp<i64>, Resp = QueueResp<i64>>,
 {
@@ -54,9 +58,18 @@ where
             .map_or_else(|| "-".into(), |s| s.to_string())
     };
     println!("{label}:");
-    println!("  enqueue latencies: {}", lat(|op| matches!(op, QueueOp::Enqueue(_))));
-    println!("  dequeue latencies: {}", lat(|op| matches!(op, QueueOp::Dequeue)));
-    println!("  peek latencies:    {}", lat(|op| matches!(op, QueueOp::Peek)));
+    println!(
+        "  enqueue latencies: {}",
+        lat(|op| matches!(op, QueueOp::Enqueue(_)))
+    );
+    println!(
+        "  dequeue latencies: {}",
+        lat(|op| matches!(op, QueueOp::Dequeue))
+    );
+    println!(
+        "  peek latencies:    {}",
+        lat(|op| matches!(op, QueueOp::Peek))
+    );
     history
 }
 
@@ -68,17 +81,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         SimDuration::from_ticks(2_000),
         SimDuration::ZERO,
     )?;
-    println!(
-        "order pipeline: {STOREFRONTS} storefronts + {WORKERS} workers, {params}\n"
-    );
+    println!("order pipeline: {STOREFRONTS} storefronts + {WORKERS} workers, {params}\n");
 
     let spec: Queue<i64> = Queue::new();
     let fast = run_workload(Replica::group(spec, &params), &params, "Algorithm 1");
-    let slow = run_workload(
-        Centralized::group(spec, n),
-        &params,
-        "centralized baseline",
-    );
+    let slow = run_workload(Centralized::group(spec, n), &params, "centralized baseline");
 
     // No order may be fulfilled twice, and the whole history must be
     // linearizable.
@@ -100,7 +107,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let outcome = check_history(&Queue::<i64>::new(), history);
         println!(
             "{label} history linearizable: {}",
-            if outcome.is_linearizable() { "yes" } else { "NO" }
+            if outcome.is_linearizable() {
+                "yes"
+            } else {
+                "NO"
+            }
         );
         assert!(outcome.is_linearizable());
     }

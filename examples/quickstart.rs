@@ -63,7 +63,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let outcome = check_history(&RmwRegister::default(), sim.history());
     println!(
         "linearizability check: {}",
-        if outcome.is_linearizable() { "OK" } else { "VIOLATION" }
+        if outcome.is_linearizable() {
+            "OK"
+        } else {
+            "VIOLATION"
+        }
     );
     assert!(outcome.is_linearizable());
     Ok(())

@@ -52,18 +52,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Now a busy day: every device likes repeatedly, one dashboard polls.
     let params = base;
-    let mut driver = ClosedLoop::new(
-        ProcessId::all(n).collect(),
-        6,
-        3,
-        |pid, idx, _rng| {
-            if pid.index() == 0 && idx % 3 == 2 {
-                CounterOp::Read
-            } else {
-                CounterOp::Add(1)
-            }
-        },
-    );
+    let mut driver = ClosedLoop::new(ProcessId::all(n).collect(), 6, 3, |pid, idx, _rng| {
+        if pid.index() == 0 && idx % 3 == 2 {
+            CounterOp::Read
+        } else {
+            CounterOp::Add(1)
+        }
+    });
     let mut sim = Simulation::new(
         Replica::group(Counter::default(), &params),
         ClockAssignment::spread(n, params.eps()),
@@ -86,7 +81,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let outcome = check_history(&Counter::default(), sim.history());
     println!(
         "linearizability check: {}",
-        if outcome.is_linearizable() { "OK" } else { "VIOLATION" }
+        if outcome.is_linearizable() {
+            "OK"
+        } else {
+            "VIOLATION"
+        }
     );
     assert!(outcome.is_linearizable());
     Ok(())

@@ -32,12 +32,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let p = ProcessId::new;
     let ms = |x: u64| SimDuration::from_ticks(x * 1_000);
     let script = vec![
-        RtInvocation { pid: p(0), at: ms(0), op: QueueOp::Enqueue(1) },
-        RtInvocation { pid: p(1), at: ms(5), op: QueueOp::Enqueue(2) },
-        RtInvocation { pid: p(2), at: ms(40), op: QueueOp::Peek },
-        RtInvocation { pid: p(0), at: ms(60), op: QueueOp::Dequeue },
-        RtInvocation { pid: p(1), at: ms(80), op: QueueOp::Dequeue },
-        RtInvocation { pid: p(2), at: ms(110), op: QueueOp::Dequeue },
+        RtInvocation {
+            pid: p(0),
+            at: ms(0),
+            op: QueueOp::Enqueue(1),
+        },
+        RtInvocation {
+            pid: p(1),
+            at: ms(5),
+            op: QueueOp::Enqueue(2),
+        },
+        RtInvocation {
+            pid: p(2),
+            at: ms(40),
+            op: QueueOp::Peek,
+        },
+        RtInvocation {
+            pid: p(0),
+            at: ms(60),
+            op: QueueOp::Dequeue,
+        },
+        RtInvocation {
+            pid: p(1),
+            at: ms(80),
+            op: QueueOp::Dequeue,
+        },
+        RtInvocation {
+            pid: p(2),
+            at: ms(110),
+            op: QueueOp::Dequeue,
+        },
     ];
 
     let history = run_threaded(
@@ -67,7 +91,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let outcome = check_history(&Queue::<i64>::new(), &history);
     println!(
         "\nlinearizability check on the real-thread history: {}",
-        if outcome.is_linearizable() { "OK" } else { "VIOLATION" }
+        if outcome.is_linearizable() {
+            "OK"
+        } else {
+            "VIOLATION"
+        }
     );
     // OS scheduling noise is real; the honest algorithm still has enough
     // slack at these scales that the run should check out.

@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let scenario = &insc_dequeue_family(&params)[0]; // R1
     println!("scenario: {} (Theorem C.1, Fig. 7)", scenario.name);
-    println!("p1's clock runs m = {} behind; both processes dequeue the single element\n", params.m());
+    println!(
+        "p1's clock runs m = {} behind; both processes dequeue the single element\n",
+        params.m()
+    );
 
     for (label, foil) in [("half-timer foil", true), ("Algorithm 1", false)] {
         let mut sim = Simulation::new(

@@ -134,18 +134,21 @@ fn permute_bound_is_sharp_at_one_tick() {
     let family = permute_write_family(&params, params.n());
     let lb = bounds::lb_permute(params.n(), params.u());
     // Exactly at the bound: safe.
-    let at_bound = probe(&family, || fast_mutator_group(
-        RmwRegister::default(),
-        &params,
-        lb,
-    ));
-    assert!(at_bound.all_passed(), "waiting exactly (1-1/k)u suffices here");
+    let at_bound = probe(&family, || {
+        fast_mutator_group(RmwRegister::default(), &params, lb)
+    });
+    assert!(
+        at_bound.all_passed(),
+        "waiting exactly (1-1/k)u suffices here"
+    );
     // One tick under: caught.
-    let under = probe(&family, || fast_mutator_group(
-        RmwRegister::default(),
-        &params,
-        lb - SimDuration::from_ticks(1),
-    ));
+    let under = probe(&family, || {
+        fast_mutator_group(
+            RmwRegister::default(),
+            &params,
+            lb - SimDuration::from_ticks(1),
+        )
+    });
     assert!(!under.all_passed());
 }
 
@@ -156,16 +159,13 @@ fn mixed_objects_under_heavy_skew_and_jitter() {
     let params = default_params();
     let n = params.n();
     for seed in [1u64, 2, 3] {
-        let mut driver = ClosedLoop::new(
-            ProcessId::all(n).collect(),
-            8,
-            seed,
-            |pid, idx, _| match (pid.index() + idx) % 4 {
+        let mut driver = ClosedLoop::new(ProcessId::all(n).collect(), 8, seed, |pid, idx, _| {
+            match (pid.index() + idx) % 4 {
                 0 | 1 => StackOp::Push((pid.index() * 100 + idx) as i64),
                 2 => StackOp::Pop,
                 _ => StackOp::Peek,
-            },
-        );
+            }
+        });
         let mut sim = Simulation::new(
             Replica::group(Stack::<i64>::new(), &params),
             ClockAssignment::spread(n, params.eps()),
@@ -210,7 +210,11 @@ fn sequential_behavior_matches_centralized_reference() {
             );
         }
         sim.run().unwrap();
-        sim.history().records().iter().map(|r| r.resp().cloned()).collect()
+        sim.history()
+            .records()
+            .iter()
+            .map(|r| r.resp().cloned())
+            .collect()
     };
 
     let reference: Vec<_> = {
@@ -227,7 +231,11 @@ fn sequential_behavior_matches_centralized_reference() {
             );
         }
         sim.run().unwrap();
-        sim.history().records().iter().map(|r| r.resp().cloned()).collect()
+        sim.history()
+            .records()
+            .iter()
+            .map(|r| r.resp().cloned())
+            .collect()
     };
 
     assert_eq!(fast_responses, reference);
@@ -240,7 +248,10 @@ fn deque_pops_obey_the_insc_bound() {
     // foil is caught — at either end.
     use skewbound_shift::scenarios::{insc_pop_back_family, insc_pop_front_family};
     let params = default_params();
-    for family in [insc_pop_front_family(&params), insc_pop_back_family(&params)] {
+    for family in [
+        insc_pop_front_family(&params),
+        insc_pop_back_family(&params),
+    ] {
         assert!(probe(&family, || Replica::group(Deque::<i64>::new(), &params)).all_passed());
         assert!(
             !probe(&family, || eager_group(Deque::<i64>::new(), &params, 1, 2)).all_passed(),

@@ -112,11 +112,18 @@ fn timers_scale_with_clock_rate() {
         FixedDelay::maximal(params.delay_bounds()),
     );
     sim.schedule_invoke(ProcessId::new(0), SimTime::ZERO, RmwOp::Write(1));
-    sim.schedule_invoke(ProcessId::new(1), SimTime::from_ticks(100_000), RmwOp::Write(2));
+    sim.schedule_invoke(
+        ProcessId::new(1),
+        SimTime::from_ticks(100_000),
+        RmwOp::Write(2),
+    );
     sim.run().unwrap();
     let fast = sim.history().records()[0].latency().unwrap();
     let normal = sim.history().records()[1].latency().unwrap();
-    assert!(fast < normal, "fast clock acks early: {fast:?} vs {normal:?}");
+    assert!(
+        fast < normal,
+        "fast clock acks early: {fast:?} vs {normal:?}"
+    );
     // 1600 clock ticks at rate 1.1 ≈ 1454 real ticks.
     assert_eq!(fast.as_ticks(), 1600 * 1000 / 1100);
 }

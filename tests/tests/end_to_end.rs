@@ -27,7 +27,11 @@ fn register_end_to_end() {
         // Convergence.
         let s0 = *sim.actor(ProcessId::new(0)).local_state();
         for pid in ProcessId::all(params.n()) {
-            assert_eq!(*sim.actor(pid).local_state(), s0, "seed {seed}: {pid} diverged");
+            assert_eq!(
+                *sim.actor(pid).local_state(),
+                s0,
+                "seed {seed}: {pid} diverged"
+            );
         }
         // Upper bounds.
         assert!(
@@ -113,17 +117,18 @@ fn stack_end_to_end() {
 #[test]
 fn set_end_to_end() {
     let params = default_params();
-    let (history, sim) = run_replicated(
-        SetObject::<i64>::new(),
-        &params,
-        6,
-        9,
-        |pid, idx, _| match idx % 3 {
-            0 => SetOp::Insert((pid.index() + idx) as i64),
-            1 => SetOp::Remove(idx as i64),
-            _ => SetOp::Contains(1),
-        },
-    );
+    let (history, sim) =
+        run_replicated(
+            SetObject::<i64>::new(),
+            &params,
+            6,
+            9,
+            |pid, idx, _| match idx % 3 {
+                0 => SetOp::Insert((pid.index() + idx) as i64),
+                1 => SetOp::Remove(idx as i64),
+                _ => SetOp::Contains(1),
+            },
+        );
     assert_linearizable(&SetObject::<i64>::new(), &history);
     let s0 = sim.actor(ProcessId::new(0)).local_state().clone();
     for pid in ProcessId::all(params.n()) {
@@ -138,7 +143,10 @@ fn tree_end_to_end() {
         let node = (pid.index() as u32) * 100 + idx as u32 + 1;
         match idx % 4 {
             0 => TreeOp::Insert { node, parent: 0 },
-            1 => TreeOp::Insert { node, parent: node.saturating_sub(1) },
+            1 => TreeOp::Insert {
+                node,
+                parent: node.saturating_sub(1),
+            },
             2 => TreeOp::Search { node: node / 2 },
             _ => TreeOp::Depth,
         }
@@ -170,19 +178,13 @@ fn update_next_array_end_to_end() {
 #[test]
 fn five_process_system() {
     let params = params_n(5);
-    let (history, sim) = run_replicated(
-        Counter::default(),
-        &params,
-        5,
-        11,
-        |_pid, idx, _| {
-            if idx % 3 == 2 {
-                CounterOp::Read
-            } else {
-                CounterOp::Add(1)
-            }
-        },
-    );
+    let (history, sim) = run_replicated(Counter::default(), &params, 5, 11, |_pid, idx, _| {
+        if idx % 3 == 2 {
+            CounterOp::Read
+        } else {
+            CounterOp::Add(1)
+        }
+    });
     assert_linearizable(&Counter::default(), &history);
     let adds = history
         .records()

@@ -68,9 +68,21 @@ fn threaded_runtime_history_checks_out() {
     let p = ProcessId::new;
     let ms = |x: u64| SimDuration::from_ticks(x * 1_000);
     let script = vec![
-        RtInvocation { pid: p(0), at: ms(0), op: CounterOp::Add(5) },
-        RtInvocation { pid: p(1), at: ms(2), op: CounterOp::Add(7) },
-        RtInvocation { pid: p(2), at: ms(40), op: CounterOp::Read },
+        RtInvocation {
+            pid: p(0),
+            at: ms(0),
+            op: CounterOp::Add(5),
+        },
+        RtInvocation {
+            pid: p(1),
+            at: ms(2),
+            op: CounterOp::Add(7),
+        },
+        RtInvocation {
+            pid: p(2),
+            at: ms(40),
+            op: CounterOp::Read,
+        },
     ];
     let history = run_threaded(
         Replica::group(Counter::default(), &params),

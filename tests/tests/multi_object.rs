@@ -42,19 +42,16 @@ fn run_multi(seed: u64) -> History<IndexedOp<QueueOp<i64>>, QueueResp<i64>> {
     let params = default_params();
     let n = params.n();
     let spec = MultiQ::new(Queue::new(), 2);
-    let mut driver = ClosedLoop::new(
-        ProcessId::all(n).collect(),
-        6,
-        seed,
-        |pid, idx, _rng| IndexedOp {
+    let mut driver = ClosedLoop::new(ProcessId::all(n).collect(), 6, seed, |pid, idx, _rng| {
+        IndexedOp {
             index: (pid.index() + idx) % 2,
             op: match idx % 3 {
                 0 => QueueOp::Enqueue((pid.index() * 100 + idx) as i64),
                 1 => QueueOp::Dequeue,
                 _ => QueueOp::Peek,
             },
-        },
-    );
+        }
+    });
     let mut sim = Simulation::new(
         Replica::group(spec, &params),
         ClockAssignment::spread(n, params.eps()),
@@ -129,13 +126,31 @@ fn product_spec_system_works_end_to_end() {
     );
     let p = ProcessId::new;
     sim.schedule_invoke(p(0), SimTime::ZERO, EitherOp::Left(QueueOp::Enqueue(7)));
-    sim.schedule_invoke(p(1), SimTime::from_ticks(20_000), EitherOp::Left(QueueOp::Dequeue));
-    sim.schedule_invoke(p(1), SimTime::from_ticks(40_000), EitherOp::Right(CounterOp::Add(1)));
-    sim.schedule_invoke(p(2), SimTime::from_ticks(60_000), EitherOp::Right(CounterOp::Read));
+    sim.schedule_invoke(
+        p(1),
+        SimTime::from_ticks(20_000),
+        EitherOp::Left(QueueOp::Dequeue),
+    );
+    sim.schedule_invoke(
+        p(1),
+        SimTime::from_ticks(40_000),
+        EitherOp::Right(CounterOp::Add(1)),
+    );
+    sim.schedule_invoke(
+        p(2),
+        SimTime::from_ticks(60_000),
+        EitherOp::Right(CounterOp::Read),
+    );
     sim.run().unwrap();
     let records = sim.history().records();
-    assert_eq!(records[1].resp(), Some(&EitherResp::Left(QueueResp::Value(Some(7)))));
-    assert_eq!(records[3].resp(), Some(&EitherResp::Right(CounterResp::Value(1))));
+    assert_eq!(
+        records[1].resp(),
+        Some(&EitherResp::Left(QueueResp::Value(Some(7))))
+    );
+    assert_eq!(
+        records[3].resp(),
+        Some(&EitherResp::Right(CounterResp::Value(1)))
+    );
     assert_linearizable(&spec, sim.history());
 }
 
@@ -143,17 +158,17 @@ fn product_spec_system_works_end_to_end() {
 fn kv_store_end_to_end() {
     let params = default_params();
     let n = params.n();
-    let mut driver = ClosedLoop::new(
-        ProcessId::all(n).collect(),
-        6,
-        5,
-        |pid, idx, _rng| match idx % 4 {
-            0 => KvOp::Put { key: (pid.index() % 2) as i64, value: idx as i64 },
+    let mut driver = ClosedLoop::new(ProcessId::all(n).collect(), 6, 5, |pid, idx, _rng| {
+        match idx % 4 {
+            0 => KvOp::Put {
+                key: (pid.index() % 2) as i64,
+                value: idx as i64,
+            },
             1 => KvOp::Get { key: 0 },
             2 => KvOp::Remove { key: 1 },
             _ => KvOp::Len,
-        },
-    );
+        }
+    });
     let mut sim = Simulation::new(
         Replica::group(KvStore::new(), &params),
         ClockAssignment::spread(n, params.eps()),

@@ -8,8 +8,8 @@
 
 use skewbound_core::params::Params;
 use skewbound_core::replica::Replica;
-use skewbound_shift::probe::probe;
 use skewbound_shift::exhaustive::{exhaustive_probe, ExhaustiveConfig};
+use skewbound_shift::probe::probe;
 use skewbound_shift::scenarios::insc_dequeue_family;
 use skewbound_sim::ids::ProcessId;
 use skewbound_sim::par;
@@ -42,7 +42,12 @@ fn exhaustive_fingerprint(params: &Params) -> (usize, u64, Vec<(u64, usize)>, u6
         &script,
         &config,
     );
-    (report.messages, report.runs, report.violations, report.unknown)
+    (
+        report.messages,
+        report.runs,
+        report.violations,
+        report.unknown,
+    )
 }
 
 fn probe_fingerprint(params: &Params) -> Vec<(String, bool, Option<u64>)> {
@@ -67,18 +72,29 @@ fn parallel_results_match_sequential_and_panics_surface() {
 
     // Sequential reference: escape hatch engaged.
     std::env::set_var("SKEWBOUND_PAR", "0");
-    assert_eq!(par::worker_count(64), 1, "SKEWBOUND_PAR=0 must force 1 worker");
+    assert_eq!(
+        par::worker_count(64),
+        1,
+        "SKEWBOUND_PAR=0 must force 1 worker"
+    );
     let seq_exhaustive = exhaustive_fingerprint(&params);
     let seq_probe = probe_fingerprint(&params);
 
     // Parallel: force a multi-worker pool even on single-core machines.
     std::env::remove_var("SKEWBOUND_PAR");
     std::env::set_var("SKEWBOUND_THREADS", "4");
-    assert_eq!(par::worker_count(64), 4, "SKEWBOUND_THREADS=4 must force 4 workers");
+    assert_eq!(
+        par::worker_count(64),
+        4,
+        "SKEWBOUND_THREADS=4 must force 4 workers"
+    );
     let par_exhaustive = exhaustive_fingerprint(&params);
     let par_probe = probe_fingerprint(&params);
 
-    assert_eq!(seq_exhaustive, par_exhaustive, "exhaustive grid must be deterministic");
+    assert_eq!(
+        seq_exhaustive, par_exhaustive,
+        "exhaustive grid must be deterministic"
+    );
     assert_eq!(seq_probe, par_probe, "scenario probe must be deterministic");
     assert_eq!(seq_exhaustive.1, 64 * 7, "corner space is 2^6 x 7 runs");
 

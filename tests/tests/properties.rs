@@ -41,16 +41,17 @@ fn queue_always_linearizable() {
         let params = gen_params(&mut rng);
         let seed = rng.gen_range(0u64..1_000);
         let n = params.n();
-        let mut driver = ClosedLoop::new(
-            ProcessId::all(n).collect(),
-            4,
-            seed,
-            |pid, idx, rng| match (idx + rng.gen_range(0usize..3)) % 3 {
-                0 => QueueOp::Enqueue((pid.index() * 50 + idx) as i64),
-                1 => QueueOp::Dequeue,
-                _ => QueueOp::Peek,
-            },
-        );
+        let mut driver =
+            ClosedLoop::new(
+                ProcessId::all(n).collect(),
+                4,
+                seed,
+                |pid, idx, rng| match (idx + rng.gen_range(0usize..3)) % 3 {
+                    0 => QueueOp::Enqueue((pid.index() * 50 + idx) as i64),
+                    1 => QueueOp::Dequeue,
+                    _ => QueueOp::Peek,
+                },
+            );
         let mut sim = Simulation::new(
             Replica::group(Queue::<i64>::new(), &params),
             ClockAssignment::spread(n, params.eps()),
@@ -78,21 +79,24 @@ fn register_latency_bounds_hold() {
         let eps = params.eps().as_ticks();
         let offsets: Vec<ClockOffset> = (0..n)
             .map(|i| {
-                let v = (seed.wrapping_mul(31).wrapping_add(offsets_seed * 7 + i as u64))
+                let v = (seed
+                    .wrapping_mul(31)
+                    .wrapping_add(offsets_seed * 7 + i as u64))
                     % (eps + 1);
                 ClockOffset::from_ticks(v as i64)
             })
             .collect();
-        let mut driver = ClosedLoop::new(
-            ProcessId::all(n).collect(),
-            4,
-            seed,
-            |_pid, idx, _| match idx % 3 {
-                0 => RmwOp::Write(idx as i64),
-                1 => RmwOp::Rmw(RmwKind::FetchAdd(1)),
-                _ => RmwOp::Read,
-            },
-        );
+        let mut driver =
+            ClosedLoop::new(
+                ProcessId::all(n).collect(),
+                4,
+                seed,
+                |_pid, idx, _| match idx % 3 {
+                    0 => RmwOp::Write(idx as i64),
+                    1 => RmwOp::Rmw(RmwKind::FetchAdd(1)),
+                    _ => RmwOp::Read,
+                },
+            );
         let mut sim = Simulation::new(
             Replica::group(RmwRegister::default(), &params),
             ClockAssignment::from_offsets(offsets),
@@ -127,12 +131,10 @@ fn counter_converges_to_sum() {
         let params = gen_params(&mut rng);
         let seed = rng.gen_range(0u64..1_000);
         let n = params.n();
-        let mut driver = ClosedLoop::new(
-            ProcessId::all(n).collect(),
-            5,
-            seed,
-            |_pid, _idx, rng| CounterOp::Add(rng.gen_range(-3i64..=3)),
-        );
+        let mut driver =
+            ClosedLoop::new(ProcessId::all(n).collect(), 5, seed, |_pid, _idx, rng| {
+                CounterOp::Add(rng.gen_range(-3i64..=3))
+            });
         let mut sim = Simulation::new(
             Replica::group(Counter::default(), &params),
             ClockAssignment::spread(n, params.eps()),
@@ -164,16 +166,17 @@ fn executed_orders_identical_and_ascending() {
         let params = gen_params(&mut rng);
         let seed = rng.gen_range(0u64..1_000);
         let n = params.n();
-        let mut driver = ClosedLoop::new(
-            ProcessId::all(n).collect(),
-            5,
-            seed,
-            |pid, idx, rng| match rng.gen_range(0..3) {
-                0 => StackOp::Push((pid.index() * 50 + idx) as i64),
-                1 => StackOp::Pop,
-                _ => StackOp::Peek,
-            },
-        );
+        let mut driver =
+            ClosedLoop::new(
+                ProcessId::all(n).collect(),
+                5,
+                seed,
+                |pid, idx, rng| match rng.gen_range(0..3) {
+                    0 => StackOp::Push((pid.index() * 50 + idx) as i64),
+                    1 => StackOp::Pop,
+                    _ => StackOp::Peek,
+                },
+            );
         let mut sim = Simulation::new(
             Replica::group(Stack::<i64>::new(), &params),
             ClockAssignment::spread(n, params.eps()),

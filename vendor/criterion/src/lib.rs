@@ -26,7 +26,10 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     /// A function name plus a parameter value.
-    pub fn new<F: core::fmt::Display, P: core::fmt::Display>(function_name: F, parameter: P) -> Self {
+    pub fn new<F: core::fmt::Display, P: core::fmt::Display>(
+        function_name: F,
+        parameter: P,
+    ) -> Self {
         BenchmarkId {
             id: format!("{function_name}/{parameter}"),
         }
@@ -63,7 +66,8 @@ impl Bencher {
             for _ in 0..self.iters_per_sample {
                 black_box(routine());
             }
-            self.samples.push(start.elapsed() / u32::try_from(self.iters_per_sample).unwrap());
+            self.samples
+                .push(start.elapsed() / u32::try_from(self.iters_per_sample).unwrap());
         }
     }
 }
@@ -80,7 +84,10 @@ fn run_one(label: &str, f: impl FnOnce(&mut Bencher)) {
     }
     b.samples.sort_unstable();
     let median = b.samples[b.samples.len() / 2];
-    println!("{label:<48} median {median:>12.3?} over {} samples", b.samples.len());
+    println!(
+        "{label:<48} median {median:>12.3?} over {} samples",
+        b.samples.len()
+    );
 }
 
 /// A named set of related benchmarks, mirroring
@@ -102,12 +109,7 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs one parameterized benchmark in this group.
-    pub fn bench_with_input<I: ?Sized, F>(
-        &mut self,
-        id: BenchmarkId,
-        input: &I,
-        f: F,
-    ) -> &mut Self
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
     where
         F: FnOnce(&mut Bencher, &I),
     {
