@@ -59,4 +59,23 @@ if [ "$cert_count" -lt 2 ]; then
 fi
 echo "skewlint emitted $cert_count replay-confirmed certificates"
 
+echo "== trace smoke (sim sink unit tests) =="
+cargo test -q -p skewbound-sim trace
+
+echo "== skewlint trace gate (JSON-lines replay trace) =="
+trace_file=target/skewlint/foil.trace.jsonl
+cargo run --release -q -p skewbound-mc --bin skewlint -- --smoke --out "$skewlint_out" \
+  --trace "$trace_file" | tee /tmp/skewlint-trace.log
+grep -q '^skewlint: OK$' /tmp/skewlint-trace.log
+grep -q 'lines parsed OK' /tmp/skewlint-trace.log
+if ! grep -q '"kind":"deliver"' "$trace_file"; then
+  echo "trace file $trace_file has no deliver events" >&2
+  exit 1
+fi
+if ! grep -q '"kind":"counter"' "$trace_file"; then
+  echo "trace file $trace_file has no counter lines" >&2
+  exit 1
+fi
+echo "trace gate: $(wc -l < "$trace_file") trace lines validated"
+
 echo "ci.sh: all checks passed"

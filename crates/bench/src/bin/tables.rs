@@ -89,6 +89,12 @@ fn main() {
         }
         if stats.runs > 0 {
             let elapsed = sweep_start.elapsed();
+            if let Some(path) = skewbound_bench::measure::trace_counters_path() {
+                match skewbound_bench::measure::write_trace_counters(&stats, &path) {
+                    Ok(()) => println!("trace counters -> {}", path.display()),
+                    Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+                }
+            }
             if let Err(e) = write_grid_bench(&stats, elapsed) {
                 eprintln!("failed to write BENCH_grid.json: {e}");
             } else if !csv {
@@ -157,7 +163,8 @@ fn write_grid_bench(stats: &GridStats, elapsed: std::time::Duration) -> std::io:
         "{{\n  \"runs\": {},\n  \"workers\": {},\n  \"elapsed_nanos\": {},\n  \
          \"sim_wall_nanos\": {},\n  \"check_wall_nanos\": {},\n  \"events\": {},\n  \
          \"events_per_sec\": {:.1},\n  \"check_nodes\": {},\n  \
-         \"check_nodes_per_sec\": {:.1}\n}}\n",
+         \"check_nodes_per_sec\": {:.1},\n  \"check_memo_hits\": {},\n  \
+         \"check_max_frontier\": {}\n}}\n",
         stats.runs,
         stats.workers,
         elapsed.as_nanos(),
@@ -167,6 +174,8 @@ fn write_grid_bench(stats: &GridStats, elapsed: std::time::Duration) -> std::io:
         stats.events_per_sec(),
         stats.check_nodes,
         stats.check_nodes_per_sec(),
+        stats.check_memo_hits,
+        stats.check_max_frontier,
     );
     std::fs::write("BENCH_grid.json", json)
 }

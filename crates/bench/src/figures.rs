@@ -617,5 +617,12 @@ mod tests {
         );
         assert!(text.contains("optimal"));
         assert!(text.lines().count() >= 6);
+        // `(1 − 1/n)u` rounds *up*: a floor would understate the skew
+        // budget the sync round has to meet. n=3, u=2000 → ⌈4000/3⌉.
+        assert!(text.contains("1334"), "{text}");
+        assert_eq!(
+            optimal_skew(3, SimDuration::from_ticks(2_000)).as_ticks(),
+            1_334
+        );
     }
 }

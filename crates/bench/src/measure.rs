@@ -16,7 +16,9 @@ use rand::rngs::StdRng;
 use skewbound_core::centralized::Centralized;
 use skewbound_core::params::Params;
 use skewbound_core::replica::Replica;
-use skewbound_lin::{check_history, validate_linearization, CheckOutcome};
+use skewbound_lin::{
+    check_history_stats, validate_linearization, CheckLimits, CheckOutcome, CheckStats,
+};
 use skewbound_sim::actor::Actor;
 use skewbound_sim::clock::ClockAssignment;
 use skewbound_sim::delay::{DelayBounds, DelayModel, FixedDelay, MsgMeta, UniformDelay};
@@ -49,6 +51,10 @@ pub struct GridStats {
     pub check_wall_nanos: u64,
     /// Total DFS nodes the checker explored across all runs.
     pub check_nodes: u64,
+    /// Total `(taken-set, state)` memo hits across all runs.
+    pub check_memo_hits: u64,
+    /// Deepest DFS frontier any run's check reached.
+    pub check_max_frontier: u64,
     /// Worker threads the grid was fanned out over.
     pub workers: usize,
 }
@@ -83,8 +89,41 @@ impl GridStats {
         self.sim_wall_nanos += other.sim_wall_nanos;
         self.check_wall_nanos += other.check_wall_nanos;
         self.check_nodes += other.check_nodes;
+        self.check_memo_hits += other.check_memo_hits;
+        self.check_max_frontier = self.check_max_frontier.max(other.check_max_frontier);
         self.workers = self.workers.max(other.workers);
     }
+}
+
+/// The path named by the `SKEWBOUND_TRACE` environment variable, if
+/// set: where the grid runner should write its aggregated per-stage
+/// counters as JSON lines.
+#[must_use]
+pub fn trace_counters_path() -> Option<std::path::PathBuf> {
+    std::env::var_os("SKEWBOUND_TRACE").map(std::path::PathBuf::from)
+}
+
+/// Writes the grid's aggregated per-stage counters to `path` as
+/// JSON-lines `counter` records — the same line shape the
+/// `skewbound-mc` trace sink emits (`{"kind":"counter","name":…,
+/// "stage":…,"value":…}`, keys sorted), so one reader handles both
+/// artifacts. `bench` deliberately does not depend on `skewbound-mc`,
+/// hence the hand-rendered lines (mirroring `BENCH_grid.json`).
+pub fn write_trace_counters(stats: &GridStats, path: &std::path::Path) -> std::io::Result<()> {
+    let mut out = String::new();
+    let mut line = |stage: &str, name: &str, value: u64| {
+        out.push_str(&format!(
+            "{{\"kind\":\"counter\",\"name\":\"{name}\",\"stage\":\"{stage}\",\"value\":{value}}}\n"
+        ));
+    };
+    line("engine", "runs", stats.runs);
+    line("engine", "events", stats.events);
+    line("engine", "sim_wall_nanos", stats.sim_wall_nanos);
+    line("check", "nodes", stats.check_nodes);
+    line("check", "memo_hits", stats.check_memo_hits);
+    line("check", "max_frontier_depth", stats.check_max_frontier);
+    line("check", "check_wall_nanos", stats.check_wall_nanos);
+    std::fs::write(path, out)
 }
 
 fn clock_assignments(params: &Params) -> Vec<ClockAssignment> {
@@ -160,36 +199,40 @@ fn grid_points(params: &Params, delay_specs: &[DelaySpec]) -> Vec<GridPoint> {
     points
 }
 
-/// Outcome of checking one run's history: nodes the DFS explored and
-/// the wall-clock time it took.
+/// Outcome of checking one run's history: the checker's search counters
+/// and the wall-clock time the check took.
 #[derive(Debug, Clone, Copy)]
 struct CheckSample {
-    nodes: u64,
+    stats: CheckStats,
     wall_nanos: u64,
 }
 
-/// Checks one run's history against the spec and returns the node count.
-/// Histories beyond the checker's 128-op bitmask are skipped (reported
-/// as zero nodes) rather than split, keeping the measurement unbiased.
+/// Checks one run's history against the spec and returns the search
+/// counters. Histories beyond the checker's 128-op bitmask are skipped
+/// (reported as zero) rather than split, keeping the measurement
+/// unbiased.
 ///
 /// # Panics
 ///
 /// Panics if the run produced a non-linearizable history: every grid
 /// point simulates a correct implementation, so a violation here is an
 /// engine or implementation bug, not a measurement result.
-fn check_linearizable<S: SequentialSpec>(spec: &S, history: &History<S::Op, S::Resp>) -> u64 {
+fn check_linearizable<S: SequentialSpec>(
+    spec: &S,
+    history: &History<S::Op, S::Resp>,
+) -> CheckStats {
     if history.len() > 128 {
-        return 0;
+        return CheckStats::default();
     }
-    match check_history(spec, history) {
+    let (outcome, stats) = check_history_stats(spec, history, CheckLimits::default());
+    match outcome {
         CheckOutcome::Linearizable(lin) => {
             debug_assert!(
                 validate_linearization(spec, history, &lin),
                 "checker returned an invalid witness"
             );
-            lin.nodes
         }
-        CheckOutcome::Unknown { nodes } => nodes,
+        CheckOutcome::Unknown { .. } => {}
         CheckOutcome::NotLinearizable(v) => panic!(
             "measurement run produced a non-linearizable history \
              ({} ops, longest legal prefix {})",
@@ -197,6 +240,7 @@ fn check_linearizable<S: SequentialSpec>(spec: &S, history: &History<S::Op, S::R
             v.longest_prefix.len()
         ),
     }
+    stats
 }
 
 /// Runs one closed-loop workload and returns each completed operation's
@@ -219,7 +263,7 @@ where
     D: DelayModel,
     G: FnMut(ProcessId, usize, &mut StdRng) -> A::Op,
     L: Fn(&A::Op) -> &'static str,
-    C: Fn(&History<A::Op, A::Resp>) -> u64,
+    C: Fn(&History<A::Op, A::Resp>) -> CheckStats,
 {
     let n = clocks.len();
     let mut driver = ClosedLoop::new(ProcessId::all(n).collect(), ops_per_process, seed, gen);
@@ -227,7 +271,7 @@ where
     let report = sim.run_with(&mut driver).expect("measurement run failed");
     assert!(sim.history().is_complete(), "incomplete measurement run");
     let check_start = std::time::Instant::now();
-    let nodes = check(sim.history());
+    let stats = check(sim.history());
     let check_wall = u64::try_from(check_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
     let mut acc = MaxLatencies::new();
     for rec in sim.history().records() {
@@ -239,7 +283,7 @@ where
         acc,
         report,
         CheckSample {
-            nodes,
+            stats,
             wall_nanos: check_wall,
         },
     )
@@ -264,7 +308,7 @@ where
     F: Fn() -> Vec<A> + Sync,
     G: FnMut(ProcessId, usize, &mut StdRng) -> A::Op + Clone + Sync,
     L: Fn(&A::Op) -> &'static str + Copy + Sync,
-    C: Fn(&History<A::Op, A::Resp>) -> u64 + Sync,
+    C: Fn(&History<A::Op, A::Resp>) -> CheckStats + Sync,
 {
     let results = run_grid(points, |_, point| {
         run_point(
@@ -291,7 +335,11 @@ where
         stats.runs += 1;
         stats.events += report.events;
         stats.sim_wall_nanos += report.wall_nanos;
-        stats.check_nodes += check_sample.nodes;
+        stats.check_nodes += check_sample.stats.nodes;
+        stats.check_memo_hits += check_sample.stats.memo_hits;
+        stats.check_max_frontier = stats
+            .check_max_frontier
+            .max(check_sample.stats.max_frontier_depth);
         stats.check_wall_nanos += check_sample.wall_nanos;
     }
     (acc, stats)
@@ -554,8 +602,35 @@ mod tests {
         // Every run's 16-op history explores at least one DFS node per
         // linearized operation.
         assert!(stats.check_nodes >= stats.runs * 16);
+        // The DFS must at some point hold a full 16-op linearization.
+        assert_eq!(stats.check_max_frontier, 16);
         assert!(stats.events_per_sec() > 0.0);
         assert!(stats.check_nodes_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn trace_counters_file_is_json_lines() {
+        let stats = GridStats {
+            runs: 10,
+            events: 5_000,
+            sim_wall_nanos: 1_000,
+            check_wall_nanos: 2_000,
+            check_nodes: 160,
+            check_memo_hits: 12,
+            check_max_frontier: 16,
+            workers: 4,
+        };
+        let path = std::env::temp_dir().join("skewbound_trace_counters_test.jsonl");
+        write_trace_counters(&stats, &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(text.lines().count(), 7);
+        for line in text.lines() {
+            assert!(line.starts_with("{\"kind\":\"counter\","), "{line}");
+            assert!(line.ends_with('}'), "{line}");
+        }
+        assert!(text.contains("\"name\":\"memo_hits\",\"stage\":\"check\",\"value\":12"));
+        assert!(text.contains("\"name\":\"events\",\"stage\":\"engine\",\"value\":5000"));
     }
 
     #[test]

@@ -39,7 +39,13 @@ use skewbound_sim::engine::Simulation;
 use skewbound_sim::ids::ProcessId;
 use skewbound_sim::time::{ClockOffset, SimDuration};
 
-/// The optimal achievable skew `(1 − 1/n)u` (Lundelius & Lynch 1984).
+/// The optimal achievable skew `(1 − 1/n)u` (Lundelius & Lynch 1984),
+/// rounded up to whole ticks.
+///
+/// This is a *bound* on the skew the synchronization round guarantees,
+/// so at non-divisible `(n, u)` it must not round down: a truncated
+/// value would claim tighter synchronization than achievable. Matches
+/// the rounding of `skewbound_core::params::Params::optimal_eps`.
 ///
 /// # Panics
 ///
@@ -47,7 +53,7 @@ use skewbound_sim::time::{ClockOffset, SimDuration};
 #[must_use]
 pub fn optimal_skew(n: usize, u: SimDuration) -> SimDuration {
     assert!(n > 0, "n must be positive");
-    u.mul_frac(n as u64 - 1, n as u64)
+    u.mul_frac_ceil(n as u64 - 1, n as u64)
 }
 
 /// How a receiver estimates the sender's clock.
@@ -270,6 +276,9 @@ mod tests {
     fn optimal_skew_formula() {
         assert_eq!(optimal_skew(2, SimDuration::from_ticks(10)).as_ticks(), 5);
         assert_eq!(optimal_skew(4, SimDuration::from_ticks(8)).as_ticks(), 6);
+        // Non-divisible pairs round up — a bound must not under-claim.
+        assert_eq!(optimal_skew(3, SimDuration::from_ticks(10)).as_ticks(), 7);
+        assert_eq!(optimal_skew(4, SimDuration::from_ticks(10)).as_ticks(), 8);
     }
 
     #[test]

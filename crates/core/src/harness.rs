@@ -10,6 +10,7 @@ use skewbound_sim::clock::ClockAssignment;
 use skewbound_sim::delay::DelayModel;
 use skewbound_sim::engine::{SimError, Simulation};
 use skewbound_sim::history::History;
+use skewbound_sim::trace::Trace;
 use skewbound_sim::workload::Driver;
 
 /// Runs `actors` under `clocks`/`delays` with `driver` until quiescence
@@ -68,6 +69,43 @@ where
     Ok((history, sim))
 }
 
+/// Like [`run_history`] but with engine tracing enabled: also returns
+/// the structured event [`Trace`] of the run (every invoke, send,
+/// deliver, timer arm/fire and response, stamped with real time, local
+/// clock reading and process id).
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the engine.
+///
+/// # Panics
+///
+/// Panics if the run ends with an incomplete history, as in
+/// [`run_history`].
+#[allow(clippy::type_complexity)]
+pub fn run_history_traced<A, D, Dr>(
+    actors: Vec<A>,
+    clocks: ClockAssignment,
+    delays: D,
+    driver: &mut Dr,
+) -> Result<(History<A::Op, A::Resp>, Trace), SimError>
+where
+    A: Actor,
+    D: DelayModel,
+    Dr: Driver<A::Op, A::Resp> + ?Sized,
+{
+    let mut sim = Simulation::new(actors, clocks, delays);
+    sim.enable_trace();
+    sim.run_with(driver)?;
+    assert!(
+        sim.history().is_complete(),
+        "run reached quiescence with pending operations (termination bug)"
+    );
+    let history = sim.history().clone();
+    let trace = sim.trace().expect("tracing enabled").clone();
+    Ok((history, trace))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,6 +139,41 @@ mod tests {
         .unwrap();
         assert_eq!(history.len(), 12);
         assert!(history.is_complete());
+    }
+
+    #[test]
+    fn run_history_traced_returns_matching_trace() {
+        let params = Params::with_optimal_skew(
+            2,
+            SimDuration::from_ticks(100),
+            SimDuration::from_ticks(30),
+            SimDuration::ZERO,
+        )
+        .unwrap();
+        let mut script = Script::new().at(ProcessId::new(0), SimTime::ZERO, CounterOp::Add(5));
+        let (history, trace) = run_history_traced(
+            Replica::group(Counter::default(), &params),
+            ClockAssignment::zero(2),
+            FixedDelay::maximal(params.delay_bounds()),
+            &mut script,
+        )
+        .unwrap();
+        assert_eq!(history.len(), 1);
+        // One invoke and one respond per history record, at the right
+        // process and times.
+        let rec = &history.records()[0];
+        let invokes: Vec<_> = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, TraceEventKind::Invoke { .. }))
+            .collect();
+        assert_eq!(invokes.len(), 1);
+        assert_eq!(invokes[0].pid, rec.pid);
+        assert_eq!(invokes[0].at, rec.invoked_at);
+        assert!(trace
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, TraceEventKind::TimerSet { .. })));
     }
 
     #[test]

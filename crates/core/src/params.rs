@@ -74,11 +74,21 @@ impl fmt::Display for ParamError {
 impl std::error::Error for ParamError {}
 
 impl Params {
-    /// The optimal clock skew `(1 − 1/n)·u` (Lundelius & Lynch 1984).
+    /// The optimal clock skew `(1 − 1/n)·u` (Lundelius & Lynch 1984),
+    /// rounded **up** to whole ticks.
+    ///
+    /// Rounding direction matters at non-divisible `(n, u)`: `ε` is the
+    /// skew the synchronization layer *guarantees as a bound*, so an
+    /// integer `ε` must not under-claim the real-valued `(1 − 1/n)·u` —
+    /// truncation toward zero would admit clock assignments whose true
+    /// skew exceeds the declared bound, making Algorithm 1's timer waits
+    /// (`hold = u + ε`, `accessor_wait = d + ε − X`) too short to cover
+    /// the delivery horizon. Taking the ceiling only lengthens waits and
+    /// widens the admissible `X` range, which is always safe.
     #[must_use]
     pub fn optimal_eps(n: usize, u: SimDuration) -> SimDuration {
         assert!(n >= 1, "n must be positive");
-        u.mul_frac(n as u64 - 1, n as u64)
+        u.mul_frac_ceil(n as u64 - 1, n as u64)
     }
 
     /// Creates parameters with an explicit skew bound `eps`.
@@ -207,8 +217,33 @@ mod tests {
     #[test]
     fn optimal_eps_formula() {
         assert_eq!(Params::optimal_eps(2, ticks(10)), ticks(5));
-        assert_eq!(Params::optimal_eps(4, ticks(10)), ticks(7));
         assert_eq!(Params::optimal_eps(1, ticks(10)), ticks(0));
+    }
+
+    #[test]
+    fn optimal_eps_rounds_up_at_non_divisible_pairs() {
+        // (1 − 1/3)·10 = 6.66… must round *up*: a declared ε = 6 would
+        // under-claim the skew the synchronization layer can exhibit.
+        assert_eq!(Params::optimal_eps(3, ticks(10)), ticks(7));
+        // (1 − 1/4)·10 = 7.5 → 8.
+        assert_eq!(Params::optimal_eps(4, ticks(10)), ticks(8));
+        // Exactly divisible pairs are unaffected by the direction.
+        assert_eq!(Params::optimal_eps(4, ticks(2_000)), ticks(1_500));
+        assert_eq!(Params::optimal_eps(3, ticks(2_400)), ticks(1_600));
+    }
+
+    #[test]
+    fn optimal_eps_never_below_true_bound() {
+        // ceil(u(n−1)/n) ≥ u(n−1)/n for a spread of non-divisible pairs.
+        for n in 2..=7u64 {
+            for u in 1..=50u64 {
+                let eps = Params::optimal_eps(n as usize, ticks(u)).as_ticks();
+                assert!(
+                    u128::from(eps) * u128::from(n) >= u128::from(u) * u128::from(n - 1),
+                    "eps={eps} under-claims (1-1/{n})*{u}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -73,14 +73,25 @@ impl TimerProfile {
     /// A uniformly scaled profile (`num/den` of every wait) — used to
     /// build "too fast" foils. `scaled(p, 1, 1)` equals
     /// [`TimerProfile::from_params`].
+    ///
+    /// Rounding happens once per *pair* on the common basis
+    /// `self_add + hold` and `mutator_wait + accessor_wait`, not per
+    /// wait: scaling each of the four waits independently truncates up
+    /// to four times, which breaks pair-sum identities such as
+    /// `self_add + hold = scaled(d + ε)` and makes `scaled(99, 100)`
+    /// foils non-monotone at small tick counts (a wait could round to
+    /// the honest value while its pair partner loses two ticks).
     #[must_use]
     pub fn scaled(p: &Params, num: u64, den: u64) -> Self {
         let base = Self::from_params(p);
+        let self_add = base.self_add.mul_frac(num, den);
+        let mutator_wait = base.mutator_wait.mul_frac(num, den);
         TimerProfile {
-            self_add: base.self_add.mul_frac(num, den),
-            hold: base.hold.mul_frac(num, den),
-            mutator_wait: base.mutator_wait.mul_frac(num, den),
-            accessor_wait: base.accessor_wait.mul_frac(num, den),
+            self_add,
+            hold: (base.self_add + base.hold).mul_frac(num, den) - self_add,
+            mutator_wait,
+            accessor_wait: (base.mutator_wait + base.accessor_wait).mul_frac(num, den)
+                - mutator_wait,
         }
     }
 }
@@ -505,6 +516,129 @@ mod tests {
             TimerProfile::scaled(&p, 1, 1),
             TimerProfile::from_params(&p)
         );
+    }
+
+    #[test]
+    fn scaled_profile_preserves_pair_sum_identities() {
+        // Deliberately awkward ticks: d=101, u=31, explicit eps=19, X=7 —
+        // every wait is odd, so per-wait truncation would lose ticks.
+        let p = Params::new(
+            3,
+            SimDuration::from_ticks(101),
+            SimDuration::from_ticks(31),
+            SimDuration::from_ticks(19),
+            SimDuration::from_ticks(7),
+        )
+        .unwrap();
+        let honest = TimerProfile::from_params(&p);
+        for (num, den) in [(1, 2), (2, 3), (99, 100), (1, 3), (3, 7)] {
+            let s = TimerProfile::scaled(&p, num, den);
+            // Pair sums round exactly once on the common basis.
+            assert_eq!(
+                s.self_add + s.hold,
+                (honest.self_add + honest.hold).mul_frac(num, den),
+                "self_add + hold identity broken at {num}/{den}"
+            );
+            assert_eq!(
+                s.mutator_wait + s.accessor_wait,
+                (honest.mutator_wait + honest.accessor_wait).mul_frac(num, den),
+                "mutator_wait + accessor_wait identity broken at {num}/{den}"
+            );
+        }
+        // The honest closed forms: self_add + hold = d + ε and
+        // mutator_wait + accessor_wait = d + 2ε = (self_add + hold) + ε.
+        assert_eq!(honest.self_add + honest.hold, p.d() + p.eps());
+        assert_eq!(
+            honest.mutator_wait + honest.accessor_wait,
+            honest.self_add + honest.hold + p.eps(),
+        );
+    }
+
+    #[test]
+    fn scaled_99_over_100_is_monotone_at_small_ticks() {
+        // With per-wait truncation, scaling by 99/100 at tiny tick
+        // counts could leave one wait at the honest value while its pair
+        // partner lost a tick — the "too fast" foil would not be
+        // uniformly ≤ honest with a strictly smaller pair sum. The
+        // common basis guarantees each pair sum shrinks by the scaled
+        // amount exactly once.
+        let p = Params::new(
+            2,
+            SimDuration::from_ticks(7),
+            SimDuration::from_ticks(3),
+            SimDuration::from_ticks(2),
+            SimDuration::from_ticks(1),
+        )
+        .unwrap();
+        let honest = TimerProfile::from_params(&p);
+        let foil = TimerProfile::scaled(&p, 99, 100);
+        assert!(foil.self_add <= honest.self_add);
+        assert!(foil.hold <= honest.hold);
+        assert!(foil.mutator_wait <= honest.mutator_wait);
+        assert!(foil.accessor_wait <= honest.accessor_wait);
+        assert_eq!(
+            foil.self_add + foil.hold,
+            (honest.self_add + honest.hold).mul_frac(99, 100),
+        );
+        assert_eq!(
+            foil.mutator_wait + foil.accessor_wait,
+            (honest.mutator_wait + honest.accessor_wait).mul_frac(99, 100),
+        );
+    }
+
+    #[test]
+    fn accessor_tie_is_exclusive_but_execute_is_inclusive() {
+        // Two processes, zero skew, X = 0: a write and a read invoked at
+        // the same instant carry timestamps tied on the clock component
+        // — (0, writer) vs (0, reader). `AccessorRespond` executes
+        // strictly below the accessor's own timestamp, so the pid
+        // tiebreak decides whether the read observes the write; the
+        // `Execute` path is inclusive (`≤ ts`), so the write lands on
+        // every replica either way. Both outcomes are linearizable: the
+        // operations overlap in real time.
+        let params = Params::with_optimal_skew(
+            2,
+            SimDuration::from_ticks(100),
+            SimDuration::from_ticks(30),
+            SimDuration::ZERO,
+        )
+        .unwrap();
+        let run = |writer: u32, reader: u32| {
+            let mut sim = Simulation::new(
+                Replica::group(RmwRegister::default(), &params),
+                ClockAssignment::zero(2),
+                FixedDelay::maximal(params.delay_bounds()),
+            );
+            sim.schedule_invoke(p(writer), t(0), RmwOp::Write(1));
+            sim.schedule_invoke(p(reader), t(0), RmwOp::Read);
+            sim.run().unwrap();
+            assert!(
+                skewbound_lin::check_history(&RmwRegister::default(), sim.history())
+                    .is_linearizable(),
+                "tie run writer={writer} reader={reader} not linearizable"
+            );
+            // Inclusive `Execute` still applies the tied write everywhere:
+            // the replicas converge on identical execution orders (Lemma
+            // C.10) and final state.
+            assert_eq!(
+                sim.actor(p(0)).executed_order(),
+                sim.actor(p(1)).executed_order()
+            );
+            assert_eq!(sim.actor(p(0)).local_state(), &1);
+            assert_eq!(sim.actor(p(1)).local_state(), &1);
+            sim.history()
+                .records()
+                .iter()
+                .find(|r| matches!(r.op, RmwOp::Read))
+                .and_then(|r| r.resp())
+                .cloned()
+        };
+        // Writer pid 0 < reader pid 1: the tied write sorts strictly
+        // below the read's timestamp and is observed.
+        assert_eq!(run(0, 1), Some(RmwResp::Value(1)));
+        // Writer pid 1 > reader pid 0: the tied write sorts above the
+        // read's timestamp; the exclusive bound skips it.
+        assert_eq!(run(1, 0), Some(RmwResp::Value(0)));
     }
 
     #[test]

@@ -77,6 +77,23 @@ impl CheckOutcome {
     }
 }
 
+/// Per-stage search counters for one check, beyond the node count the
+/// outcome itself carries: how effective the memo table was and how deep
+/// the search frontier got. Collected unconditionally (three integer
+/// updates per node) and surfaced by [`check_history_stats`] for grid
+/// profiling and trace aggregation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckStats {
+    /// DFS nodes expanded (same count as the outcome's `nodes`).
+    pub nodes: u64,
+    /// Extensions skipped because their `(taken-set, state)` pair was
+    /// already explored.
+    pub memo_hits: u64,
+    /// Longest prefix length the search ever held — the maximum DFS
+    /// frontier depth.
+    pub max_frontier_depth: u64,
+}
+
 /// A witness linearization: operation ids in linearized order.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Linearization {
@@ -126,6 +143,20 @@ pub fn check_history_with<S: SequentialSpec>(
     history: &History<S::Op, S::Resp>,
     limits: CheckLimits,
 ) -> CheckOutcome {
+    check_history_stats(spec, history, limits).0
+}
+
+/// [`check_history_with`], also returning the search's [`CheckStats`].
+///
+/// # Panics
+///
+/// Same conditions as [`check_history`].
+#[must_use]
+pub fn check_history_stats<S: SequentialSpec>(
+    spec: &S,
+    history: &History<S::Op, S::Resp>,
+    limits: CheckLimits,
+) -> (CheckOutcome, CheckStats) {
     assert!(
         history.is_complete(),
         "linearizability is defined over complete histories"
@@ -133,10 +164,13 @@ pub fn check_history_with<S: SequentialSpec>(
     let n = history.len();
     assert!(n <= 128, "checker supports at most 128 operations, got {n}");
     if n == 0 {
-        return CheckOutcome::Linearizable(Linearization {
-            order: Vec::new(),
-            nodes: 0,
-        });
+        return (
+            CheckOutcome::Linearizable(Linearization {
+                order: Vec::new(),
+                nodes: 0,
+            }),
+            CheckStats::default(),
+        );
     }
 
     let records = history.records();
@@ -165,10 +199,18 @@ pub fn check_history_with<S: SequentialSpec>(
         order: Vec::with_capacity(n),
         longest_prefix: Vec::new(),
         nodes: 0,
+        memo_hits: 0,
+        max_frontier_depth: 0,
         max_nodes: limits.max_nodes,
     };
     let initial = spec.initial();
-    match dfs.explore(0, ready, &initial) {
+    let result = dfs.explore(0, ready, &initial);
+    let stats = CheckStats {
+        nodes: dfs.nodes,
+        memo_hits: dfs.memo_hits,
+        max_frontier_depth: dfs.max_frontier_depth,
+    };
+    let outcome = match result {
         DfsOutcome::Found => CheckOutcome::Linearizable(Linearization {
             order: dfs.order,
             nodes: dfs.nodes,
@@ -179,7 +221,8 @@ pub fn check_history_with<S: SequentialSpec>(
             longest_prefix: dfs.longest_prefix,
             nodes: dfs.nodes,
         }),
-    }
+    };
+    (outcome, stats)
 }
 
 /// `predecessors[i]` = bitmask of operations that must come before op `i`
@@ -265,6 +308,8 @@ struct Dfs<'a, S: SequentialSpec> {
     order: Vec<OpId>,
     longest_prefix: Vec<OpId>,
     nodes: u64,
+    memo_hits: u64,
+    max_frontier_depth: u64,
     max_nodes: u64,
 }
 
@@ -273,6 +318,7 @@ impl<S: SequentialSpec> Dfs<'_, S> {
     /// in `taken`; candidates pop off it in ascending index order.
     fn explore(&mut self, taken: u128, ready: u128, state: &S::State) -> DfsOutcome {
         self.nodes += 1;
+        self.max_frontier_depth = self.max_frontier_depth.max(self.order.len() as u64);
         if self.nodes > self.max_nodes {
             return DfsOutcome::NodeLimit;
         }
@@ -314,6 +360,8 @@ impl<S: SequentialSpec> Dfs<'_, S> {
                     }
                     done => return done,
                 }
+            } else {
+                self.memo_hits += 1;
             }
         }
         DfsOutcome::Exhausted
@@ -610,6 +658,41 @@ mod tests {
         }
         let h = reg_history(&entries);
         assert!(check_history(&RwRegister::new(0), &h).is_linearizable());
+    }
+
+    #[test]
+    fn stats_report_memo_hits_and_frontier_depth() {
+        // Two concurrent commuting writes of the same value: both
+        // interleavings reach the same (taken-set, state), so the second
+        // path is a memo hit — but a witness is found on the first path,
+        // so use a violating tail to force full exploration.
+        let h = reg_history(&[
+            (0, 0, 10, RegOp::Write(7), RegResp::Ack),
+            (1, 0, 10, RegOp::Write(7), RegResp::Ack),
+            (2, 20, 21, RegOp::Read, RegResp::Value(9)), // impossible value
+        ]);
+        let (out, stats) = check_history_stats(&RwRegister::new(0), &h, CheckLimits::default());
+        assert!(out.is_violation());
+        // Nodes: root, [w0], [w0,w1], [w1]; extending [w1] with w0 hits
+        // the ({w0,w1}, state) memo entry.
+        assert_eq!(stats.nodes, 4);
+        assert_eq!(stats.memo_hits, 1, "second write order is memoized");
+        assert_eq!(stats.max_frontier_depth, 2, "the read never linearizes");
+
+        // A linearizable history reaches frontier depth n (the Found
+        // node sees the full prefix) and its stats' node count matches
+        // the witness's.
+        let h = reg_history(&[
+            (0, 0, 1, RegOp::Write(1), RegResp::Ack),
+            (0, 2, 3, RegOp::Read, RegResp::Value(1)),
+        ]);
+        let (out, stats) = check_history_stats(&RwRegister::new(0), &h, CheckLimits::default());
+        let CheckOutcome::Linearizable(lin) = out else {
+            panic!("expected linearizable");
+        };
+        assert_eq!(stats.nodes, lin.nodes);
+        assert_eq!(stats.max_frontier_depth, 2);
+        assert_eq!(stats.memo_hits, 0);
     }
 
     #[test]

@@ -34,8 +34,8 @@ pub mod multi;
 pub mod pending;
 
 pub use checker::{
-    check_history, check_history_brute_force, check_history_with, validate_linearization,
-    CheckLimits, CheckOutcome, Linearization, Violation,
+    check_history, check_history_brute_force, check_history_stats, check_history_with,
+    validate_linearization, CheckLimits, CheckOutcome, CheckStats, Linearization, Violation,
 };
 pub use multi::{check_multi_object, check_multi_object_with, split_history, MultiOutcome};
 pub use pending::{check_pending, check_pending_with};

@@ -18,8 +18,12 @@
 //!    catch is shrunk to a minimized, replay-confirmed certificate,
 //!    written to the output directory and schema-validated by re-parse.
 //!
-//! Usage: `skewlint [--smoke] [--out DIR]`. `--smoke` trims the clock
-//! grid for CI latency; `--out` defaults to `target/skewlint`.
+//! Usage: `skewlint [--smoke] [--out DIR] [--trace FILE]`. `--smoke`
+//! trims the clock grid for CI latency; `--out` defaults to
+//! `target/skewlint`; `--trace` additionally replays the first foil's
+//! minimized counterexample with a JSON-lines trace sink attached,
+//! writes the trace to `FILE`, and cross-checks it against the
+//! certificate coordinates (DESIGN.md §9).
 //! Exits nonzero (after finishing all gates) if any expectation fails;
 //! the final line is `skewlint: OK` exactly when everything held.
 
@@ -30,11 +34,14 @@ use skewbound_core::foils::{eager_group, LocalFirstReplica};
 use skewbound_core::invariants::routing_lint;
 use skewbound_core::params::Params;
 use skewbound_core::replica::Replica;
+use skewbound_mc::trace::parse_lines;
 use skewbound_mc::{
-    certify, model_check, validate_certificate, Independence, McConfig, ModelActor,
+    certify, minimize_counted, model_check, replay_traced, validate_certificate, Independence,
+    McConfig, ModelActor, RunVerdict, SharedJsonLinesSink,
 };
 use skewbound_sim::ids::ProcessId;
 use skewbound_sim::time::{SimDuration, SimTime};
+use skewbound_sim::trace::TraceSink;
 use skewbound_spec::prelude::*;
 use skewbound_spec::probes;
 
@@ -322,9 +329,123 @@ fn foil_gate(gate: &mut Gate, out_dir: &std::path::Path) {
     );
 }
 
+/// Replays the register/local-first foil's minimized counterexample
+/// with a JSON-lines sink attached, writes the trace to `trace_path`,
+/// and cross-checks it against the certificate coordinates: every
+/// message's `deliver.at − send.at` must equal the certificate's
+/// `delay_ticks` entry for that message (both are indexed by global
+/// send order).
+fn trace_gate(gate: &mut Gate, trace_path: &std::path::Path) {
+    println!("[trace] foil replay trace (register/local-first)");
+    let p = params();
+    let t = SimTime::from_ticks;
+    let pid = ProcessId::new;
+    let spec = RwRegister::<i64>::default();
+    let make_actors = || LocalFirstReplica::group(RwRegister::<i64>::default(), p.n());
+    let script = [
+        (pid(0), t(0), RegOp::Write(1)),
+        (pid(1), t(100), RegOp::Read),
+    ];
+    let mut config = McConfig::corners(&p, probes::register_states());
+    config.stop_at_first_violation = true;
+    let report = model_check(&spec, make_actors, &p, &script, &config);
+    let Some(violation) = report.violations.first() else {
+        gate.expect(false, "trace foil violation found");
+        return;
+    };
+    let (min, steps) = minimize_counted(&spec, &make_actors, &p, &script, &config, violation);
+    let shared = SharedJsonLinesSink::new();
+    let (outcome, _) = replay_traced(
+        &spec,
+        &make_actors,
+        &p,
+        &script,
+        &config,
+        min.clock_idx,
+        &min.delay_digits,
+        &min.choices,
+        Box::new(shared.clone()),
+    );
+    gate.expect(
+        matches!(&outcome.verdict, RunVerdict::Violation(k) if k.same_kind(&min.kind)),
+        "traced replay reproduces the violation",
+    );
+    let mut handle = shared.clone();
+    handle.counter("mc", "schedules", report.schedules);
+    handle.counter("mc", "pruned", report.pruned);
+    handle.counter("mc", "delta_debug_steps", steps);
+
+    let text = shared.text();
+    if let Err(e) = std::fs::write(trace_path, &text) {
+        gate.expect(false, &format!("write {}: {e}", trace_path.display()));
+        return;
+    }
+    println!("  wrote {}", trace_path.display());
+
+    // Validate by re-reading what was written, not the in-memory copy.
+    let on_disk = match std::fs::read_to_string(trace_path) {
+        Ok(s) => s,
+        Err(e) => {
+            gate.expect(false, &format!("read back {}: {e}", trace_path.display()));
+            return;
+        }
+    };
+    let values = match parse_lines(&on_disk) {
+        Ok(v) => v,
+        Err(e) => {
+            gate.expect(false, &format!("trace parses as JSON lines: {e}"));
+            return;
+        }
+    };
+    println!("  trace: {} lines parsed OK", values.len());
+    gate.expect(!values.is_empty(), "trace parses as JSON lines");
+
+    let field = |v: &skewbound_mc::json::Json, k: &str| v.get(k).and_then(|f| f.as_num());
+    let kind_of =
+        |v: &skewbound_mc::json::Json| v.get("kind").and_then(|k| k.as_str()).map(str::to_owned);
+    let mut send_at = std::collections::BTreeMap::new();
+    let mut deliver_at = std::collections::BTreeMap::new();
+    for v in &values {
+        match kind_of(v).as_deref() {
+            Some("send") => {
+                send_at.insert(field(v, "msg"), field(v, "at"));
+            }
+            Some("deliver") => {
+                deliver_at.insert(field(v, "msg"), field(v, "at"));
+            }
+            _ => {}
+        }
+    }
+    let delay_ticks: Vec<i64> = min
+        .delay_digits
+        .iter()
+        .map(|&d| i64::try_from(config.delay_choices[d].as_ticks()).expect("ticks fit"))
+        .collect();
+    gate.expect(
+        send_at.len() == delay_ticks.len(),
+        &format!(
+            "trace has one send per certificate delay ({} = {})",
+            send_at.len(),
+            delay_ticks.len()
+        ),
+    );
+    let consistent = (0..delay_ticks.len()).all(|i| {
+        let msg = Some(i64::try_from(i).expect("msg id fits"));
+        match (send_at.get(&msg), deliver_at.get(&msg)) {
+            (Some(Some(sent)), Some(Some(recv))) => recv - sent == delay_ticks[i],
+            _ => false,
+        }
+    });
+    gate.expect(
+        consistent,
+        "trace delivery delays match certificate delay_ticks",
+    );
+}
+
 fn main() -> ExitCode {
     let mut smoke = false;
     let mut out_dir = PathBuf::from("target/skewlint");
+    let mut trace_path: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -336,8 +457,18 @@ fn main() -> ExitCode {
                 };
                 out_dir = PathBuf::from(dir);
             }
+            "--trace" => {
+                let Some(path) = args.next() else {
+                    eprintln!("--trace needs a file path");
+                    return ExitCode::FAILURE;
+                };
+                trace_path = Some(PathBuf::from(path));
+            }
             other => {
-                eprintln!("unknown argument {other:?} (usage: skewlint [--smoke] [--out DIR])");
+                eprintln!(
+                    "unknown argument {other:?} \
+                     (usage: skewlint [--smoke] [--out DIR] [--trace FILE])"
+                );
                 return ExitCode::FAILURE;
             }
         }
@@ -351,6 +482,9 @@ fn main() -> ExitCode {
     lint_gate(&mut gate);
     honest_gate(&mut gate, smoke);
     foil_gate(&mut gate, &out_dir);
+    if let Some(trace_path) = &trace_path {
+        trace_gate(&mut gate, trace_path);
+    }
 
     if gate.failures == 0 {
         println!("skewlint: OK");

@@ -26,7 +26,7 @@ use skewbound_sim::time::SimTime;
 use skewbound_spec::seqspec::SequentialSpec;
 
 use crate::explore::{
-    minimize, replay, McConfig, McReport, McViolation, RunVerdict, ViolationKind,
+    minimize_counted, replay, McConfig, McReport, McViolation, RunVerdict, ViolationKind,
 };
 use crate::json::{obj, parse, Json};
 use crate::model::ModelActor;
@@ -90,6 +90,9 @@ pub struct Certificate {
     pub schedules_explored: u64,
     /// Schedules the surrounding exploration pruned as redundant.
     pub schedules_pruned: u64,
+    /// Candidate reductions [`minimize`] re-executed while shrinking
+    /// this certificate's coordinate.
+    pub delta_debug_steps: u64,
 }
 
 fn history_records<S: SequentialSpec>(history: &History<S::Op, S::Resp>) -> Vec<CertRecord> {
@@ -124,7 +127,8 @@ where
     A: ModelActor,
     F: Fn() -> Vec<A>,
 {
-    let min = minimize(spec, make_actors, params, script, config, violation);
+    let (min, delta_debug_steps) =
+        minimize_counted(spec, make_actors, params, script, config, violation);
     let outcome = replay(
         spec,
         make_actors,
@@ -170,6 +174,7 @@ where
         replay_confirmed,
         schedules_explored: report.schedules,
         schedules_pruned: report.pruned,
+        delta_debug_steps,
     }
 }
 
@@ -236,6 +241,7 @@ impl Certificate {
                 obj([
                     ("schedules", num_u(self.schedules_explored)),
                     ("pruned", num_u(self.schedules_pruned)),
+                    ("delta_debug_steps", num_u(self.delta_debug_steps)),
                 ]),
             ),
         ]);
@@ -411,6 +417,7 @@ mod tests {
             replay_confirmed: true,
             schedules_explored: 128,
             schedules_pruned: 32,
+            delta_debug_steps: 17,
         }
     }
 

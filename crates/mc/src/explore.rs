@@ -30,7 +30,7 @@
 
 use skewbound_core::invariants::{check_invariants, standard_invariants, RunView};
 use skewbound_core::params::Params;
-use skewbound_lin::checker::{check_history_with, CheckLimits, CheckOutcome};
+use skewbound_lin::checker::{check_history_stats, CheckLimits, CheckOutcome};
 use skewbound_shift::exhaustive::{
     verify_send_order_independence, AssignmentExhausted, EnumeratedDelay,
 };
@@ -39,6 +39,7 @@ use skewbound_sim::engine::{EventView, ScheduleDecision, SchedulePolicy, SimErro
 use skewbound_sim::history::History;
 use skewbound_sim::ids::ProcessId;
 use skewbound_sim::time::{SimDuration, SimTime};
+use skewbound_sim::trace::TraceSink;
 use skewbound_spec::classify::immediately_non_commuting;
 use skewbound_spec::seqspec::SequentialSpec;
 
@@ -435,6 +436,41 @@ where
     A: ModelActor,
     F: Fn() -> Vec<A>,
 {
+    run_one_with_sink(
+        spec,
+        make_actors,
+        params,
+        script,
+        config,
+        clocks,
+        digits,
+        plan,
+        None,
+    )
+    .0
+}
+
+/// [`run_one`] with an optional engine [`TraceSink`]: every engine event
+/// streams into the sink, and after the run the linearizability
+/// checker's `"check"`-stage counters (`nodes`, `memo_hits`,
+/// `max_frontier_depth`) are emitted into it too. The sink is returned
+/// so callers can keep writing (model-checker counters, file output).
+#[allow(clippy::too_many_arguments)]
+fn run_one_with_sink<A, F>(
+    spec: &A::Spec,
+    make_actors: &F,
+    params: &Params,
+    script: &[(ProcessId, SimTime, A::Op)],
+    config: &McConfig<A::Spec>,
+    clocks: &ClockAssignment,
+    digits: &[usize],
+    plan: &[usize],
+    sink: Option<Box<dyn TraceSink>>,
+) -> (RunOutcome<A::Spec>, Option<Box<dyn TraceSink>>)
+where
+    A: ModelActor,
+    F: Fn() -> Vec<A>,
+{
     let bounds = params.delay_bounds();
     let assignment: Vec<SimDuration> = digits.iter().map(|&d| config.delay_choices[d]).collect();
     let mut sim = Simulation::new(
@@ -442,6 +478,9 @@ where
         clocks.clone(),
         EnumeratedDelay::new(bounds, assignment),
     );
+    if let Some(sink) = sink {
+        sim.set_trace_sink(sink);
+    }
     for (pid, at, op) in script {
         sim.schedule_invoke(*pid, *at, op.clone());
     }
@@ -450,6 +489,7 @@ where
     let result = sim.run_scheduled(&mut policy);
     let trace = policy.trace;
     let history = sim.history().clone();
+    let mut check_stats = None;
     let verdict = match result {
         Err(SimError::PolicyAbort) => RunVerdict::Pruned,
         Err(e) => panic!("model-checked run failed: {e}"),
@@ -461,7 +501,9 @@ where
             } else if history.len() > 128 {
                 RunVerdict::Unknown
             } else {
-                match check_history_with(spec, &history, config.check_limits) {
+                let (outcome, stats) = check_history_stats(spec, &history, config.check_limits);
+                check_stats = Some(stats);
+                match outcome {
                     CheckOutcome::NotLinearizable(_) => {
                         RunVerdict::Violation(ViolationKind::NotLinearizable)
                     }
@@ -489,11 +531,20 @@ where
             }
         }
     };
-    RunOutcome {
-        verdict,
-        history,
-        trace,
+    let mut sink = sim.take_trace_sink();
+    if let (Some(sink), Some(stats)) = (sink.as_deref_mut(), check_stats) {
+        sink.counter("check", "nodes", stats.nodes);
+        sink.counter("check", "memo_hits", stats.memo_hits);
+        sink.counter("check", "max_frontier_depth", stats.max_frontier_depth);
     }
+    (
+        RunOutcome {
+            verdict,
+            history,
+            trace,
+        },
+        sink,
+    )
 }
 
 /// Re-executes the single run a violation (or any coordinate) names.
@@ -522,6 +573,41 @@ where
         delay_digits,
         choices,
     )
+}
+
+/// [`replay`] with a [`TraceSink`] attached to the engine: the run's
+/// invocations, sends, deliveries, timer arms/firings and responses
+/// stream into the sink (stamped with real time, local clock reading
+/// and process id), followed by the `"check"`-stage counters of the
+/// replay's linearizability check. Returns the sink for further writes.
+#[allow(clippy::too_many_arguments)]
+pub fn replay_traced<A, F>(
+    spec: &A::Spec,
+    make_actors: &F,
+    params: &Params,
+    script: &[(ProcessId, SimTime, A::Op)],
+    config: &McConfig<A::Spec>,
+    clock_idx: usize,
+    delay_digits: &[usize],
+    choices: &[usize],
+    sink: Box<dyn TraceSink>,
+) -> (RunOutcome<A::Spec>, Box<dyn TraceSink>)
+where
+    A: ModelActor,
+    F: Fn() -> Vec<A>,
+{
+    let (outcome, sink) = run_one_with_sink(
+        spec,
+        make_actors,
+        params,
+        script,
+        config,
+        &config.clock_choices[clock_idx],
+        delay_digits,
+        choices,
+        Some(sink),
+    );
+    (outcome, sink.expect("engine returns the attached sink"))
 }
 
 /// Explores every `(clock, delay assignment, schedule)` combination of
@@ -652,8 +738,29 @@ where
     A: ModelActor,
     F: Fn() -> Vec<A>,
 {
+    minimize_counted(spec, make_actors, params, script, config, violation).0
+}
+
+/// [`minimize`] plus the number of delta-debugging steps it took: one
+/// step per candidate reduction re-executed (kept or not). The count
+/// feeds the `"mc"`-stage `delta_debug_steps` trace counter and the
+/// certificate's `explored` block.
+pub fn minimize_counted<A, F>(
+    spec: &A::Spec,
+    make_actors: &F,
+    params: &Params,
+    script: &[(ProcessId, SimTime, A::Op)],
+    config: &McConfig<A::Spec>,
+    violation: &McViolation,
+) -> (McViolation, u64)
+where
+    A: ModelActor,
+    F: Fn() -> Vec<A>,
+{
     let kind = &violation.kind;
+    let steps = core::cell::Cell::new(0u64);
     let still_fails = |digits: &[usize], choices: &[usize]| -> bool {
+        steps.set(steps.get() + 1);
         let outcome = run_one(
             spec,
             make_actors,
@@ -710,10 +817,13 @@ where
             break;
         }
     }
-    McViolation {
-        clock_idx: violation.clock_idx,
-        delay_digits: digits,
-        choices,
-        kind: kind.clone(),
-    }
+    (
+        McViolation {
+            clock_idx: violation.clock_idx,
+            delay_digits: digits,
+            choices,
+            kind: kind.clone(),
+        },
+        steps.get(),
+    )
 }

@@ -83,6 +83,48 @@ impl Json {
         out
     }
 
+    /// Prints on a single line with no whitespace — the JSON-lines form
+    /// used for trace records, where one value per line is the framing.
+    #[must_use]
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -369,6 +411,25 @@ mod tests {
                 .and_then(|n| n.get("detail"))
                 .and_then(Json::as_str),
             Some("quote \" slash \\ tab \t")
+        );
+    }
+
+    #[test]
+    fn compact_is_single_line_and_round_trips() {
+        let doc = obj([
+            ("kind", Json::Str("deliver".into())),
+            ("at", Json::Num(6600)),
+            ("msg", Json::Num(0)),
+            ("path", Json::Arr(vec![Json::Num(1), Json::Num(2)])),
+            ("empty", obj([])),
+        ]);
+        let line = doc.compact();
+        assert!(!line.contains('\n'));
+        assert!(!line.contains(' '));
+        assert_eq!(parse(&line).unwrap(), doc);
+        assert_eq!(
+            line,
+            "{\"at\":6600,\"empty\":{},\"kind\":\"deliver\",\"msg\":0,\"path\":[1,2]}"
         );
     }
 

@@ -59,10 +59,12 @@ pub mod certificate;
 pub mod explore;
 pub mod json;
 pub mod model;
+pub mod trace;
 
 pub use certificate::{certify, validate_certificate, CertRecord, Certificate, SCHEMA};
 pub use explore::{
-    minimize, model_check, replay, ChoicePoint, Independence, McConfig, McReport, McViolation,
-    RunOutcome, RunVerdict, ViolationKind,
+    minimize, minimize_counted, model_check, replay, replay_traced, ChoicePoint, Independence,
+    McConfig, McReport, McViolation, RunOutcome, RunVerdict, ViolationKind,
 };
 pub use model::ModelActor;
+pub use trace::{JsonLinesSink, SharedJsonLinesSink};

@@ -1,0 +1,49 @@
+//! Timestamp-tie exploration: a write and a read invoked at the same
+//! instant carry timestamps tied on the clock component, so the
+//! `AccessorRespond` path's exclusive bound and the `Execute` path's
+//! inclusive bound disagree exactly on the tied operation. The
+//! deterministic regression lives in `skewbound-core`'s replica tests;
+//! here the same scenario is model-checked over every delay corner,
+//! clock corner and same-time delivery order — in both pid orders, so
+//! both sides of the tiebreak are exercised.
+
+use skewbound_core::params::Params;
+use skewbound_core::replica::Replica;
+use skewbound_mc::{model_check, McConfig};
+use skewbound_sim::ids::ProcessId;
+use skewbound_sim::time::{SimDuration, SimTime};
+use skewbound_spec::prelude::*;
+use skewbound_spec::probes;
+
+#[test]
+fn timestamp_tie_explores_clean_in_both_pid_orders() {
+    let p = Params::with_optimal_skew(
+        2,
+        SimDuration::from_ticks(9_000),
+        SimDuration::from_ticks(2_400),
+        SimDuration::ZERO,
+    )
+    .unwrap();
+    let pid = ProcessId::new;
+    let t = SimTime::from_ticks;
+    for (writer, reader) in [(0, 1), (1, 0)] {
+        let script = [
+            (pid(writer), t(0), RmwOp::Write(7)),
+            (pid(reader), t(0), RmwOp::Read),
+        ];
+        let config = McConfig::corners(&p, probes::register_states());
+        let report = model_check(
+            &RmwRegister::default(),
+            || Replica::group(RmwRegister::default(), &p),
+            &p,
+            &script,
+            &config,
+        );
+        assert!(
+            report.all_passed(),
+            "tie scenario writer=p{writer} reader=p{reader} failed: {report:?}"
+        );
+        assert!(report.schedules > 0);
+        assert_eq!(report.violations, vec![]);
+    }
+}

@@ -25,7 +25,7 @@ use crate::history::History;
 use crate::ids::{MsgId, OpId, ProcessId, TimerId};
 use crate::time::{SimDuration, SimTime};
 use crate::timers::TimerSlab;
-use crate::trace::{Trace, TraceEventKind};
+use crate::trace::{Trace, TraceEvent, TraceEventKind, TraceSink};
 use crate::workload::Driver;
 
 /// Engine limits and switches.
@@ -359,6 +359,10 @@ pub struct Simulation<A: Actor, D: DelayModel> {
     history: History<A::Op, A::Resp>,
     msg_log: Vec<MsgEvent>,
     trace: Option<Trace>,
+    /// External structured-trace consumer. Hook sites check both this
+    /// and `trace` before building an event, so with neither attached
+    /// the hot path does two `is_some` tests and nothing else.
+    sink: Option<Box<dyn TraceSink>>,
 }
 
 impl<A: Actor, D: DelayModel> core::fmt::Debug for Simulation<A, D> {
@@ -407,6 +411,7 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
             history: History::new(),
             msg_log: Vec::with_capacity(16 * n),
             trace: None,
+            sink: None,
         }
     }
 
@@ -421,6 +426,45 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
     #[must_use]
     pub fn trace(&self) -> Option<&Trace> {
         self.trace.as_ref()
+    }
+
+    /// Attaches an external [`TraceSink`]; every subsequent engine event
+    /// (invoke, send, deliver, timer-set, timer-fire, respond) is emitted
+    /// to it, stamped with real time, local clock reading and process id.
+    /// Replaces any previously attached sink.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Detaches and returns the attached [`TraceSink`], if any.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.sink.take()
+    }
+
+    /// `true` when some trace consumer (recorder or sink) is attached.
+    /// Hook sites gate on this so the disabled path allocates nothing.
+    #[inline]
+    fn tracing(&self) -> bool {
+        self.trace.is_some() || self.sink.is_some()
+    }
+
+    /// Builds one stamped event and delivers it to the attached
+    /// consumers. Only called from inside a [`Simulation::tracing`]
+    /// guard — the event (and its `Debug`-rendered payload) must not be
+    /// constructed on the disabled path.
+    fn emit_trace(&mut self, pid: ProcessId, kind: TraceEventKind) {
+        let event = TraceEvent {
+            at: self.now,
+            clock: self.clocks.clock_at(pid, self.now),
+            pid,
+            kind,
+        };
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.event(&event);
+        }
+        if let Some(trace) = &mut self.trace {
+            trace.record(event);
+        }
     }
 
     /// Replaces the engine configuration.
@@ -540,6 +584,10 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
                 });
             }
             self.dispatch_event(ev, driver);
+        }
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.counter("engine", "events", events);
+            sink.counter("engine", "messages", self.next_msg_id);
         }
         Ok(SimReport {
             events,
@@ -670,6 +718,10 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
             }
             self.dispatch_event(ev, driver);
         }
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.counter("engine", "events", events);
+            sink.counter("engine", "messages", self.next_msg_id);
+        }
         Ok(SimReport {
             events,
             end_time: self.now,
@@ -694,9 +746,8 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
                     "{pid}: invocation while another operation is pending \
                      (the application layer allows one pending operation per process)"
                 );
-                if let Some(trace) = &mut self.trace {
-                    trace.record(
-                        self.now,
+                if self.tracing() {
+                    self.emit_trace(
                         pid,
                         TraceEventKind::Invoke {
                             op: format!("{op:?}"),
@@ -708,8 +759,8 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
                 self.activate(pid, |actor, ctx| actor.on_invoke(op, ctx), driver);
             }
             EventKind::Deliver { from, msg, msg_id } => {
-                if let Some(trace) = &mut self.trace {
-                    trace.record(self.now, pid, TraceEventKind::Recv { from, msg: msg_id });
+                if self.tracing() {
+                    self.emit_trace(pid, TraceEventKind::Recv { from, msg: msg_id });
                 }
                 self.activate(pid, |actor, ctx| actor.on_message(from, msg, ctx), driver);
             }
@@ -719,9 +770,8 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
                 if !self.timers.fire(id) {
                     return;
                 }
-                if let Some(trace) = &mut self.trace {
-                    trace.record(
-                        self.now,
+                if self.tracing() {
+                    self.emit_trace(
                         pid,
                         TraceEventKind::Timer {
                             tag: format!("{timer:?}"),
@@ -791,9 +841,8 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
                 delay,
                 recv_at,
             });
-            if let Some(trace) = &mut self.trace {
-                trace.record(
-                    self.now,
+            if self.tracing() {
+                self.emit_trace(
                     pid,
                     TraceEventKind::Send {
                         to,
@@ -821,6 +870,15 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
             // Timer delays are in clock units; under drift (a non-unit
             // clock rate) convert to real time.
             let real_delay = self.clocks.clock_to_real(pid, delay);
+            if self.tracing() {
+                self.emit_trace(
+                    pid,
+                    TraceEventKind::TimerSet {
+                        tag: format!("{timer:?}"),
+                        delay,
+                    },
+                );
+            }
             self.queue.push(Scheduled {
                 at: self.now + real_delay,
                 seq,
@@ -837,9 +895,8 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
             let op_id = self.pending_op[pid.index()]
                 .take()
                 .unwrap_or_else(|| panic!("{pid}: response with no pending operation"));
-            if let Some(trace) = &mut self.trace {
-                trace.record(
-                    self.now,
+            if self.tracing() {
+                self.emit_trace(
                     pid,
                     TraceEventKind::Respond {
                         resp: format!("{resp:?}"),

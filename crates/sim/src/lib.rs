@@ -84,6 +84,6 @@ pub mod prelude {
     pub use crate::ids::{MsgId, OpId, ProcessId, TimerId};
     pub use crate::stats::LatencySummary;
     pub use crate::time::{ClockOffset, ClockTime, SimDuration, SimTime};
-    pub use crate::trace::{Trace, TraceEvent, TraceEventKind};
+    pub use crate::trace::{Trace, TraceEvent, TraceEventKind, TraceSink};
     pub use crate::workload::{ClosedLoop, Driver, NoDriver, Script};
 }

@@ -22,6 +22,7 @@
 //! prefer workloads whose correctness does not hinge on exact tie-breaks.
 
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
@@ -34,9 +35,19 @@ use crate::actor::{Actor, Context, Effects};
 use crate::clock::ClockAssignment;
 use crate::delay::DelayBounds;
 use crate::history::History;
-use crate::ids::{OpId, ProcessId, TimerId};
-use crate::time::{SimDuration, SimTime};
+use crate::ids::{MsgId, OpId, ProcessId, TimerId};
+use crate::time::{ClockOffset, SimDuration, SimTime};
 use crate::timers::TimerSlab;
+use crate::trace::{TraceEvent, TraceEventKind, TraceSink};
+
+/// A trace sink shared by every worker thread of an [`RtCluster`].
+///
+/// Workers emit the same [`TraceEvent`]s as the discrete-event engine
+/// (stamped with real time since the cluster epoch and the worker's
+/// offset clock), serialised through the mutex. Keep a typed
+/// `Arc<Mutex<S>>` clone before coercing to read the sink back after
+/// [`RtCluster::shutdown`].
+pub type RtTraceSink = Arc<Mutex<dyn TraceSink + Send>>;
 
 /// A scripted invocation for [`run_threaded`].
 #[derive(Debug, Clone)]
@@ -51,7 +62,7 @@ pub struct RtInvocation<O> {
 
 enum Input<A: Actor> {
     Invoke(OpId, A::Op),
-    Deliver(ProcessId, A::Msg),
+    Deliver(ProcessId, MsgId, A::Msg),
     Shutdown,
 }
 
@@ -59,6 +70,7 @@ enum RouterMsg<M> {
     Send {
         from: ProcessId,
         to: ProcessId,
+        id: MsgId,
         msg: M,
         deliver_at: Instant,
     },
@@ -70,6 +82,7 @@ struct HeapEntry<M> {
     seq: u64,
     to: ProcessId,
     from: ProcessId,
+    id: MsgId,
     msg: M,
 }
 
@@ -201,6 +214,37 @@ where
     /// Panics if `actors` is empty or its length differs from `clocks`.
     #[must_use]
     pub fn start(actors: Vec<A>, clocks: &ClockAssignment, bounds: DelayBounds, seed: u64) -> Self {
+        Self::start_inner(actors, clocks, bounds, seed, None)
+    }
+
+    /// Like [`RtCluster::start`], but every worker additionally streams
+    /// structured [`TraceEvent`]s into `sink` — the same six event kinds
+    /// the discrete-event engine emits, stamped with real time since the
+    /// cluster epoch and the worker's offset clock. Message ids are
+    /// allocated in global send order, so each `send` pairs with exactly
+    /// one `deliver` carrying the same id.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`RtCluster::start`].
+    #[must_use]
+    pub fn start_traced(
+        actors: Vec<A>,
+        clocks: &ClockAssignment,
+        bounds: DelayBounds,
+        seed: u64,
+        sink: RtTraceSink,
+    ) -> Self {
+        Self::start_inner(actors, clocks, bounds, seed, Some(sink))
+    }
+
+    fn start_inner(
+        actors: Vec<A>,
+        clocks: &ClockAssignment,
+        bounds: DelayBounds,
+        seed: u64,
+        trace: Option<RtTraceSink>,
+    ) -> Self {
         assert!(!actors.is_empty(), "at least one process required");
         assert_eq!(
             actors.len(),
@@ -244,6 +288,7 @@ where
                         Ok(RouterMsg::Send {
                             from,
                             to,
+                            id,
                             msg,
                             deliver_at,
                         }) => {
@@ -252,6 +297,7 @@ where
                                 seq,
                                 to,
                                 from,
+                                id,
                                 msg,
                             });
                             seq += 1;
@@ -266,12 +312,13 @@ where
                         }
                         let e = heap.pop().expect("peeked");
                         // A closed worker means shutdown is in progress.
-                        let _ = proc_txs[e.to.index()].send(Input::Deliver(e.from, e.msg));
+                        let _ = proc_txs[e.to.index()].send(Input::Deliver(e.from, e.id, e.msg));
                     }
                 }
             })
         };
 
+        let msg_ids: Arc<AtomicU64> = Arc::new(AtomicU64::new(0));
         let mut worker_handles = Vec::with_capacity(n);
         for (idx, mut actor) in actors.into_iter().enumerate() {
             let pid = ProcessId::new(u32::try_from(idx).expect("too many processes"));
@@ -281,13 +328,27 @@ where
             let done_tx = done_tx.clone();
             let resp_tx = resp_txs[idx].clone();
             let offset = clocks.offset(pid);
+            let msg_ids = Arc::clone(&msg_ids);
+            let trace = trace.clone();
             let mut rng =
                 StdRng::seed_from_u64(seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
 
             worker_handles.push(thread::spawn(move || {
                 worker_loop(
-                    pid, n, epoch, offset, &mut actor, &rx, &router_tx, &history, &done_tx,
-                    &resp_tx, &mut rng, bounds,
+                    pid,
+                    n,
+                    epoch,
+                    offset,
+                    &mut actor,
+                    &rx,
+                    &router_tx,
+                    &history,
+                    &done_tx,
+                    &resp_tx,
+                    &mut rng,
+                    bounds,
+                    &msg_ids,
+                    trace.as_ref(),
                 );
             }));
         }
@@ -385,12 +446,32 @@ where
     }
 }
 
+/// Emits one trace event stamped at the current instant (real time since
+/// `epoch`, and the worker's local clock at that instant). The caller
+/// guards on `trace.is_some()` so the untraced path builds no payloads.
+fn emit_rt(
+    trace: Option<&RtTraceSink>,
+    epoch: Instant,
+    offset: ClockOffset,
+    pid: ProcessId,
+    kind: TraceEventKind,
+) {
+    let Some(sink) = trace else { return };
+    let at = instant_to_sim(epoch, Instant::now());
+    sink.lock().unwrap().event(&TraceEvent {
+        at,
+        clock: at.to_clock(offset),
+        pid,
+        kind,
+    });
+}
+
 #[allow(clippy::too_many_arguments)]
 fn worker_loop<A: Actor>(
     pid: ProcessId,
     n: usize,
     epoch: Instant,
-    offset: crate::time::ClockOffset,
+    offset: ClockOffset,
     actor: &mut A,
     rx: &Receiver<Input<A>>,
     router_tx: &Sender<RouterMsg<A::Msg>>,
@@ -399,6 +480,8 @@ fn worker_loop<A: Actor>(
     resp_tx: &Sender<A::Resp>,
     rng: &mut StdRng,
     bounds: DelayBounds,
+    msg_ids: &AtomicU64,
+    trace: Option<&RtTraceSink>,
 ) {
     struct PendingTimer<T> {
         fire_at: Instant,
@@ -413,6 +496,7 @@ fn worker_loop<A: Actor>(
     let mut timer_slab = TimerSlab::new();
     let mut pending_op: Option<OpId> = None;
     let mut shutdown = false;
+    let mut fired: u64 = 0;
 
     #[allow(clippy::too_many_arguments)]
     fn apply<A: Actor>(
@@ -428,6 +512,9 @@ fn worker_loop<A: Actor>(
         rng: &mut StdRng,
         bounds: DelayBounds,
         epoch: Instant,
+        offset: ClockOffset,
+        msg_ids: &AtomicU64,
+        trace: Option<&RtTraceSink>,
     ) {
         let Effects {
             sends,
@@ -438,14 +525,41 @@ fn worker_loop<A: Actor>(
         for (to, msg) in sends {
             let ticks = rng.gen_range(bounds.min().as_ticks()..=bounds.max().as_ticks());
             let deliver_at = Instant::now() + ticks_to_duration(SimDuration::from_ticks(ticks));
+            let id = MsgId::new(msg_ids.fetch_add(1, Ordering::Relaxed));
+            if trace.is_some() {
+                emit_rt(
+                    trace,
+                    epoch,
+                    offset,
+                    pid,
+                    TraceEventKind::Send {
+                        to,
+                        msg: id,
+                        payload: format!("{msg:?}"),
+                    },
+                );
+            }
             let _ = router_tx.send(RouterMsg::Send {
                 from: pid,
                 to,
+                id,
                 msg,
                 deliver_at,
             });
         }
         for (id, delay, timer) in new_timers {
+            if trace.is_some() {
+                emit_rt(
+                    trace,
+                    epoch,
+                    offset,
+                    pid,
+                    TraceEventKind::TimerSet {
+                        tag: format!("{timer:?}"),
+                        delay,
+                    },
+                );
+            }
             timers.push(PendingTimer {
                 fire_at: Instant::now() + ticks_to_duration(delay),
                 id,
@@ -461,6 +575,17 @@ fn worker_loop<A: Actor>(
             let op_id = pending_op
                 .take()
                 .unwrap_or_else(|| panic!("{pid}: response with no pending op"));
+            if trace.is_some() {
+                emit_rt(
+                    trace,
+                    epoch,
+                    offset,
+                    pid,
+                    TraceEventKind::Respond {
+                        resp: format!("{resp:?}"),
+                    },
+                );
+            }
             history.lock().unwrap().record_response(
                 op_id,
                 resp.clone(),
@@ -484,6 +609,18 @@ fn worker_loop<A: Actor>(
             let Some(i) = due else { break };
             let t = timers.swap_remove(i);
             timer_slab.fire(t.id);
+            fired += 1;
+            if trace.is_some() {
+                emit_rt(
+                    trace,
+                    epoch,
+                    offset,
+                    pid,
+                    TraceEventKind::Timer {
+                        tag: format!("{:?}", t.timer),
+                    },
+                );
+            }
             let mut effects = Effects::new();
             {
                 let clock = instant_to_sim(epoch, Instant::now()).to_clock(offset);
@@ -503,6 +640,9 @@ fn worker_loop<A: Actor>(
                 rng,
                 bounds,
                 epoch,
+                offset,
+                msg_ids,
+                trace,
             );
         }
         if shutdown && timers.is_empty() {
@@ -528,9 +668,29 @@ fn worker_loop<A: Actor>(
                                 "{pid}: invocation while an operation is pending"
                             );
                             pending_op = Some(op_id);
+                            if trace.is_some() {
+                                emit_rt(
+                                    trace,
+                                    epoch,
+                                    offset,
+                                    pid,
+                                    TraceEventKind::Invoke {
+                                        op: format!("{op:?}"),
+                                    },
+                                );
+                            }
                             actor.on_invoke(op, &mut ctx);
                         }
-                        Input::Deliver(from, msg) => {
+                        Input::Deliver(from, id, msg) => {
+                            if trace.is_some() {
+                                emit_rt(
+                                    trace,
+                                    epoch,
+                                    offset,
+                                    pid,
+                                    TraceEventKind::Recv { from, msg: id },
+                                );
+                            }
                             actor.on_message(from, msg, &mut ctx);
                         }
                         Input::Shutdown => unreachable!("handled above"),
@@ -549,11 +709,18 @@ fn worker_loop<A: Actor>(
                     rng,
                     bounds,
                     epoch,
+                    offset,
+                    msg_ids,
+                    trace,
                 );
             }
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => break,
         }
+    }
+    // One counter line per worker; trace consumers sum across processes.
+    if let Some(sink) = trace {
+        sink.lock().unwrap().counter("rt", "timers_fired", fired);
     }
 }
 
@@ -705,6 +872,90 @@ mod tests {
         assert_eq!(history.records()[1].resp(), Some(&3));
         // The timer wait is 1 ms; latency must be at least that.
         assert!(history.records()[0].latency().unwrap().as_ticks() >= 1000);
+    }
+
+    /// Captures both events and counters emitted by the worker threads.
+    #[derive(Debug, Default)]
+    struct RecordingSink {
+        trace: crate::trace::Trace,
+        counters: Vec<(&'static str, &'static str, u64)>,
+    }
+
+    impl TraceSink for RecordingSink {
+        fn event(&mut self, event: &TraceEvent) {
+            self.trace.event(event);
+        }
+        fn counter(&mut self, stage: &'static str, name: &'static str, value: u64) {
+            self.counters.push((stage, name, value));
+        }
+    }
+
+    #[test]
+    fn traced_cluster_pairs_sends_with_deliveries() {
+        let bounds = DelayBounds::new(SimDuration::from_ticks(2000), SimDuration::from_ticks(1000));
+        let sink = Arc::new(Mutex::new(RecordingSink::default()));
+        let mut cluster = RtCluster::start_traced(
+            vec![Ring, Ring, Ring],
+            &ClockAssignment::zero(3),
+            bounds,
+            7,
+            Arc::clone(&sink) as RtTraceSink,
+        );
+        let mut c0 = cluster.client(ProcessId::new(0));
+        assert_eq!(c0.invoke(42), 42);
+        drop(c0);
+        let history = cluster.shutdown(Duration::from_millis(20));
+        assert!(history.is_complete());
+
+        let sink = sink.lock().unwrap();
+        let events = sink.trace.events();
+        let count = |want: &str| events.iter().filter(|e| e.kind.label() == want).count();
+        assert_eq!(count("invoke"), 1);
+        assert_eq!(count("respond"), 1);
+        assert_eq!(count("send"), 3);
+        assert_eq!(count("deliver"), 3);
+        // Every send pairs with exactly one later delivery carrying the
+        // same message id, at the process the send addressed.
+        for e in events {
+            if let TraceEventKind::Send { to, msg, .. } = &e.kind {
+                let delivered = events
+                    .iter()
+                    .filter(|d| {
+                        d.pid == *to
+                            && d.at >= e.at
+                            && matches!(&d.kind, TraceEventKind::Recv { msg: m, .. } if m == msg)
+                    })
+                    .count();
+                assert_eq!(delivered, 1, "send {msg:?} should deliver once at {to}");
+            }
+        }
+        // One exit counter per worker; Ring arms no timers.
+        assert_eq!(sink.counters.len(), 3);
+        assert!(sink
+            .counters
+            .iter()
+            .all(|c| *c == ("rt", "timers_fired", 0)));
+    }
+
+    #[test]
+    fn traced_cluster_records_timer_events() {
+        let bounds = DelayBounds::new(SimDuration::from_ticks(1000), SimDuration::from_ticks(500));
+        let sink = Arc::new(Mutex::new(RecordingSink::default()));
+        let mut cluster = RtCluster::start_traced(
+            vec![TimerEcho],
+            &ClockAssignment::zero(1),
+            bounds,
+            1,
+            Arc::clone(&sink) as RtTraceSink,
+        );
+        let mut c0 = cluster.client(ProcessId::new(0));
+        assert_eq!(c0.invoke(5), 6);
+        drop(c0);
+        let _ = cluster.shutdown(Duration::from_millis(5));
+        let sink = sink.lock().unwrap();
+        let labels: Vec<_> = sink.trace.events().iter().map(|e| e.kind.label()).collect();
+        assert_eq!(labels, ["invoke", "timer-set", "timer-fire", "respond"]);
+        assert_eq!(sink.counters, [("rt", "timers_fired", 1)]);
     }
 
     #[test]

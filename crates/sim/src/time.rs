@@ -177,6 +177,24 @@ impl SimDuration {
         let v = u128::from(self.0) * u128::from(num) / u128::from(den);
         SimDuration(u64::try_from(v).expect("mul_frac overflow"))
     }
+
+    /// Multiplies by a rational `num/den`, rounding up.
+    ///
+    /// Used where rounding *down* would under-claim a guarantee — e.g.
+    /// the optimal skew `ε = (1 − 1/n)·u`: a flooring of the true bound
+    /// would let clock assignments exceed the claimed `ε`, so the bound
+    /// must be taken at the ceiling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0` or the intermediate product overflows `u128`
+    /// beyond `u64` after division.
+    #[must_use]
+    pub fn mul_frac_ceil(self, num: u64, den: u64) -> SimDuration {
+        assert!(den != 0, "mul_frac_ceil: zero denominator");
+        let v = (u128::from(self.0) * u128::from(num)).div_ceil(u128::from(den));
+        SimDuration(u64::try_from(v).expect("mul_frac_ceil overflow"))
+    }
 }
 
 impl ClockTime {
@@ -195,17 +213,27 @@ impl ClockTime {
         self.0
     }
 
-    /// The real time at which a process with offset `off` reads this value.
+    /// The real time at which a process with offset `off` reads this value,
+    /// saturating at real time zero.
     ///
-    /// # Panics
-    ///
-    /// Panics if the corresponding real time would be negative, which means
-    /// the scenario asked about a clock reading from before the run began.
+    /// Clock readings before real time zero are reachable in admissible
+    /// runs — an accessor timestamp is `⟨local − X, pid⟩`, so an accessor
+    /// invoked near `t = 0` on a negatively offset clock maps before the
+    /// run began. Saturation keeps such timestamps ordered consistently
+    /// (everything pre-run collapses to `t = 0`, which precedes every
+    /// in-run event); use [`ClockTime::checked_to_real`] to distinguish
+    /// the pre-run case.
     #[must_use]
     pub fn to_real(self, off: ClockOffset) -> SimTime {
-        let t = self.0 - off.0;
-        assert!(t >= 0, "clock time {self} precedes real time zero");
-        SimTime(t as u64)
+        self.checked_to_real(off).unwrap_or(SimTime::ZERO)
+    }
+
+    /// The real time at which a process with offset `off` reads this value,
+    /// or `None` if that real time precedes the run (would be negative).
+    #[must_use]
+    pub fn checked_to_real(self, off: ClockOffset) -> Option<SimTime> {
+        let t = self.0.checked_sub(off.0)?;
+        u64::try_from(t).ok().map(SimTime)
     }
 }
 
@@ -424,6 +452,26 @@ mod tests {
     }
 
     #[test]
+    fn pre_run_clock_reading_saturates_to_real_zero() {
+        // An accessor timestamp ⟨local − X, pid⟩ taken near t = 0 on a
+        // positively offset clock maps before the run began: with off=+5,
+        // clock reading 3 corresponds to real time −2.
+        let off = ClockOffset::from_ticks(5);
+        let c = ClockTime::from_ticks(3);
+        assert_eq!(c.checked_to_real(off), None);
+        assert_eq!(c.to_real(off), SimTime::ZERO);
+        // At or after the boundary both forms agree.
+        assert_eq!(
+            ClockTime::from_ticks(5).checked_to_real(off),
+            Some(SimTime::ZERO)
+        );
+        assert_eq!(
+            ClockTime::from_ticks(9).to_real(off),
+            SimTime::from_ticks(4)
+        );
+    }
+
+    #[test]
     fn skew_is_symmetric() {
         let a = ClockOffset::from_ticks(3);
         let b = ClockOffset::from_ticks(-2);
@@ -438,6 +486,21 @@ mod tests {
             SimDuration::from_ticks(10).mul_frac(2, 3),
             SimDuration::from_ticks(6)
         );
+    }
+
+    #[test]
+    fn mul_frac_ceil_rounds_up() {
+        // (1 - 1/3) * 10 = 6.66… → 7
+        assert_eq!(
+            SimDuration::from_ticks(10).mul_frac_ceil(2, 3),
+            SimDuration::from_ticks(7)
+        );
+        // Exact fractions agree between the two directions.
+        assert_eq!(
+            SimDuration::from_ticks(10).mul_frac_ceil(1, 2),
+            SimDuration::from_ticks(10).mul_frac(1, 2),
+        );
+        assert_eq!(SimDuration::ZERO.mul_frac_ceil(2, 3), SimDuration::ZERO);
     }
 
     #[test]

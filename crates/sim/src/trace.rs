@@ -1,17 +1,28 @@
 //! Structured event traces: what happened, when, at which process.
 //!
 //! Tracing is off by default (the measurement workloads stay allocation
-//! light) and enabled per simulation with
-//! [`Simulation::enable_trace`](crate::engine::Simulation::enable_trace).
-//! The trace records every invocation, response, send, receive and timer
-//! firing with its real time, and renders either as a chronological log
-//! or as per-process lanes — handy when staring at an adversarial run
-//! trying to see *why* a foil's history fell apart.
+//! light) and enabled per simulation either with
+//! [`Simulation::enable_trace`](crate::engine::Simulation::enable_trace)
+//! (records into an in-memory [`Trace`]) or by attaching any
+//! [`TraceSink`] with
+//! [`Simulation::set_trace_sink`](crate::engine::Simulation::set_trace_sink).
+//! The engine emits every invocation, response, send, delivery, timer
+//! arm and timer firing, each stamped with its real time, the local
+//! clock reading of the process it happened at, and the process id.
+//! The disabled path constructs nothing: every hook site first checks
+//! that a recorder or sink is attached, so runs without tracing stay
+//! allocation-free.
+//!
+//! [`Trace`] renders either as a chronological log or as per-process
+//! lanes — handy when staring at an adversarial run trying to see *why*
+//! a foil's history fell apart. Downstream crates implement [`TraceSink`]
+//! to stream the same events elsewhere (the model checker writes them as
+//! JSON lines next to its counterexample certificates).
 
 use core::fmt;
 
 use crate::ids::{MsgId, ProcessId};
-use crate::time::SimTime;
+use crate::time::{ClockTime, SimDuration, SimTime};
 
 /// What a trace event describes. Payloads are captured as their `Debug`
 /// rendering so traces are uniform across actor types.
@@ -27,7 +38,7 @@ pub enum TraceEventKind {
         /// `Debug` rendering of the response.
         resp: String,
     },
-    /// A message send.
+    /// A message send (one recipient of a broadcast per event).
     Send {
         /// Recipient.
         to: ProcessId,
@@ -43,6 +54,13 @@ pub enum TraceEventKind {
         /// Message id.
         msg: MsgId,
     },
+    /// A timer being armed.
+    TimerSet {
+        /// `Debug` rendering of the timer tag.
+        tag: String,
+        /// The requested wait, in local clock ticks.
+        delay: SimDuration,
+    },
     /// A timer firing.
     Timer {
         /// `Debug` rendering of the timer tag.
@@ -50,11 +68,29 @@ pub enum TraceEventKind {
     },
 }
 
+impl TraceEventKind {
+    /// Stable label for this event kind — the `kind` field of the
+    /// JSON-lines trace schema (DESIGN.md §9).
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraceEventKind::Invoke { .. } => "invoke",
+            TraceEventKind::Respond { .. } => "respond",
+            TraceEventKind::Send { .. } => "send",
+            TraceEventKind::Recv { .. } => "deliver",
+            TraceEventKind::TimerSet { .. } => "timer-set",
+            TraceEventKind::Timer { .. } => "timer-fire",
+        }
+    }
+}
+
 /// One trace event.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Real time of the event.
     pub at: SimTime,
+    /// The local clock reading of `pid` at `at`.
+    pub clock: ClockTime,
     /// The process at which it happened.
     pub pid: ProcessId,
     /// What happened.
@@ -63,7 +99,7 @@ pub struct TraceEvent {
 
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "t={:<8} {}  ", self.at, self.pid)?;
+        write!(f, "t={:<8} c={:<8} {}  ", self.at, self.clock, self.pid)?;
         match &self.kind {
             TraceEventKind::Invoke { op } => write!(f, "INVOKE  {op}"),
             TraceEventKind::Respond { resp } => write!(f, "RESPOND {resp}"),
@@ -71,15 +107,54 @@ impl fmt::Display for TraceEvent {
                 write!(f, "SEND    -> {to} {msg:?} {payload}")
             }
             TraceEventKind::Recv { from, msg } => write!(f, "RECV    <- {from} {msg:?}"),
+            TraceEventKind::TimerSet { tag, delay } => write!(f, "TSET    {tag} +{delay}"),
             TraceEventKind::Timer { tag } => write!(f, "TIMER   {tag}"),
         }
     }
 }
 
-/// A recorded trace.
+/// A consumer of structured trace events.
+///
+/// The engine holds a sink as `Option<Box<dyn TraceSink>>` and emits
+/// through `Option<&mut dyn TraceSink>`; with no sink attached the hook
+/// sites do no work and allocate nothing. Implementations decide what
+/// to do with each event — record it ([`Trace`]), stream it to a file,
+/// or aggregate it into counters.
+pub trait TraceSink {
+    /// Receives one engine event.
+    fn event(&mut self, event: &TraceEvent);
+
+    /// Receives a per-stage counter increment (e.g. checker DFS nodes,
+    /// model-checker schedules). `stage` names the pipeline stage
+    /// (`"engine"`, `"check"`, `"mc"`), `name` the counter within it.
+    /// The default implementation discards counters.
+    fn counter(&mut self, stage: &'static str, name: &'static str, value: u64) {
+        let _ = (stage, name, value);
+    }
+}
+
+impl fmt::Debug for dyn TraceSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("dyn TraceSink")
+    }
+}
+
+impl fmt::Debug for dyn TraceSink + Send {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("dyn TraceSink + Send")
+    }
+}
+
+/// A recorded trace: the in-memory [`TraceSink`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
     events: Vec<TraceEvent>,
+}
+
+impl TraceSink for Trace {
+    fn event(&mut self, event: &TraceEvent) {
+        self.events.push(event.clone());
+    }
 }
 
 impl Trace {
@@ -89,8 +164,8 @@ impl Trace {
         Trace { events: Vec::new() }
     }
 
-    pub(crate) fn record(&mut self, at: SimTime, pid: ProcessId, kind: TraceEventKind) {
-        self.events.push(TraceEvent { at, pid, kind });
+    pub(crate) fn record(&mut self, event: TraceEvent) {
+        self.events.push(event);
     }
 
     /// All events, in the order they happened.
@@ -169,12 +244,25 @@ mod tests {
         ProcessId::new(i)
     }
 
+    fn ev(at: SimTime, pid: ProcessId, kind: TraceEventKind) -> TraceEvent {
+        TraceEvent {
+            at,
+            clock: ClockTime::from_ticks(i64::try_from(at.as_ticks()).unwrap()),
+            pid,
+            kind,
+        }
+    }
+
     #[test]
     fn records_and_filters() {
         let mut tr = Trace::new();
-        tr.record(t(0), p(0), TraceEventKind::Invoke { op: "w".into() });
-        tr.record(t(5), p(1), TraceEventKind::Timer { tag: "hold".into() });
-        tr.record(t(9), p(0), TraceEventKind::Respond { resp: "ok".into() });
+        tr.record(ev(t(0), p(0), TraceEventKind::Invoke { op: "w".into() }));
+        tr.record(ev(t(5), p(1), TraceEventKind::Timer { tag: "hold".into() }));
+        tr.record(ev(
+            t(9),
+            p(0),
+            TraceEventKind::Respond { resp: "ok".into() },
+        ));
         assert_eq!(tr.len(), 3);
         assert_eq!(tr.at_process(p(0)).count(), 2);
         assert_eq!(tr.at_process(p(2)).count(), 0);
@@ -183,8 +271,8 @@ mod tests {
     #[test]
     fn render_log_lines() {
         let mut tr = Trace::new();
-        tr.record(t(0), p(0), TraceEventKind::Invoke { op: "deq".into() });
-        tr.record(
+        tr.record(ev(t(0), p(0), TraceEventKind::Invoke { op: "deq".into() }));
+        tr.record(ev(
             t(1),
             p(0),
             TraceEventKind::Send {
@@ -192,15 +280,15 @@ mod tests {
                 msg: MsgId::new(0),
                 payload: "m".into(),
             },
-        );
-        tr.record(
+        ));
+        tr.record(ev(
             t(3),
             p(1),
             TraceEventKind::Recv {
                 from: p(0),
                 msg: MsgId::new(0),
             },
-        );
+        ));
         let text = tr.render();
         assert!(text.contains("INVOKE  deq"));
         assert!(text.contains("SEND    -> p1"));
@@ -210,11 +298,89 @@ mod tests {
     #[test]
     fn lanes_pair_invokes_with_responses() {
         let mut tr = Trace::new();
-        tr.record(t(0), p(0), TraceEventKind::Invoke { op: "a".into() });
-        tr.record(t(10), p(0), TraceEventKind::Respond { resp: "ra".into() });
-        tr.record(t(20), p(1), TraceEventKind::Invoke { op: "b".into() });
+        tr.record(ev(t(0), p(0), TraceEventKind::Invoke { op: "a".into() }));
+        tr.record(ev(
+            t(10),
+            p(0),
+            TraceEventKind::Respond { resp: "ra".into() },
+        ));
+        tr.record(ev(t(20), p(1), TraceEventKind::Invoke { op: "b".into() }));
         let lanes = tr.render_lanes(2);
         assert!(lanes.contains("a -> ra"));
         assert!(lanes.contains("pending]  b"));
+    }
+
+    #[test]
+    fn kind_labels_are_stable() {
+        // These labels are the JSON-lines schema's `kind` values; CI
+        // greps for them, so treat changes as schema changes.
+        assert_eq!(
+            TraceEventKind::Invoke { op: String::new() }.label(),
+            "invoke"
+        );
+        assert_eq!(
+            TraceEventKind::Respond {
+                resp: String::new()
+            }
+            .label(),
+            "respond"
+        );
+        assert_eq!(
+            TraceEventKind::Send {
+                to: p(0),
+                msg: MsgId::new(0),
+                payload: String::new(),
+            }
+            .label(),
+            "send"
+        );
+        assert_eq!(
+            TraceEventKind::Recv {
+                from: p(0),
+                msg: MsgId::new(0),
+            }
+            .label(),
+            "deliver"
+        );
+        assert_eq!(
+            TraceEventKind::TimerSet {
+                tag: String::new(),
+                delay: SimDuration::from_ticks(1),
+            }
+            .label(),
+            "timer-set"
+        );
+        assert_eq!(
+            TraceEventKind::Timer { tag: String::new() }.label(),
+            "timer-fire"
+        );
+    }
+
+    #[test]
+    fn trace_is_a_sink() {
+        let mut tr = Trace::new();
+        let event = ev(t(2), p(1), TraceEventKind::Invoke { op: "x".into() });
+        {
+            let sink: &mut dyn TraceSink = &mut tr;
+            sink.event(&event);
+            sink.counter("check", "nodes", 7); // default: discarded
+        }
+        assert_eq!(tr.events(), &[event]);
+    }
+
+    #[test]
+    fn display_includes_clock_reading() {
+        let e = TraceEvent {
+            at: t(10),
+            clock: ClockTime::from_ticks(6),
+            pid: p(0),
+            kind: TraceEventKind::TimerSet {
+                tag: "hold".into(),
+                delay: SimDuration::from_ticks(50),
+            },
+        };
+        let text = e.to_string();
+        assert!(text.contains("c=6"), "{text}");
+        assert!(text.contains("TSET    hold +50"), "{text}");
     }
 }

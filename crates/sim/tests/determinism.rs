@@ -115,10 +115,77 @@ fn trace_captures_all_event_kinds() {
     assert!(has(|k| matches!(k, TraceEventKind::Respond { .. })));
     assert!(has(|k| matches!(k, TraceEventKind::Send { .. })));
     assert!(has(|k| matches!(k, TraceEventKind::Recv { .. })));
+    assert!(has(|k| matches!(k, TraceEventKind::TimerSet { .. })));
     assert!(has(|k| matches!(k, TraceEventKind::Timer { .. })));
     // Renders without panicking and mentions the op.
     assert!(trace.render().contains("INVOKE"));
     assert!(trace.render_lanes(2).contains("p0"));
+}
+
+#[test]
+fn trace_sink_receives_stamped_events_and_counters() {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[derive(Debug, Default)]
+    struct Collected {
+        events: Vec<TraceEvent>,
+        counters: Vec<(&'static str, &'static str, u64)>,
+    }
+
+    #[derive(Debug)]
+    struct ShareSink(Rc<RefCell<Collected>>);
+
+    impl TraceSink for ShareSink {
+        fn event(&mut self, event: &TraceEvent) {
+            self.0.borrow_mut().events.push(event.clone());
+        }
+        fn counter(&mut self, stage: &'static str, name: &'static str, value: u64) {
+            self.0.borrow_mut().counters.push((stage, name, value));
+        }
+    }
+
+    let bounds = DelayBounds::new(SimDuration::from_ticks(100), SimDuration::from_ticks(40));
+    let offset = SimDuration::from_ticks(30);
+    let mut sim = Simulation::new(
+        vec![Gossip::default(), Gossip::default()],
+        // Non-zero offsets so clock stamps visibly differ from real time.
+        ClockAssignment::spread(2, offset),
+        UniformDelay::new(bounds, 4),
+    );
+    let collected = Rc::new(RefCell::new(Collected::default()));
+    sim.set_trace_sink(Box::new(ShareSink(Rc::clone(&collected))));
+    sim.schedule_invoke(ProcessId::new(0), SimTime::from_ticks(100), 5);
+    sim.run().unwrap();
+    assert!(sim.take_trace_sink().is_some());
+
+    let collected = collected.borrow();
+    // Every event carries the emitting process's local clock reading.
+    let clocks = sim.clocks().clone();
+    assert!(!collected.events.is_empty());
+    for e in &collected.events {
+        assert_eq!(e.clock, clocks.clock_at(e.pid, e.at), "clock stamp at {e}");
+    }
+    // All six kinds appear (the Gossip workload arms a timer and
+    // broadcasts on invoke).
+    for label in [
+        "invoke",
+        "respond",
+        "send",
+        "deliver",
+        "timer-set",
+        "timer-fire",
+    ] {
+        assert!(
+            collected.events.iter().any(|e| e.kind.label() == label),
+            "missing {label} event"
+        );
+    }
+    // Engine-stage counters arrive once the run completes.
+    assert!(collected
+        .counters
+        .iter()
+        .any(|&(stage, name, v)| stage == "engine" && name == "events" && v > 0));
 }
 
 #[test]
