@@ -17,6 +17,12 @@ cargo test -q --workspace
 echo "== parallel grid determinism (forced 4-worker pool) =="
 SKEWBOUND_THREADS=4 cargo test -q -p skewbound-integration --test parallel_grid
 
+echo "== cross-runtime parity (engine vs real threads) =="
+SKEWBOUND_THREADS=4 cargo test -q -p skewbound-integration --test runtime_parity
+
+echo "== docs build (deny warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "== benches compile =="
 cargo bench --workspace --no-run
 

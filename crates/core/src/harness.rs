@@ -1,15 +1,20 @@
-//! Convenience runners: build a simulation, run a workload, return the
-//! history (and optionally check it).
+//! Convenience runners: build a simulation (or a real-thread cluster),
+//! run a workload, return the history (and optionally check it).
 //!
 //! These wrappers keep examples, integration tests and benches concise;
 //! everything they do can also be done directly with
-//! [`skewbound_sim::engine::Simulation`].
+//! [`skewbound_sim::engine::Simulation`] or
+//! [`skewbound_sim::rt::RtCluster`]. Histories and traces are returned
+//! by move — no clone of the full run record.
+
+use std::time::Duration;
 
 use skewbound_sim::actor::Actor;
 use skewbound_sim::clock::ClockAssignment;
-use skewbound_sim::delay::DelayModel;
+use skewbound_sim::delay::{DelayBounds, DelayModel};
 use skewbound_sim::engine::{SimError, Simulation};
 use skewbound_sim::history::History;
+use skewbound_sim::rt::RtCluster;
 use skewbound_sim::trace::Trace;
 use skewbound_sim::workload::Driver;
 
@@ -42,22 +47,23 @@ where
         sim.history().is_complete(),
         "run reached quiescence with pending operations (termination bug)"
     );
-    Ok(sim.history().clone())
+    Ok(sim.into_history())
 }
 
-/// Like [`run_history`] but also returns the final simulation for state
-/// inspection.
+/// Like [`run_history`] but returns the final simulation for state
+/// inspection — read the history with
+/// [`Simulation::history`] or take it with [`Simulation::into_history`]
+/// / [`Simulation::into_parts`].
 ///
 /// # Errors
 ///
 /// Propagates [`SimError`] from the engine.
-#[allow(clippy::type_complexity)]
 pub fn run_simulation<A, D, Dr>(
     actors: Vec<A>,
     clocks: ClockAssignment,
     delays: D,
     driver: &mut Dr,
-) -> Result<(History<A::Op, A::Resp>, Simulation<A, D>), SimError>
+) -> Result<Simulation<A, D>, SimError>
 where
     A: Actor,
     D: DelayModel,
@@ -65,8 +71,7 @@ where
 {
     let mut sim = Simulation::new(actors, clocks, delays);
     sim.run_with(driver)?;
-    let history = sim.history().clone();
-    Ok((history, sim))
+    Ok(sim)
 }
 
 /// Like [`run_history`] but with engine tracing enabled: also returns
@@ -101,9 +106,48 @@ where
         sim.history().is_complete(),
         "run reached quiescence with pending operations (termination bug)"
     );
-    let history = sim.history().clone();
-    let trace = sim.trace().expect("tracing enabled").clone();
-    Ok((history, trace))
+    let trace = sim.take_trace().expect("tracing enabled");
+    Ok((sim.into_history(), trace))
+}
+
+/// Runs the same closed-loop workload on the **real-thread runtime**:
+/// `actors` on OS threads with message delays drawn uniformly from
+/// `bounds` (seeded by `seed`), `driver` issuing invocations, shutdown
+/// `settle` after the last response. One tick is one microsecond, so
+/// pick tick values accordingly (e.g. `d = 2_000` ticks = 2 ms).
+///
+/// This is the rt counterpart of [`run_history`] — the same `Driver`
+/// value works on both backends, which is what the cross-runtime parity
+/// test leans on.
+///
+/// # Panics
+///
+/// Panics if the run ends with an incomplete history, if the driver
+/// overlaps invocations at one process, or if a worker thread panics.
+pub fn run_history_rt<A, Dr>(
+    actors: Vec<A>,
+    clocks: &ClockAssignment,
+    bounds: DelayBounds,
+    seed: u64,
+    driver: &mut Dr,
+    settle: Duration,
+) -> History<A::Op, A::Resp>
+where
+    A: Actor + Send + 'static,
+    A::Msg: Send + 'static,
+    A::Op: Send + 'static,
+    A::Resp: Send + 'static,
+    A::Timer: Send + 'static,
+    Dr: Driver<A::Op, A::Resp> + ?Sized,
+{
+    let cluster = RtCluster::start(actors, clocks, bounds, seed);
+    cluster.run_driver(driver);
+    let history = cluster.shutdown(settle);
+    assert!(
+        history.is_complete(),
+        "run reached quiescence with pending operations (termination bug)"
+    );
+    history
 }
 
 #[cfg(test)]
@@ -186,15 +230,45 @@ mod tests {
         )
         .unwrap();
         let mut script = Script::new().at(ProcessId::new(0), SimTime::ZERO, CounterOp::Add(5));
-        let (history, sim) = run_simulation(
+        let sim = run_simulation(
             Replica::group(Counter::default(), &params),
             ClockAssignment::zero(2),
             FixedDelay::maximal(params.delay_bounds()),
             &mut script,
         )
         .unwrap();
-        assert_eq!(history.len(), 1);
+        assert_eq!(sim.history().len(), 1);
         assert_eq!(sim.actor(ProcessId::new(0)).local_state(), &5);
         assert_eq!(sim.actor(ProcessId::new(1)).local_state(), &5);
+    }
+
+    #[test]
+    fn run_history_rt_completes_closed_loop() {
+        // Millisecond-scale parameters: the rt backend interprets one
+        // tick as one microsecond.
+        let params = Params::with_optimal_skew(
+            2,
+            SimDuration::from_ticks(2_000),
+            SimDuration::from_ticks(1_000),
+            SimDuration::ZERO,
+        )
+        .unwrap();
+        let mut driver = ClosedLoop::new(ProcessId::all(2).collect(), 2, 7, |_pid, idx, _rng| {
+            if idx % 2 == 0 {
+                CounterOp::Add(1)
+            } else {
+                CounterOp::Read
+            }
+        });
+        let history = run_history_rt(
+            Replica::group(Counter::default(), &params),
+            &ClockAssignment::zero(2),
+            params.delay_bounds(),
+            7,
+            &mut driver,
+            Duration::from_millis(20),
+        );
+        assert_eq!(history.len(), 4);
+        assert!(history.is_complete());
     }
 }

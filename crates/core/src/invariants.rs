@@ -281,7 +281,7 @@ mod tests {
         let orders = (0..params.n())
             .map(|i| sim.actor(p(i as u32)).executed_order().to_vec())
             .collect();
-        (sim.history().clone(), orders)
+        (sim.into_history(), orders)
     }
 
     use skewbound_sim::history::History;
@@ -337,7 +337,7 @@ mod tests {
         sim.schedule_invoke(p(1), SimTime::ZERO, QueueOp::Dequeue);
         sim.run().unwrap();
         let spec = Queue::<i64>::new();
-        let history = sim.history().clone();
+        let history = sim.into_history();
         let view = RunView {
             params: &params,
             spec: &spec,

@@ -82,7 +82,7 @@ pub struct Certificate {
     pub violation_detail: String,
     /// The violating history.
     pub history: Vec<CertRecord>,
-    /// The coordinate went through [`minimize`].
+    /// The coordinate went through [`minimize`](crate::explore::minimize).
     pub minimized: bool,
     /// Re-executing the minimized coordinate reproduced the violation.
     pub replay_confirmed: bool,
@@ -90,7 +90,7 @@ pub struct Certificate {
     pub schedules_explored: u64,
     /// Schedules the surrounding exploration pruned as redundant.
     pub schedules_pruned: u64,
-    /// Candidate reductions [`minimize`] re-executed while shrinking
+    /// Candidate reductions [`minimize`](crate::explore::minimize) re-executed while shrinking
     /// this certificate's coordinate.
     pub delta_debug_steps: u64,
 }

@@ -488,12 +488,12 @@ where
         ReplayPolicy::<A::Spec>::new(spec, &config.probe_states, config.independence, plan);
     let result = sim.run_scheduled(&mut policy);
     let trace = policy.trace;
-    let history = sim.history().clone();
     let mut check_stats = None;
     let verdict = match result {
         Err(SimError::PolicyAbort) => RunVerdict::Pruned,
         Err(e) => panic!("model-checked run failed: {e}"),
         Ok(_) => {
+            let history = sim.history();
             if let Err(exhausted) = sim.delays().check_exhausted() {
                 RunVerdict::OffSpace(exhausted)
             } else if !history.is_complete() {
@@ -501,7 +501,7 @@ where
             } else if history.len() > 128 {
                 RunVerdict::Unknown
             } else {
-                let (outcome, stats) = check_history_stats(spec, &history, config.check_limits);
+                let (outcome, stats) = check_history_stats(spec, history, config.check_limits);
                 check_stats = Some(stats);
                 match outcome {
                     CheckOutcome::NotLinearizable(_) => {
@@ -515,7 +515,7 @@ where
                         let view = RunView {
                             params,
                             spec,
-                            history: &history,
+                            history,
                             executed_orders: &executed_orders,
                         };
                         let violations = check_invariants(&view, &standard_invariants());
@@ -540,7 +540,7 @@ where
     (
         RunOutcome {
             verdict,
-            history,
+            history: sim.into_history(),
             trace,
         },
         sink,

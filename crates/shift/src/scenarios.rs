@@ -95,7 +95,7 @@ impl<S: SequentialSpec + Clone> Scenario<S> {
             sim.schedule_invoke(*pid, *at, op.clone());
         }
         sim.run()?;
-        Ok(sim.history().clone())
+        Ok(sim.into_history())
     }
 
     /// Runs the scenario and checks the history for linearizability.

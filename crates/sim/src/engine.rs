@@ -1,31 +1,44 @@
-//! The deterministic discrete-event engine.
+//! The deterministic discrete-event scheduler.
 //!
-//! Executes a set of [`Actor`]s under a [`ClockAssignment`] and a
-//! [`DelayModel`], producing a complete [`History`] plus a message log.
-//! Identical inputs (actors, clocks, delay model, schedule, driver) always
-//! produce identical runs: events at equal real times are processed in
-//! schedule order, and all randomness lives in seeded delay models and
-//! workloads.
+//! This module is one of the two backends over the shared
+//! [`NodeCore`]: it decides *when* each process
+//! activates, while the node core decides *what* an activation does
+//! (handler dispatch, effect draining, the one-pending-op invariant,
+//! timer generations, trace emission, history recording — see
+//! [`crate::node`]). The engine's own job is reduced to a virtual-time
+//! event heap: a private `VirtualTransport` implementing
+//! [`Transport`](crate::transport::Transport) assigns every send a
+//! delay from the [`DelayModel`] and pops deliveries, timer expiries
+//! and invocations back in deterministic `(time, seq)` order.
+//!
+//! Identical inputs (actors, clocks, delay model, schedule, driver)
+//! always produce identical runs: events at equal real times are
+//! processed in schedule order, and all randomness lives in seeded
+//! delay models and workloads.
 //!
 //! The engine enforces the model of Chapter III:
 //!
-//! * at most one pending operation per process;
+//! * at most one pending operation per process (via the node core);
 //! * every message delay within `[d − u, d]` (the delay model is
 //!   re-validated on every send);
 //! * local processing takes zero time;
 //! * clocks are fixed offsets from real time.
+//!
+//! The real-thread counterpart is [`crate::rt`], which drives the same
+//! node core from OS threads and a delay-injecting router.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use crate::actor::{Actor, Context, Effects};
+use crate::actor::Actor;
 use crate::clock::ClockAssignment;
-use crate::delay::{DelayModel, MsgMeta};
+use crate::delay::DelayModel;
 use crate::history::History;
-use crate::ids::{MsgId, OpId, ProcessId, TimerId};
+use crate::ids::{MsgId, ProcessId, TimerId};
+use crate::node::{Activation, NodeCore, Stamp};
 use crate::time::{SimDuration, SimTime};
-use crate::timers::TimerSlab;
-use crate::trace::{Trace, TraceEvent, TraceEventKind, TraceSink};
+use crate::trace::{EngineTrace, Trace, TraceSink};
+use crate::transport::VirtualTransport;
 use crate::workload::Driver;
 
 /// Engine limits and switches.
@@ -129,7 +142,7 @@ pub struct MsgEvent {
     pub recv_at: SimTime,
 }
 
-enum EventKind<A: Actor> {
+pub(crate) enum EventKind<A: Actor> {
     Invoke {
         op: A::Op,
     },
@@ -274,11 +287,11 @@ impl<A: Actor> SchedulePolicy<A> for FifoPolicy {
     }
 }
 
-struct Scheduled<A: Actor> {
-    at: SimTime,
-    seq: u64,
-    pid: ProcessId,
-    kind: EventKind<A>,
+pub(crate) struct Scheduled<A: Actor> {
+    pub(crate) at: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) pid: ProcessId,
+    pub(crate) kind: EventKind<A>,
 }
 
 impl<A: Actor> PartialEq for Scheduled<A> {
@@ -338,39 +351,20 @@ impl<A: Actor> Ord for Scheduled<A> {
 /// assert_eq!(sim.history().records()[0].resp(), Some(&42));
 /// ```
 pub struct Simulation<A: Actor, D: DelayModel> {
-    actors: Vec<A>,
-    clocks: ClockAssignment,
-    delays: D,
+    nodes: Vec<NodeCore<A>>,
+    transport: VirtualTransport<A, D>,
     config: SimConfig,
-    queue: BinaryHeap<Scheduled<A>>,
-    seq: u64,
-    now: SimTime,
     started: bool,
-    /// Timer liveness: a generation-stamped slab instead of hash sets —
-    /// set/cancel/expiry are all O(1) integer compares (see
-    /// [`crate::timers`]).
-    timers: TimerSlab,
-    pending_op: Vec<Option<OpId>>,
-    /// Per ordered pair `(from, to)` send counters, flattened to
-    /// `from * n + to` (grids run millions of short simulations; a flat
-    /// vector beats a hash map in the send hot path).
-    pair_seq: Vec<u64>,
-    next_msg_id: u64,
     history: History<A::Op, A::Resp>,
-    msg_log: Vec<MsgEvent>,
-    trace: Option<Trace>,
-    /// External structured-trace consumer. Hook sites check both this
-    /// and `trace` before building an event, so with neither attached
-    /// the hot path does two `is_some` tests and nothing else.
-    sink: Option<Box<dyn TraceSink>>,
+    trace: EngineTrace,
 }
 
 impl<A: Actor, D: DelayModel> core::fmt::Debug for Simulation<A, D> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("Simulation")
-            .field("n", &self.actors.len())
-            .field("now", &self.now)
-            .field("queued_events", &self.queue.len())
+            .field("n", &self.nodes.len())
+            .field("now", &self.transport.now)
+            .field("queued_events", &self.transport.queue.len())
             .field("ops_recorded", &self.history.len())
             .finish_non_exhaustive()
     }
@@ -393,39 +387,49 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
         );
         let n = actors.len();
         Simulation {
-            actors,
-            clocks,
-            delays,
+            nodes: actors
+                .into_iter()
+                .enumerate()
+                .map(|(i, actor)| {
+                    NodeCore::new(
+                        ProcessId::new(u32::try_from(i).expect("pid fits u32")),
+                        n,
+                        actor,
+                    )
+                })
+                .collect(),
+            transport: VirtualTransport {
+                clocks,
+                delays,
+                // Pre-size the hot collections: a typical grid cell
+                // schedules a handful of events per process at any
+                // instant, and every broadcast appends n − 1 log entries.
+                queue: BinaryHeap::with_capacity(8 * n + 16),
+                seq: 0,
+                now: SimTime::ZERO,
+                pair_seq: vec![0; n * n],
+                n,
+                next_msg_id: 0,
+                msg_log: Vec::with_capacity(16 * n),
+            },
             config: SimConfig::default(),
-            // Pre-size the hot collections: a typical grid cell schedules
-            // a handful of events per process at any instant, and every
-            // broadcast appends n − 1 log entries.
-            queue: BinaryHeap::with_capacity(8 * n + 16),
-            seq: 0,
-            now: SimTime::ZERO,
             started: false,
-            timers: TimerSlab::with_capacity(2 * n),
-            pending_op: vec![None; n],
-            pair_seq: vec![0; n * n],
-            next_msg_id: 0,
             history: History::new(),
-            msg_log: Vec::with_capacity(16 * n),
-            trace: None,
-            sink: None,
+            trace: EngineTrace::default(),
         }
     }
 
     /// Turns on structured event tracing (see [`crate::trace`]).
     pub fn enable_trace(&mut self) {
-        if self.trace.is_none() {
-            self.trace = Some(Trace::new());
+        if self.trace.recorder.is_none() {
+            self.trace.recorder = Some(Trace::new());
         }
     }
 
     /// The recorded trace, if tracing was enabled.
     #[must_use]
     pub fn trace(&self) -> Option<&Trace> {
-        self.trace.as_ref()
+        self.trace.recorder.as_ref()
     }
 
     /// Attaches an external [`TraceSink`]; every subsequent engine event
@@ -433,38 +437,19 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
     /// to it, stamped with real time, local clock reading and process id.
     /// Replaces any previously attached sink.
     pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
-        self.sink = Some(sink);
+        self.trace.sink = Some(sink);
     }
 
     /// Detaches and returns the attached [`TraceSink`], if any.
     pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
-        self.sink.take()
+        self.trace.sink.take()
     }
 
-    /// `true` when some trace consumer (recorder or sink) is attached.
-    /// Hook sites gate on this so the disabled path allocates nothing.
-    #[inline]
-    fn tracing(&self) -> bool {
-        self.trace.is_some() || self.sink.is_some()
-    }
-
-    /// Builds one stamped event and delivers it to the attached
-    /// consumers. Only called from inside a [`Simulation::tracing`]
-    /// guard — the event (and its `Debug`-rendered payload) must not be
-    /// constructed on the disabled path.
-    fn emit_trace(&mut self, pid: ProcessId, kind: TraceEventKind) {
-        let event = TraceEvent {
-            at: self.now,
-            clock: self.clocks.clock_at(pid, self.now),
-            pid,
-            kind,
-        };
-        if let Some(sink) = self.sink.as_deref_mut() {
-            sink.event(&event);
-        }
-        if let Some(trace) = &mut self.trace {
-            trace.record(event);
-        }
+    /// Detaches and returns the recorded trace by move, if tracing was
+    /// enabled. Subsequent events are no longer recorded (the attached
+    /// sink, if any, still receives them).
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.trace.recorder.take()
     }
 
     /// Replaces the engine configuration.
@@ -477,19 +462,19 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
     /// Number of processes.
     #[must_use]
     pub fn n(&self) -> usize {
-        self.actors.len()
+        self.nodes.len()
     }
 
     /// The clock assignment in force.
     #[must_use]
     pub fn clocks(&self) -> &ClockAssignment {
-        &self.clocks
+        &self.transport.clocks
     }
 
     /// Immutable access to the actor running as `pid`.
     #[must_use]
     pub fn actor(&self, pid: ProcessId) -> &A {
-        &self.actors[pid.index()]
+        self.nodes[pid.index()].actor()
     }
 
     /// The history recorded so far.
@@ -498,23 +483,45 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
         &self.history
     }
 
+    /// Consumes the simulation, returning the history by move — the
+    /// allocation-free way to keep a finished run's history (grids run
+    /// millions of short simulations; cloning the history out was the
+    /// largest allocation on that path).
+    #[must_use]
+    pub fn into_history(self) -> History<A::Op, A::Resp> {
+        self.history
+    }
+
+    /// Consumes the simulation, returning the history, the final actor
+    /// states, and the message log — everything a checker needs, all by
+    /// move.
+    #[must_use]
+    #[allow(clippy::type_complexity)]
+    pub fn into_parts(self) -> (History<A::Op, A::Resp>, Vec<A>, Vec<MsgEvent>) {
+        (
+            self.history,
+            self.nodes.into_iter().map(NodeCore::into_actor).collect(),
+            self.transport.msg_log,
+        )
+    }
+
     /// Metadata of every message sent so far, in send order.
     #[must_use]
     pub fn message_log(&self) -> &[MsgEvent] {
-        &self.msg_log
+        &self.transport.msg_log
     }
 
     /// The delay model — e.g. to inspect an enumerated model's state
     /// after a run (did the run stay within its assignment?).
     #[must_use]
     pub fn delays(&self) -> &D {
-        &self.delays
+        &self.transport.delays
     }
 
     /// Current simulated real time.
     #[must_use]
     pub fn now(&self) -> SimTime {
-        self.now
+        self.transport.now
     }
 
     /// Schedules an operation invocation at process `pid` at real time
@@ -525,20 +532,11 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
     /// Panics if `at` is in the simulated past or `pid` is out of range.
     pub fn schedule_invoke(&mut self, pid: ProcessId, at: SimTime, op: A::Op) {
         assert!(pid.index() < self.n(), "{pid} out of range");
-        assert!(at >= self.now, "cannot schedule an invocation in the past");
-        let seq = self.bump_seq();
-        self.queue.push(Scheduled {
-            at,
-            seq,
-            pid,
-            kind: EventKind::Invoke { op },
-        });
-    }
-
-    fn bump_seq(&mut self) -> u64 {
-        let s = self.seq;
-        self.seq += 1;
-        s
+        assert!(
+            at >= self.transport.now,
+            "cannot schedule an invocation in the past"
+        );
+        self.transport.push_invoke(pid, at, op);
     }
 
     /// Runs to quiescence with no closed-loop driver.
@@ -565,18 +563,13 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
     {
         let wall_start = std::time::Instant::now();
         let initial = driver.initial();
-        self.queue.reserve(initial.len());
+        self.transport.queue.reserve(initial.len());
         for (pid, at, op) in initial {
             self.schedule_invoke(pid, at, op);
         }
-        if !self.started {
-            self.started = true;
-            for pid in ProcessId::all(self.n()) {
-                self.activate(pid, |actor, ctx| actor.on_start(ctx), driver);
-            }
-        }
+        self.start_nodes(driver);
         let mut events = 0u64;
-        while let Some(ev) = self.queue.pop() {
+        while let Some(ev) = self.transport.queue.pop() {
             events += 1;
             if events > self.config.max_events {
                 return Err(SimError::EventCapExceeded {
@@ -585,13 +578,10 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
             }
             self.dispatch_event(ev, driver);
         }
-        if let Some(sink) = self.sink.as_deref_mut() {
-            sink.counter("engine", "events", events);
-            sink.counter("engine", "messages", self.next_msg_id);
-        }
+        self.emit_run_counters(events);
         Ok(SimReport {
             events,
-            end_time: self.now,
+            end_time: self.transport.now,
             wall_nanos: u64::try_from(wall_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
         })
     }
@@ -642,31 +632,31 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
     {
         let wall_start = std::time::Instant::now();
         let initial = driver.initial();
-        self.queue.reserve(initial.len());
+        self.transport.queue.reserve(initial.len());
         for (pid, at, op) in initial {
             self.schedule_invoke(pid, at, op);
         }
-        if !self.started {
-            self.started = true;
-            for pid in ProcessId::all(self.n()) {
-                self.activate(pid, |actor, ctx| actor.on_start(ctx), driver);
-            }
-        }
+        self.start_nodes(driver);
         let mut events = 0u64;
         let mut batch: Vec<Scheduled<A>> = Vec::new();
-        while let Some(first) = self.queue.pop() {
+        while let Some(first) = self.transport.queue.pop() {
             let at = first.at;
             batch.clear();
             batch.push(first);
-            while self.queue.peek().is_some_and(|next| next.at == at) {
-                batch.push(self.queue.pop().expect("peeked"));
+            while self
+                .transport
+                .queue
+                .peek()
+                .is_some_and(|next| next.at == at)
+            {
+                batch.push(self.transport.queue.pop().expect("peeked"));
             }
             // The heap pops in (at, seq) order, so the batch is already in
             // the engine's default FIFO order. Stale timer expiries are
             // not schedulable events — drop them before the policy looks.
-            let timers = &self.timers;
+            let nodes = &self.nodes;
             batch.retain(|ev| match &ev.kind {
-                EventKind::Timer { id, .. } => timers.is_live(*id),
+                EventKind::Timer { id, .. } => nodes[ev.pid.index()].timers().is_live(*id),
                 _ => true,
             });
             if batch.is_empty() {
@@ -708,7 +698,7 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
             };
             let ev = batch.remove(chosen);
             for rest in batch.drain(..) {
-                self.queue.push(rest);
+                self.transport.queue.push(rest);
             }
             events += 1;
             if events > self.config.max_events {
@@ -718,207 +708,111 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
             }
             self.dispatch_event(ev, driver);
         }
-        if let Some(sink) = self.sink.as_deref_mut() {
-            sink.counter("engine", "events", events);
-            sink.counter("engine", "messages", self.next_msg_id);
-        }
+        self.emit_run_counters(events);
         Ok(SimReport {
             events,
-            end_time: self.now,
+            end_time: self.transport.now,
             wall_nanos: u64::try_from(wall_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
         })
     }
 
-    /// Advances time to the event and runs the actor handler. Stale timer
-    /// expiries (cancelled after queueing) are dropped silently.
+    /// Runs every node's `on_start` hook once, at the start of the first
+    /// run call.
+    fn start_nodes<Dr>(&mut self, driver: &mut Dr)
+    where
+        Dr: Driver<A::Op, A::Resp> + ?Sized,
+    {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            let pid = self.nodes[i].pid();
+            let stamp = self.stamp(pid);
+            let act = self.nodes[i].on_start(
+                stamp,
+                &mut self.transport,
+                &mut self.trace,
+                &mut self.history,
+            );
+            self.after_activation(pid, act, driver);
+        }
+    }
+
+    /// The (real time, local clock) stamp of an activation at `pid` at
+    /// the current instant.
+    fn stamp(&self, pid: ProcessId) -> Stamp {
+        Stamp {
+            now: self.transport.now,
+            clock: self.transport.clocks.clock_at(pid, self.transport.now),
+        }
+    }
+
+    fn emit_run_counters(&mut self, events: u64) {
+        if let Some(sink) = self.trace.sink.as_deref_mut() {
+            sink.counter("engine", "events", events);
+            sink.counter("engine", "messages", self.transport.next_msg_id);
+        }
+    }
+
+    /// Advances time to the event and activates the node core. Stale
+    /// timer expiries (cancelled after queueing) are dropped silently by
+    /// the node's slab generation check.
     #[inline]
     fn dispatch_event<Dr>(&mut self, ev: Scheduled<A>, driver: &mut Dr)
     where
         Dr: Driver<A::Op, A::Resp> + ?Sized,
     {
-        debug_assert!(ev.at >= self.now, "time went backwards");
-        self.now = ev.at;
+        debug_assert!(ev.at >= self.transport.now, "time went backwards");
+        self.transport.now = ev.at;
         let pid = ev.pid;
-        match ev.kind {
-            EventKind::Invoke { op } => {
-                assert!(
-                    self.pending_op[pid.index()].is_none(),
-                    "{pid}: invocation while another operation is pending \
-                     (the application layer allows one pending operation per process)"
-                );
-                if self.tracing() {
-                    self.emit_trace(
-                        pid,
-                        TraceEventKind::Invoke {
-                            op: format!("{op:?}"),
-                        },
-                    );
-                }
-                let op_id = self.history.record_invoke(pid, op.clone(), self.now);
-                self.pending_op[pid.index()] = Some(op_id);
-                self.activate(pid, |actor, ctx| actor.on_invoke(op, ctx), driver);
-            }
-            EventKind::Deliver { from, msg, msg_id } => {
-                if self.tracing() {
-                    self.emit_trace(pid, TraceEventKind::Recv { from, msg: msg_id });
-                }
-                self.activate(pid, |actor, ctx| actor.on_message(from, msg, ctx), driver);
-            }
-            EventKind::Timer { id, timer } => {
-                // A stale generation means the timer was cancelled
-                // after this expiry event was queued.
-                if !self.timers.fire(id) {
-                    return;
-                }
-                if self.tracing() {
-                    self.emit_trace(
-                        pid,
-                        TraceEventKind::Timer {
-                            tag: format!("{timer:?}"),
-                        },
-                    );
-                }
-                self.activate(pid, |actor, ctx| actor.on_timer(timer, ctx), driver);
-            }
-        }
-    }
-
-    /// Runs one actor handler and applies its effects.
-    fn activate<F, Dr>(&mut self, pid: ProcessId, f: F, driver: &mut Dr)
-    where
-        F: FnOnce(&mut A, &mut Context<'_, A>),
-        Dr: Driver<A::Op, A::Resp> + ?Sized,
-    {
-        let n = self.n();
-        let clock = self.clocks.clock_at(pid, self.now);
-        let mut effects = Effects::new();
-        {
-            let mut ctx = Context::new(pid, n, clock, &mut self.timers, &mut effects);
-            f(&mut self.actors[pid.index()], &mut ctx);
-        }
-        self.apply_effects(pid, effects, driver);
-    }
-
-    fn apply_effects<Dr>(&mut self, pid: ProcessId, effects: Effects<A>, driver: &mut Dr)
-    where
-        Dr: Driver<A::Op, A::Resp> + ?Sized,
-    {
-        let Effects {
-            sends,
-            timers,
-            cancels,
-            response,
-        } = effects;
-
-        let n = self.n();
-        for (to, msg) in sends {
-            let pair_seq = &mut self.pair_seq[pid.index() * n + to.index()];
-            let this_seq = *pair_seq;
-            *pair_seq += 1;
-            let meta = MsgMeta {
-                from: pid,
-                to,
-                sent_at: self.now,
-                pair_seq: this_seq,
-            };
-            let delay = self.delays.delay(meta);
-            let bounds = self.delays.bounds();
-            assert!(
-                bounds.contains(delay),
-                "delay model produced inadmissible delay {delay:?} for {pid}->{to} \
-                 (bounds [{:?}, {:?}])",
-                bounds.min(),
-                bounds.max()
-            );
-            let recv_at = self.now + delay;
-            let id = MsgId::new(self.next_msg_id);
-            self.next_msg_id += 1;
-            self.msg_log.push(MsgEvent {
+        let stamp = self.stamp(pid);
+        let node = &mut self.nodes[pid.index()];
+        let act = match ev.kind {
+            EventKind::Invoke { op } => node.on_invoke(
+                stamp,
+                op,
+                &mut self.transport,
+                &mut self.trace,
+                &mut self.history,
+            ),
+            EventKind::Deliver { from, msg, msg_id } => node.on_message(
+                stamp,
+                from,
+                msg_id,
+                msg,
+                &mut self.transport,
+                &mut self.trace,
+                &mut self.history,
+            ),
+            EventKind::Timer { id, timer } => node.on_timer(
+                stamp,
                 id,
-                from: pid,
-                to,
-                sent_at: self.now,
-                delay,
-                recv_at,
-            });
-            if self.tracing() {
-                self.emit_trace(
-                    pid,
-                    TraceEventKind::Send {
-                        to,
-                        msg: id,
-                        payload: format!("{msg:?}"),
-                    },
-                );
-            }
-            let seq = self.bump_seq();
-            self.queue.push(Scheduled {
-                at: recv_at,
-                seq,
-                pid: to,
-                kind: EventKind::Deliver {
-                    from: pid,
-                    msg,
-                    msg_id: id,
-                },
-            });
-        }
+                timer,
+                &mut self.transport,
+                &mut self.trace,
+                &mut self.history,
+            ),
+        };
+        self.after_activation(pid, act, driver);
+    }
 
-        for (id, delay, timer) in timers {
-            // Already allocated live in the slab by `Context::set_timer`.
-            let seq = self.bump_seq();
-            // Timer delays are in clock units; under drift (a non-unit
-            // clock rate) convert to real time.
-            let real_delay = self.clocks.clock_to_real(pid, delay);
-            if self.tracing() {
-                self.emit_trace(
-                    pid,
-                    TraceEventKind::TimerSet {
-                        tag: format!("{timer:?}"),
-                        delay,
-                    },
-                );
-            }
-            self.queue.push(Scheduled {
-                at: self.now + real_delay,
-                seq,
-                pid,
-                kind: EventKind::Timer { id, timer },
-            });
-        }
-
-        for id in cancels {
-            self.timers.cancel(id);
-        }
-
-        if let Some(resp) = response {
-            let op_id = self.pending_op[pid.index()]
-                .take()
-                .unwrap_or_else(|| panic!("{pid}: response with no pending operation"));
-            if self.tracing() {
-                self.emit_trace(
-                    pid,
-                    TraceEventKind::Respond {
-                        resp: format!("{resp:?}"),
-                    },
-                );
-            }
-            // Consult the driver before committing the response so the op
-            // can be borrowed from the history and the response moved into
-            // it — no per-response clones on the hot path.
-            let rec = self.history.get(op_id).expect("recorded at invocation");
-            let next = driver.next(pid, &rec.op, &resp, self.now);
-            self.history.record_response(op_id, resp, self.now);
-            if let Some((gap, next_op)) = next {
-                let at = self.now + gap;
-                let seq = self.bump_seq();
-                self.queue.push(Scheduled {
-                    at,
-                    seq,
-                    pid,
-                    kind: EventKind::Invoke { op: next_op },
-                });
-            }
+    /// If the activation completed an operation, consults the driver for
+    /// the follow-up invocation of the closed loop. The operation and
+    /// response are borrowed from the history — no per-response clones
+    /// on the hot path.
+    fn after_activation<Dr>(&mut self, pid: ProcessId, act: Activation, driver: &mut Dr)
+    where
+        Dr: Driver<A::Op, A::Resp> + ?Sized,
+    {
+        let Activation::Completed(op_id) = act else {
+            return;
+        };
+        let rec = self.history.get(op_id).expect("recorded at invocation");
+        let resp = rec.resp().expect("completed activations have a response");
+        if let Some((gap, next_op)) = driver.next(pid, &rec.op, resp, self.transport.now) {
+            let at = self.transport.now + gap;
+            self.transport.push_invoke(pid, at, next_op);
         }
     }
 }
@@ -926,6 +820,7 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::actor::Context;
     use crate::delay::{DelayBounds, FixedDelay};
     use crate::time::SimDuration;
 
@@ -1258,5 +1153,22 @@ mod tests {
         sim.run_scheduled(&mut policy).unwrap();
         assert_eq!(sim.actor(ProcessId::new(0)).fired, vec![2]);
         assert_eq!(policy.multi, 0, "no batch should contain the stale expiry");
+    }
+
+    #[test]
+    fn into_parts_returns_history_actors_and_log() {
+        let mut sim = Simulation::new(
+            vec![PingPong::default(), PingPong::default()],
+            ClockAssignment::zero(2),
+            FixedDelay::maximal(bounds()),
+        );
+        sim.schedule_invoke(ProcessId::new(0), SimTime::ZERO, ());
+        sim.run().unwrap();
+        let log_len = sim.message_log().len();
+        let (history, actors, log) = sim.into_parts();
+        assert!(history.is_complete());
+        assert_eq!(actors.len(), 2);
+        assert_eq!(actors[0].hops + actors[1].hops, 2);
+        assert_eq!(log.len(), log_len);
     }
 }

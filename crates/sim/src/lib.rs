@@ -60,12 +60,14 @@ pub mod delay;
 pub mod engine;
 pub mod history;
 pub mod ids;
+pub mod node;
 pub mod par;
 pub mod rt;
 pub mod stats;
 pub mod time;
 pub mod timers;
 pub mod trace;
+pub mod transport;
 pub mod workload;
 
 /// The most commonly used items, for glob import.
@@ -82,8 +84,10 @@ pub mod prelude {
     };
     pub use crate::history::{History, OpRecord};
     pub use crate::ids::{MsgId, OpId, ProcessId, TimerId};
+    pub use crate::node::{Activation, NodeCore, Stamp};
     pub use crate::stats::LatencySummary;
     pub use crate::time::{ClockOffset, ClockTime, SimDuration, SimTime};
     pub use crate::trace::{Trace, TraceEvent, TraceEventKind, TraceSink};
+    pub use crate::transport::Transport;
     pub use crate::workload::{ClosedLoop, Driver, NoDriver, Script};
 }

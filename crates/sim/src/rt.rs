@@ -1,16 +1,24 @@
 //! A real-thread runtime for the same [`Actor`] state machines.
 //!
-//! The discrete-event engine is the measurement instrument; this runtime
-//! exists to demonstrate that the shared-object implementations are not
-//! simulator-bound: each process runs on an OS thread, messages travel
-//! through mpsc channels with injected delays drawn from the same
-//! `[d − u, d]` bounds, and clocks are wall-clock readings plus per-process
-//! offsets. One tick is interpreted as one microsecond.
+//! This module is the second backend over the shared
+//! [`NodeCore`]: each process is a `NodeCore` on
+//! an OS thread, activated by its mpsc inbox and its due timers, while
+//! a private `ChannelTransport` implementing
+//! [`Transport`](crate::transport::Transport) routes every send through
+//! a delay-injecting router thread (delays drawn uniformly from the
+//! same `[d − u, d]` bounds the engine enforces) and keeps the worker's
+//! pending-timer schedule. All effect application, the one-pending-op
+//! invariant, timer generations, trace emission and history recording
+//! live in the node core — the discrete-event engine
+//! ([`crate::engine`]) drives the identical code from its virtual-time
+//! heap. Clocks are wall-clock readings plus per-process offsets; one
+//! tick is interpreted as one microsecond.
 //!
-//! Two entry points:
+//! Entry points:
 //!
 //! * [`RtCluster`] — an interactive cluster: obtain an [`RtClient`] per
-//!   process and call [`RtClient::invoke`] like a blocking RPC;
+//!   process and call [`RtClient::invoke`] like a blocking RPC, or run a
+//!   closed-loop [`Driver`] with [`RtCluster::run_driver`];
 //! * [`run_threaded`] — batch mode: execute a timed script and return the
 //!   observed [`History`].
 //!
@@ -21,24 +29,25 @@
 //! noise can also perturb the relative order of closely spaced events, so
 //! prefer workloads whose correctness does not hinge on exact tie-breaks.
 
-use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
-use crate::actor::{Actor, Context, Effects};
+use crate::actor::Actor;
 use crate::clock::ClockAssignment;
 use crate::delay::DelayBounds;
 use crate::history::History;
-use crate::ids::{MsgId, OpId, ProcessId, TimerId};
-use crate::time::{ClockOffset, SimDuration, SimTime};
-use crate::timers::TimerSlab;
-use crate::trace::{TraceEvent, TraceEventKind, TraceSink};
+use crate::ids::{OpId, ProcessId};
+use crate::node::{Activation, HistorySink, NodeCore, Stamp, TraceOutput};
+use crate::time::{instant_to_sim, ticks_to_duration, ClockOffset, SimDuration, SimTime};
+use crate::trace::{TraceEvent, TraceSink};
+use crate::transport::{run_router, ChannelTransport, Input, RouterMsg};
+use crate::workload::{Driver, Script};
 
 /// A trace sink shared by every worker thread of an [`RtCluster`].
 ///
@@ -60,56 +69,65 @@ pub struct RtInvocation<O> {
     pub op: O,
 }
 
-enum Input<A: Actor> {
-    Invoke(OpId, A::Op),
-    Deliver(ProcessId, MsgId, A::Msg),
-    Shutdown,
+/// Error returned by [`RtCluster::try_invoke_async`] when the target
+/// process still has an operation in flight — the one-pending-op model
+/// of Chapter III forbids overlapping invocations at one process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpPending {
+    /// The process whose previous operation has not yet responded.
+    pub pid: ProcessId,
 }
 
-enum RouterMsg<M> {
-    Send {
-        from: ProcessId,
-        to: ProcessId,
-        id: MsgId,
-        msg: M,
-        deliver_at: Instant,
-    },
-    Shutdown,
-}
-
-struct HeapEntry<M> {
-    deliver_at: Instant,
-    seq: u64,
-    to: ProcessId,
-    from: ProcessId,
-    id: MsgId,
-    msg: M,
-}
-
-impl<M> PartialEq for HeapEntry<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.deliver_at == other.deliver_at && self.seq == other.seq
-    }
-}
-impl<M> Eq for HeapEntry<M> {}
-impl<M> PartialOrd for HeapEntry<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for HeapEntry<M> {
-    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
-        (other.deliver_at, other.seq).cmp(&(self.deliver_at, self.seq))
+impl core::fmt::Display for OpPending {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{}: invocation while another operation is pending \
+             (the application layer allows one pending operation per process)",
+            self.pid
+        )
     }
 }
 
-fn ticks_to_duration(d: SimDuration) -> Duration {
-    Duration::from_micros(d.as_ticks())
+impl std::error::Error for OpPending {}
+
+/// The (real time, local clock) stamp of an activation happening now.
+fn stamp_now(epoch: Instant, offset: ClockOffset) -> Stamp {
+    let now = instant_to_sim(epoch, Instant::now());
+    Stamp {
+        now,
+        clock: now.to_clock(offset),
+    }
 }
 
-fn instant_to_sim(epoch: Instant, at: Instant) -> SimTime {
-    let micros = at.saturating_duration_since(epoch).as_micros();
-    SimTime::from_ticks(u64::try_from(micros).expect("run too long"))
+/// The real-thread [`TraceOutput`]: the optional mutex-shared sink,
+/// locked per event.
+struct RtTrace<'a>(Option<&'a RtTraceSink>);
+
+impl TraceOutput for RtTrace<'_> {
+    fn active(&self) -> bool {
+        self.0.is_some()
+    }
+
+    fn emit(&mut self, event: TraceEvent) {
+        if let Some(sink) = self.0 {
+            sink.lock().unwrap().event(&event);
+        }
+    }
+}
+
+/// The real-thread [`HistorySink`]: the cluster's mutex-shared history,
+/// locked per record.
+struct SharedHistory<'a, A: Actor>(&'a Mutex<History<A::Op, A::Resp>>);
+
+impl<A: Actor> HistorySink<A> for SharedHistory<'_, A> {
+    fn record_invoke(&mut self, pid: ProcessId, op: A::Op, at: SimTime) -> OpId {
+        self.0.lock().unwrap().record_invoke(pid, op, at)
+    }
+
+    fn record_response(&mut self, id: OpId, resp: A::Resp, at: SimTime) {
+        self.0.lock().unwrap().record_response(id, resp, at);
+    }
 }
 
 /// A running cluster of actor threads plus the delay-injecting router.
@@ -146,8 +164,12 @@ pub struct RtCluster<A: Actor> {
     proc_txs: Vec<SyncSender<Input<A>>>,
     router_tx: Sender<RouterMsg<A::Msg>>,
     history: Arc<Mutex<History<A::Op, A::Resp>>>,
+    /// One flag per process: `true` while an operation is in flight.
+    /// Client-side enforcement of the one-pending-op invariant — the
+    /// worker clears its flag before announcing the completion.
+    in_flight: Arc<Vec<AtomicBool>>,
     resp_rxs: Vec<Option<Receiver<A::Resp>>>,
-    done_rx: Receiver<()>,
+    done_rx: Receiver<(ProcessId, OpId)>,
     worker_handles: Vec<JoinHandle<()>>,
     router_handle: Option<JoinHandle<()>>,
 }
@@ -167,6 +189,7 @@ pub struct RtClient<A: Actor> {
     proc_tx: SyncSender<Input<A>>,
     resp_rx: Receiver<A::Resp>,
     history: Arc<Mutex<History<A::Op, A::Resp>>>,
+    in_flight: Arc<Vec<AtomicBool>>,
 }
 
 impl<A: Actor> core::fmt::Debug for RtClient<A> {
@@ -177,13 +200,22 @@ impl<A: Actor> core::fmt::Debug for RtClient<A> {
 
 impl<A: Actor> RtClient<A> {
     /// Invokes `op` at this client's process and blocks until the
-    /// response arrives (mirroring the one-pending-op application model).
+    /// response arrives.
+    ///
+    /// The application model allows **at most one pending operation per
+    /// process** (Chapter III): because this call blocks until the
+    /// response, sequential calls keep the invariant by construction.
+    /// Mixing a client with [`RtCluster::invoke_async`] on the same
+    /// process can violate it, in which case this call panics rather
+    /// than corrupt the history.
     ///
     /// # Panics
     ///
-    /// Panics if the cluster has shut down or a worker died, or if no
-    /// response arrives within 30 seconds.
+    /// Panics if an operation is already in flight at this process, if
+    /// the cluster has shut down or a worker died, or if no response
+    /// arrives within 30 seconds.
     pub fn invoke(&mut self, op: A::Op) -> A::Resp {
+        claim_process(&self.in_flight, self.pid);
         let op_id = self.history.lock().unwrap().record_invoke(
             self.pid,
             op.clone(),
@@ -196,6 +228,17 @@ impl<A: Actor> RtClient<A> {
             .recv_timeout(Duration::from_secs(30))
             .expect("no response within 30s")
     }
+}
+
+/// Marks `pid` as having an operation in flight, panicking if it
+/// already has one — the shared enforcement behind [`RtClient::invoke`]
+/// and [`RtCluster::invoke_async`].
+fn claim_process(in_flight: &[AtomicBool], pid: ProcessId) {
+    assert!(
+        !in_flight[pid.index()].swap(true, Ordering::AcqRel),
+        "{pid}: invocation while another operation is pending \
+         (the application layer allows one pending operation per process)"
+    );
 }
 
 impl<A> RtCluster<A>
@@ -258,7 +301,9 @@ where
         let n = actors.len();
         let epoch = Instant::now();
         let history: Arc<Mutex<History<A::Op, A::Resp>>> = Arc::new(Mutex::new(History::new()));
-        let (done_tx, done_rx) = channel::<()>();
+        let in_flight: Arc<Vec<AtomicBool>> =
+            Arc::new((0..n).map(|_| AtomicBool::new(false)).collect());
+        let (done_tx, done_rx) = channel::<(ProcessId, OpId)>();
         let (router_tx, router_rx) = channel::<RouterMsg<A::Msg>>();
 
         let mut proc_txs = Vec::with_capacity(n);
@@ -276,78 +321,39 @@ where
 
         let router_handle = {
             let proc_txs = proc_txs.clone();
-            thread::spawn(move || {
-                let mut heap: BinaryHeap<HeapEntry<A::Msg>> = BinaryHeap::new();
-                let mut seq = 0u64;
-                loop {
-                    let timeout = heap
-                        .peek()
-                        .map(|e| e.deliver_at.saturating_duration_since(Instant::now()))
-                        .unwrap_or(Duration::from_secs(3600));
-                    match router_rx.recv_timeout(timeout) {
-                        Ok(RouterMsg::Send {
-                            from,
-                            to,
-                            id,
-                            msg,
-                            deliver_at,
-                        }) => {
-                            heap.push(HeapEntry {
-                                deliver_at,
-                                seq,
-                                to,
-                                from,
-                                id,
-                                msg,
-                            });
-                            seq += 1;
-                        }
-                        Ok(RouterMsg::Shutdown) => break,
-                        Err(RecvTimeoutError::Timeout) => {}
-                        Err(RecvTimeoutError::Disconnected) => break,
-                    }
-                    while let Some(e) = heap.peek() {
-                        if e.deliver_at > Instant::now() {
-                            break;
-                        }
-                        let e = heap.pop().expect("peeked");
-                        // A closed worker means shutdown is in progress.
-                        let _ = proc_txs[e.to.index()].send(Input::Deliver(e.from, e.id, e.msg));
-                    }
-                }
-            })
+            thread::spawn(move || run_router::<A>(&router_rx, &proc_txs))
         };
 
         let msg_ids: Arc<AtomicU64> = Arc::new(AtomicU64::new(0));
         let mut worker_handles = Vec::with_capacity(n);
-        for (idx, mut actor) in actors.into_iter().enumerate() {
+        for (idx, actor) in actors.into_iter().enumerate() {
             let pid = ProcessId::new(u32::try_from(idx).expect("too many processes"));
             let rx = proc_rxs.remove(0);
-            let router_tx = router_tx.clone();
             let history = Arc::clone(&history);
+            let in_flight = Arc::clone(&in_flight);
             let done_tx = done_tx.clone();
             let resp_tx = resp_txs[idx].clone();
             let offset = clocks.offset(pid);
-            let msg_ids = Arc::clone(&msg_ids);
             let trace = trace.clone();
-            let mut rng =
-                StdRng::seed_from_u64(seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut transport = ChannelTransport::<A> {
+                router_tx: router_tx.clone(),
+                rng: StdRng::seed_from_u64(seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                bounds,
+                msg_ids: Arc::clone(&msg_ids),
+                pending: Vec::new(),
+            };
 
             worker_handles.push(thread::spawn(move || {
                 worker_loop(
-                    pid,
-                    n,
+                    NodeCore::new(pid, n, actor),
                     epoch,
                     offset,
-                    &mut actor,
                     &rx,
-                    &router_tx,
+                    &mut transport,
                     &history,
+                    &in_flight[pid.index()],
                     &done_tx,
                     &resp_tx,
-                    &mut rng,
-                    bounds,
-                    &msg_ids,
                     trace.as_ref(),
                 );
             }));
@@ -358,6 +364,7 @@ where
             proc_txs,
             router_tx,
             history,
+            in_flight,
             resp_rxs,
             done_rx,
             worker_handles,
@@ -387,6 +394,7 @@ where
             proc_tx: self.proc_txs[pid.index()].clone(),
             resp_rx,
             history: Arc::clone(&self.history),
+            in_flight: Arc::clone(&self.in_flight),
         }
     }
 
@@ -396,8 +404,35 @@ where
     ///
     /// # Panics
     ///
-    /// Panics if the cluster has shut down.
+    /// Panics if `pid` still has an operation in flight (the model
+    /// allows at most one pending operation per process — use
+    /// [`RtCluster::try_invoke_async`] to detect this without
+    /// panicking), or if the cluster has shut down.
     pub fn invoke_async(&self, pid: ProcessId, op: A::Op) {
+        claim_process(&self.in_flight, pid);
+        self.send_invoke(pid, op);
+    }
+
+    /// Like [`RtCluster::invoke_async`], but returns `Err(OpPending)`
+    /// instead of panicking when `pid` still has an operation in flight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OpPending`] if a previous invocation at `pid` has not
+    /// yet responded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster has shut down.
+    pub fn try_invoke_async(&self, pid: ProcessId, op: A::Op) -> Result<(), OpPending> {
+        if self.in_flight[pid.index()].swap(true, Ordering::AcqRel) {
+            return Err(OpPending { pid });
+        }
+        self.send_invoke(pid, op);
+        Ok(())
+    }
+
+    fn send_invoke(&self, pid: ProcessId, op: A::Op) {
         let op_id = self.history.lock().unwrap().record_invoke(
             pid,
             op.clone(),
@@ -422,6 +457,84 @@ where
         }
     }
 
+    /// Runs a closed-loop [`Driver`] against the cluster — the same
+    /// workload abstraction
+    /// [`Simulation::run_with`](crate::engine::Simulation::run_with)
+    /// consumes, so one `ClosedLoop` definition exercises both backends.
+    ///
+    /// The driver's initial invocations are scheduled at their offsets
+    /// from the cluster epoch; on each completion the driver is
+    /// consulted (with the response time the worker recorded) for the
+    /// process's follow-up invocation. Returns the number of completed
+    /// operations. Because each follow-up is only issued after its
+    /// predecessor's response, the one-pending-op invariant holds by
+    /// construction.
+    ///
+    /// Do not interleave with [`RtCluster::wait_for`] — both consume
+    /// completion notifications.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a completion notification does not arrive within 30
+    /// seconds of becoming due, or if the driver overlaps invocations
+    /// at one process.
+    pub fn run_driver<Dr>(&self, driver: &mut Dr) -> usize
+    where
+        Dr: Driver<A::Op, A::Resp> + ?Sized,
+    {
+        // Scheduled-but-not-yet-issued invocations, scanned for the
+        // earliest deadline (like the workers' pending-timer lists; a
+        // closed loop holds at most one entry per process).
+        let mut due: Vec<(Instant, ProcessId, A::Op)> = driver
+            .initial()
+            .into_iter()
+            .map(|(pid, at, op)| (self.epoch + Duration::from_micros(at.as_ticks()), pid, op))
+            .collect();
+        let mut outstanding = 0usize;
+        let mut completed = 0usize;
+        loop {
+            while let Some(i) = due
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| d.0 <= Instant::now())
+                .min_by_key(|(_, d)| d.0)
+                .map(|(i, _)| i)
+            {
+                let (_, pid, op) = due.swap_remove(i);
+                self.invoke_async(pid, op);
+                outstanding += 1;
+            }
+            if outstanding == 0 && due.is_empty() {
+                break;
+            }
+            let timeout = due
+                .iter()
+                .map(|d| d.0)
+                .min()
+                .map(|at| at.saturating_duration_since(Instant::now()))
+                .unwrap_or(Duration::from_secs(30));
+            match self.done_rx.recv_timeout(timeout) {
+                Ok((pid, op_id)) => {
+                    outstanding -= 1;
+                    completed += 1;
+                    let next = {
+                        let history = self.history.lock().unwrap();
+                        let rec = history.get(op_id).expect("completed op is recorded");
+                        let resp = rec.resp().expect("completion implies a response");
+                        let at = rec.responded_at().expect("completion implies a response");
+                        driver.next(pid, &rec.op, resp, at)
+                    };
+                    if let Some((gap, op)) = next {
+                        due.push((Instant::now() + ticks_to_duration(gap), pid, op));
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        completed
+    }
+
     /// Waits `settle` (for in-flight messages), stops all threads, and
     /// returns the observed history.
     ///
@@ -441,278 +554,122 @@ where
         if let Some(h) = self.router_handle.take() {
             h.join().expect("router thread panicked");
         }
-        let history = self.history.lock().unwrap().clone();
-        history
+        // Workers are joined; unless a client still holds the Arc, the
+        // history moves out without a clone.
+        let history = std::mem::replace(&mut self.history, Arc::new(Mutex::new(History::new())));
+        match Arc::try_unwrap(history) {
+            Ok(mutex) => mutex.into_inner().unwrap(),
+            Err(shared) => shared.lock().unwrap().clone(),
+        }
     }
 }
 
-/// Emits one trace event stamped at the current instant (real time since
-/// `epoch`, and the worker's local clock at that instant). The caller
-/// guards on `trace.is_some()` so the untraced path builds no payloads.
-fn emit_rt(
-    trace: Option<&RtTraceSink>,
-    epoch: Instant,
-    offset: ClockOffset,
-    pid: ProcessId,
-    kind: TraceEventKind,
-) {
-    let Some(sink) = trace else { return };
-    let at = instant_to_sim(epoch, Instant::now());
-    sink.lock().unwrap().event(&TraceEvent {
-        at,
-        clock: at.to_clock(offset),
-        pid,
-        kind,
-    });
-}
-
+/// One worker thread: a [`NodeCore`] activated by its inbox and its due
+/// timers. All effect/trace/history semantics live in the node core;
+/// this loop only decides *when* the node activates and relays
+/// completions to the cluster (clearing the in-flight flag *before*
+/// announcing, so a follow-up invocation never races the flag).
 #[allow(clippy::too_many_arguments)]
 fn worker_loop<A: Actor>(
-    pid: ProcessId,
-    n: usize,
+    mut node: NodeCore<A>,
     epoch: Instant,
     offset: ClockOffset,
-    actor: &mut A,
     rx: &Receiver<Input<A>>,
-    router_tx: &Sender<RouterMsg<A::Msg>>,
+    transport: &mut ChannelTransport<A>,
     history: &Arc<Mutex<History<A::Op, A::Resp>>>,
-    done_tx: &Sender<()>,
+    in_flight: &AtomicBool,
+    done_tx: &Sender<(ProcessId, OpId)>,
     resp_tx: &Sender<A::Resp>,
-    rng: &mut StdRng,
-    bounds: DelayBounds,
-    msg_ids: &AtomicU64,
     trace: Option<&RtTraceSink>,
 ) {
-    struct PendingTimer<T> {
-        fire_at: Instant,
-        id: TimerId,
-        timer: T,
-    }
-
-    let mut timers: Vec<PendingTimer<A::Timer>> = Vec::new();
-    // Ids come from the same slab the engine uses; the worker's schedule
-    // stays in the Vec (fire order needs `fire_at`), the slab just hands
-    // out generation-stamped ids and retires them on cancel/fire.
-    let mut timer_slab = TimerSlab::new();
-    let mut pending_op: Option<OpId> = None;
+    let pid = node.pid();
+    let mut trace_out = RtTrace(trace);
     let mut shutdown = false;
     let mut fired: u64 = 0;
 
-    #[allow(clippy::too_many_arguments)]
-    fn apply<A: Actor>(
+    /// Relays a completed operation: clears the in-flight flag, then
+    /// answers the blocking client and the done channel.
+    fn finish<A: Actor>(
+        act: Activation,
         pid: ProcessId,
-        effects: Effects<A>,
-        router_tx: &Sender<RouterMsg<A::Msg>>,
-        history: &Arc<Mutex<History<A::Op, A::Resp>>>,
-        done_tx: &Sender<()>,
+        history: &Mutex<History<A::Op, A::Resp>>,
+        in_flight: &AtomicBool,
         resp_tx: &Sender<A::Resp>,
-        timers: &mut Vec<PendingTimer<A::Timer>>,
-        timer_slab: &mut TimerSlab,
-        pending_op: &mut Option<OpId>,
-        rng: &mut StdRng,
-        bounds: DelayBounds,
-        epoch: Instant,
-        offset: ClockOffset,
-        msg_ids: &AtomicU64,
-        trace: Option<&RtTraceSink>,
+        done_tx: &Sender<(ProcessId, OpId)>,
     ) {
-        let Effects {
-            sends,
-            timers: new_timers,
-            cancels,
-            response,
-        } = effects;
-        for (to, msg) in sends {
-            let ticks = rng.gen_range(bounds.min().as_ticks()..=bounds.max().as_ticks());
-            let deliver_at = Instant::now() + ticks_to_duration(SimDuration::from_ticks(ticks));
-            let id = MsgId::new(msg_ids.fetch_add(1, Ordering::Relaxed));
-            if trace.is_some() {
-                emit_rt(
-                    trace,
-                    epoch,
-                    offset,
-                    pid,
-                    TraceEventKind::Send {
-                        to,
-                        msg: id,
-                        payload: format!("{msg:?}"),
-                    },
-                );
-            }
-            let _ = router_tx.send(RouterMsg::Send {
-                from: pid,
-                to,
-                id,
-                msg,
-                deliver_at,
-            });
-        }
-        for (id, delay, timer) in new_timers {
-            if trace.is_some() {
-                emit_rt(
-                    trace,
-                    epoch,
-                    offset,
-                    pid,
-                    TraceEventKind::TimerSet {
-                        tag: format!("{timer:?}"),
-                        delay,
-                    },
-                );
-            }
-            timers.push(PendingTimer {
-                fire_at: Instant::now() + ticks_to_duration(delay),
-                id,
-                timer,
-            });
-        }
-        for id in cancels {
-            if timer_slab.cancel(id) {
-                timers.retain(|t| t.id != id);
-            }
-        }
-        if let Some(resp) = response {
-            let op_id = pending_op
-                .take()
-                .unwrap_or_else(|| panic!("{pid}: response with no pending op"));
-            if trace.is_some() {
-                emit_rt(
-                    trace,
-                    epoch,
-                    offset,
-                    pid,
-                    TraceEventKind::Respond {
-                        resp: format!("{resp:?}"),
-                    },
-                );
-            }
-            history.lock().unwrap().record_response(
-                op_id,
-                resp.clone(),
-                instant_to_sim(epoch, Instant::now()),
-            );
-            let _ = resp_tx.send(resp);
-            let _ = done_tx.send(());
-        }
+        let Activation::Completed(op_id) = act else {
+            return;
+        };
+        let resp = {
+            let history = history.lock().unwrap();
+            history
+                .get(op_id)
+                .expect("completed op is recorded")
+                .resp()
+                .expect("completion implies a response")
+                .clone()
+        };
+        in_flight.store(false, Ordering::Release);
+        // Closed ends mean the counterpart was dropped; not an error.
+        let _ = resp_tx.send(resp);
+        let _ = done_tx.send((pid, op_id));
     }
+
+    let act = node.on_start(
+        stamp_now(epoch, offset),
+        transport,
+        &mut trace_out,
+        &mut SharedHistory(history),
+    );
+    finish::<A>(act, pid, history, in_flight, resp_tx, done_tx);
 
     loop {
         // Fire due timers first.
-        loop {
-            let now = Instant::now();
-            let due = timers
-                .iter()
-                .enumerate()
-                .filter(|(_, t)| t.fire_at <= now)
-                .min_by_key(|(_, t)| (t.fire_at, t.id))
-                .map(|(i, _)| i);
-            let Some(i) = due else { break };
-            let t = timers.swap_remove(i);
-            timer_slab.fire(t.id);
-            fired += 1;
-            if trace.is_some() {
-                emit_rt(
-                    trace,
-                    epoch,
-                    offset,
-                    pid,
-                    TraceEventKind::Timer {
-                        tag: format!("{:?}", t.timer),
-                    },
-                );
-            }
-            let mut effects = Effects::new();
-            {
-                let clock = instant_to_sim(epoch, Instant::now()).to_clock(offset);
-                let mut ctx = Context::new(pid, n, clock, &mut timer_slab, &mut effects);
-                actor.on_timer(t.timer, &mut ctx);
-            }
-            apply(
-                pid,
-                effects,
-                router_tx,
-                history,
-                done_tx,
-                resp_tx,
-                &mut timers,
-                &mut timer_slab,
-                &mut pending_op,
-                rng,
-                bounds,
-                epoch,
-                offset,
-                msg_ids,
-                trace,
+        while let Some(t) = transport.pop_due() {
+            let act = node.on_timer(
+                stamp_now(epoch, offset),
+                t.id,
+                t.timer,
+                transport,
+                &mut trace_out,
+                &mut SharedHistory(history),
             );
+            if !matches!(act, Activation::Stale) {
+                fired += 1;
+            }
+            finish::<A>(act, pid, history, in_flight, resp_tx, done_tx);
         }
-        if shutdown && timers.is_empty() {
+        if shutdown && !transport.has_pending() {
             break;
         }
-        let timeout = timers
-            .iter()
-            .map(|t| t.fire_at)
-            .min()
+        let timeout = transport
+            .next_deadline()
             .map(|at| at.saturating_duration_since(Instant::now()))
             .unwrap_or(Duration::from_millis(50));
         match rx.recv_timeout(timeout) {
             Ok(Input::Shutdown) => shutdown = true,
-            Ok(input) => {
-                let mut effects = Effects::new();
-                {
-                    let clock = instant_to_sim(epoch, Instant::now()).to_clock(offset);
-                    let mut ctx = Context::new(pid, n, clock, &mut timer_slab, &mut effects);
-                    match input {
-                        Input::Invoke(op_id, op) => {
-                            assert!(
-                                pending_op.is_none(),
-                                "{pid}: invocation while an operation is pending"
-                            );
-                            pending_op = Some(op_id);
-                            if trace.is_some() {
-                                emit_rt(
-                                    trace,
-                                    epoch,
-                                    offset,
-                                    pid,
-                                    TraceEventKind::Invoke {
-                                        op: format!("{op:?}"),
-                                    },
-                                );
-                            }
-                            actor.on_invoke(op, &mut ctx);
-                        }
-                        Input::Deliver(from, id, msg) => {
-                            if trace.is_some() {
-                                emit_rt(
-                                    trace,
-                                    epoch,
-                                    offset,
-                                    pid,
-                                    TraceEventKind::Recv { from, msg: id },
-                                );
-                            }
-                            actor.on_message(from, msg, &mut ctx);
-                        }
-                        Input::Shutdown => unreachable!("handled above"),
-                    }
-                }
-                apply(
-                    pid,
-                    effects,
-                    router_tx,
-                    history,
-                    done_tx,
-                    resp_tx,
-                    &mut timers,
-                    &mut timer_slab,
-                    &mut pending_op,
-                    rng,
-                    bounds,
-                    epoch,
-                    offset,
-                    msg_ids,
-                    trace,
+            Ok(Input::Invoke(op_id, op)) => {
+                let act = node.on_invoke_recorded(
+                    stamp_now(epoch, offset),
+                    op_id,
+                    op,
+                    transport,
+                    &mut trace_out,
+                    &mut SharedHistory(history),
                 );
+                finish::<A>(act, pid, history, in_flight, resp_tx, done_tx);
+            }
+            Ok(Input::Deliver(from, id, msg)) => {
+                let act = node.on_message(
+                    stamp_now(epoch, offset),
+                    from,
+                    id,
+                    msg,
+                    transport,
+                    &mut trace_out,
+                    &mut SharedHistory(history),
+                );
+                finish::<A>(act, pid, history, in_flight, resp_tx, done_tx);
             }
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => break,
@@ -734,8 +691,9 @@ fn worker_loop<A: Actor>(
 ///
 /// # Panics
 ///
-/// Panics if `actors` is empty, its length differs from `clocks`, or a
-/// worker thread panics (e.g. an actor invariant fails).
+/// Panics if `actors` is empty, its length differs from `clocks`, the
+/// script overlaps invocations at one process, or a worker thread panics
+/// (e.g. an actor invariant fails).
 pub fn run_threaded<A>(
     actors: Vec<A>,
     clocks: &ClockAssignment,
@@ -747,30 +705,25 @@ pub fn run_threaded<A>(
 where
     A: Actor + Send + 'static,
     A::Msg: Send + 'static,
-    A::Op: Send + Sync + 'static,
+    A::Op: Clone + Send + Sync + 'static,
     A::Resp: Send + 'static,
     A::Timer: Send + 'static,
 {
     let cluster = RtCluster::start(actors, clocks, bounds, seed);
-    let epoch = cluster.epoch;
-    let mut script = script;
-    script.sort_by_key(|inv| inv.at);
-    let total_ops = script.len();
+    // A timed script is just a driver with no follow-up invocations.
+    let mut driver = Script::new();
     for inv in script {
-        let target = epoch + ticks_to_duration(inv.at);
-        let now = Instant::now();
-        if target > now {
-            thread::sleep(target - now);
-        }
-        cluster.invoke_async(inv.pid, inv.op);
+        driver.push(inv.pid, SimTime::from_ticks(inv.at.as_ticks()), inv.op);
     }
-    cluster.wait_for(total_ops);
+    cluster.run_driver(&mut driver);
     cluster.shutdown(settle)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::actor::Context;
+    use crate::ids::TimerId;
 
     /// Each process forwards its op value to the next process and responds
     /// when the ring token returns.
@@ -917,13 +870,13 @@ mod tests {
         // Every send pairs with exactly one later delivery carrying the
         // same message id, at the process the send addressed.
         for e in events {
-            if let TraceEventKind::Send { to, msg, .. } = &e.kind {
+            if let crate::trace::TraceEventKind::Send { to, msg, .. } = &e.kind {
                 let delivered = events
                     .iter()
                     .filter(|d| {
                         d.pid == *to
                             && d.at >= e.at
-                            && matches!(&d.kind, TraceEventKind::Recv { msg: m, .. } if m == msg)
+                            && matches!(&d.kind, crate::trace::TraceEventKind::Recv { msg: m, .. } if m == msg)
                     })
                     .count();
                 assert_eq!(delivered, 1, "send {msg:?} should deliver once at {to}");
@@ -976,6 +929,46 @@ mod tests {
         let history = cluster.shutdown(Duration::from_millis(5));
         assert!(history.is_complete());
         assert_eq!(history.len(), 3);
+    }
+
+    /// A second async invocation while the first is still in flight must
+    /// be rejected — the silent one-pending-op violation this runtime
+    /// used to allow.
+    #[test]
+    fn overlapping_async_invocations_rejected() {
+        let bounds = DelayBounds::new(SimDuration::from_ticks(1000), SimDuration::from_ticks(500));
+        let cluster = RtCluster::start(
+            vec![TimerEcho, TimerEcho],
+            &ClockAssignment::zero(2),
+            bounds,
+            3,
+        );
+        // The first op waits on a 1 ms timer before responding.
+        cluster.invoke_async(ProcessId::new(0), 1);
+        assert_eq!(
+            cluster.try_invoke_async(ProcessId::new(0), 2),
+            Err(OpPending {
+                pid: ProcessId::new(0)
+            })
+        );
+        // A different process is unaffected.
+        assert_eq!(cluster.try_invoke_async(ProcessId::new(1), 3), Ok(()));
+        cluster.wait_for(2);
+        // After the responses, both processes accept new work.
+        assert_eq!(cluster.try_invoke_async(ProcessId::new(0), 4), Ok(()));
+        cluster.wait_for(1);
+        let history = cluster.shutdown(Duration::from_millis(5));
+        assert!(history.is_complete());
+        assert_eq!(history.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "another operation is pending")]
+    fn overlapping_invoke_async_panics() {
+        let bounds = DelayBounds::new(SimDuration::from_ticks(1000), SimDuration::from_ticks(500));
+        let cluster = RtCluster::start(vec![TimerEcho], &ClockAssignment::zero(1), bounds, 3);
+        cluster.invoke_async(ProcessId::new(0), 1);
+        cluster.invoke_async(ProcessId::new(0), 2);
     }
 
     /// Op 0 arms a timer and responds when it fires (remembering the id);
@@ -1118,5 +1111,42 @@ mod tests {
         let mut cluster = RtCluster::start(vec![TimerEcho], &ClockAssignment::zero(1), bounds, 3);
         let _a = cluster.client(ProcessId::new(0));
         let _b = cluster.client(ProcessId::new(0));
+    }
+
+    /// A driver-run closed loop on the rt backend: every process issues
+    /// its quota sequentially and the history completes.
+    #[test]
+    fn run_driver_executes_a_closed_loop() {
+        use crate::workload::ClosedLoop;
+
+        let bounds = DelayBounds::new(SimDuration::from_ticks(1000), SimDuration::from_ticks(500));
+        let cluster = RtCluster::start(
+            vec![TimerEcho, TimerEcho],
+            &ClockAssignment::zero(2),
+            bounds,
+            9,
+        );
+        let mut driver = ClosedLoop::new(
+            vec![ProcessId::new(0), ProcessId::new(1)],
+            3,
+            42,
+            |pid, idx, _rng| pid.as_u32() * 100 + u32::try_from(idx).unwrap(),
+        );
+        let completed = cluster.run_driver(&mut driver);
+        assert_eq!(completed, 6);
+        let history = cluster.shutdown(Duration::from_millis(5));
+        assert!(history.is_complete());
+        assert_eq!(history.len(), 6);
+        // Per process, ops are issued in index order (closed loop).
+        for pid in [ProcessId::new(0), ProcessId::new(1)] {
+            let ops: Vec<u32> = history
+                .records()
+                .iter()
+                .filter(|r| r.pid == pid)
+                .map(|r| r.op)
+                .collect();
+            let base = pid.as_u32() * 100;
+            assert_eq!(ops, vec![base, base + 1, base + 2]);
+        }
     }
 }

@@ -405,9 +405,33 @@ impl fmt::Display for ClockOffset {
     }
 }
 
+// --- wall-clock interop (real-thread runtime; 1 tick = 1 µs) ----------
+
+/// Converts a tick count (µs) to a wall-clock duration. Total: every
+/// `u64` tick count maps to a representable `Duration`.
+pub(crate) fn ticks_to_duration(d: SimDuration) -> std::time::Duration {
+    std::time::Duration::from_micros(d.as_ticks())
+}
+
+/// Converts a wall-clock duration since the epoch to sim ticks (µs),
+/// truncating sub-tick remainders and saturating at `u64::MAX` ticks —
+/// a run would have to last ~584 thousand years to hit the saturation,
+/// but saturating keeps the conversion total and monotone instead of
+/// panicking.
+pub(crate) fn duration_to_ticks(d: std::time::Duration) -> SimTime {
+    SimTime::from_ticks(u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
+}
+
+/// Real time since the runtime epoch, in sim ticks. Instants before the
+/// epoch clamp to zero (monotone, never panics).
+pub(crate) fn instant_to_sim(epoch: std::time::Instant, at: std::time::Instant) -> SimTime {
+    duration_to_ticks(at.saturating_duration_since(epoch))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::{Duration, Instant};
 
     #[test]
     fn time_plus_duration() {
@@ -527,5 +551,83 @@ mod tests {
         assert_eq!(format!("{:?}", SimTime::from_ticks(5)), "t5");
         assert_eq!(format!("{:?}", SimDuration::from_ticks(5)), "5t");
         assert_eq!(format!("{:?}", ClockOffset::from_ticks(-5)), "off-5");
+    }
+
+    // --- wall-clock conversion edge cases (rt runtime) ------------------
+
+    #[test]
+    fn ticks_to_duration_zero_and_extremes() {
+        assert_eq!(ticks_to_duration(SimDuration::ZERO), Duration::ZERO);
+        assert_eq!(
+            ticks_to_duration(SimDuration::from_ticks(1)),
+            Duration::from_micros(1)
+        );
+        // u64::MAX µs must convert without overflow or panic.
+        let max = ticks_to_duration(SimDuration::from_ticks(u64::MAX));
+        assert_eq!(max, Duration::from_micros(u64::MAX));
+    }
+
+    #[test]
+    fn duration_to_ticks_truncates_sub_tick() {
+        assert_eq!(duration_to_ticks(Duration::ZERO).as_ticks(), 0);
+        // Anything under one microsecond is sub-tick and truncates to 0.
+        assert_eq!(duration_to_ticks(Duration::from_nanos(999)).as_ticks(), 0);
+        assert_eq!(duration_to_ticks(Duration::from_nanos(1000)).as_ticks(), 1);
+        assert_eq!(duration_to_ticks(Duration::from_nanos(1999)).as_ticks(), 1);
+    }
+
+    #[test]
+    fn duration_to_ticks_saturates_near_u64_max() {
+        // Exactly u64::MAX µs round-trips.
+        assert_eq!(
+            duration_to_ticks(Duration::from_micros(u64::MAX)).as_ticks(),
+            u64::MAX
+        );
+        // Beyond u64::MAX µs (Duration::MAX ≈ u64::MAX seconds) the
+        // conversion saturates instead of panicking.
+        assert_eq!(duration_to_ticks(Duration::MAX).as_ticks(), u64::MAX);
+    }
+
+    #[test]
+    fn duration_to_ticks_is_monotone() {
+        let ladder = [
+            Duration::ZERO,
+            Duration::from_nanos(1),
+            Duration::from_nanos(999),
+            Duration::from_micros(1),
+            Duration::from_millis(1),
+            Duration::from_secs(1),
+            Duration::from_micros(u64::MAX),
+            Duration::MAX,
+        ];
+        for pair in ladder.windows(2) {
+            assert!(
+                duration_to_ticks(pair[0]) <= duration_to_ticks(pair[1]),
+                "{pair:?} went non-monotone"
+            );
+        }
+    }
+
+    #[test]
+    fn instant_to_sim_clamps_pre_epoch_and_stays_monotone() {
+        let epoch = Instant::now();
+        // An instant before the epoch clamps to tick 0 (no underflow).
+        assert_eq!(
+            instant_to_sim(epoch + Duration::from_millis(5), epoch).as_ticks(),
+            0
+        );
+        assert_eq!(instant_to_sim(epoch, epoch).as_ticks(), 0);
+        // Sub-tick progress truncates to 0 rather than jumping.
+        assert_eq!(
+            instant_to_sim(epoch, epoch + Duration::from_nanos(500)).as_ticks(),
+            0
+        );
+        let mut last = SimTime::ZERO;
+        for ms in [0u64, 1, 2, 10, 100] {
+            let t = instant_to_sim(epoch, epoch + Duration::from_millis(ms));
+            assert!(t >= last, "instant_to_sim went backwards at {ms} ms");
+            last = t;
+        }
+        assert_eq!(last.as_ticks(), 100_000);
     }
 }

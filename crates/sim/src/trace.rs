@@ -232,6 +232,31 @@ impl Trace {
     }
 }
 
+/// The engine's [`TraceOutput`](crate::node::TraceOutput): an optional
+/// in-memory recorder plus an optional external sink. With neither
+/// attached, `active` is `false` and the node core builds no events.
+#[derive(Default)]
+pub(crate) struct EngineTrace {
+    pub(crate) recorder: Option<Trace>,
+    pub(crate) sink: Option<Box<dyn TraceSink>>,
+}
+
+impl crate::node::TraceOutput for EngineTrace {
+    #[inline]
+    fn active(&self) -> bool {
+        self.recorder.is_some() || self.sink.is_some()
+    }
+
+    fn emit(&mut self, event: TraceEvent) {
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.event(&event);
+        }
+        if let Some(trace) = &mut self.recorder {
+            trace.record(event);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

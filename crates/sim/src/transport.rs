@@ -1,0 +1,349 @@
+//! The pluggable transport layer: deliver-at-time semantics for
+//! messages and timers.
+//!
+//! Both runtimes execute the same [`Actor`] state
+//! machines through the same [`NodeCore`](crate::node::NodeCore); what
+//! differs is *when and how* an enqueued message or timer expiry comes
+//! back to a node. A [`Transport`] captures exactly that difference:
+//!
+//! * the discrete-event engine implements it with a virtual-time
+//!   `BinaryHeap` — a send is assigned a delay by the
+//!   [`DelayModel`] and popped back at
+//!   `sent_at + delay` in deterministic `(time, seq)` order;
+//! * the real-thread runtime implements it with a delay-injecting
+//!   router thread plus per-worker mpsc channels — a send is assigned a
+//!   seeded random delay within the same `[d − u, d]` bounds and
+//!   delivered when the wall clock reaches `sent_at + delay`.
+//!
+//! Every message and timer a node produces passes through this single
+//! choke point, which is what makes delay injection, trace pairing and
+//! future drop/duplicate fault hooks land once for both backends.
+
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::actor::Actor;
+use crate::clock::ClockAssignment;
+use crate::delay::{DelayBounds, DelayModel, MsgMeta};
+use crate::engine::{EventKind, MsgEvent, Scheduled};
+use crate::ids::{MsgId, OpId, ProcessId, TimerId};
+use crate::time::{ticks_to_duration, SimDuration, SimTime};
+
+/// A backend that schedules message deliveries and timer expiries.
+///
+/// Implementations decide the *delivery time* of each message (the
+/// delay model of the run) and own the queue/heap/channel machinery
+/// that eventually hands the event back to the destination node. The
+/// [`NodeCore`](crate::node::NodeCore) calls these methods while
+/// draining one activation's effects; it never schedules anything
+/// behind the transport's back.
+pub trait Transport<A: Actor> {
+    /// Assigns a delay to `msg` and enqueues its delivery at `to`
+    /// (deliver-at-time semantics). Returns the run-unique message id,
+    /// allocated in global send order so every `send` trace event pairs
+    /// with exactly one later `deliver` carrying the same id.
+    fn send(&mut self, from: ProcessId, to: ProcessId, msg: A::Msg) -> MsgId;
+
+    /// Enqueues the expiry of timer `id` at `pid`, `delay` *local
+    /// clock* ticks from now. The id is already live in the node's
+    /// [`TimerSlab`](crate::timers::TimerSlab); the transport only
+    /// schedules the expiry event (converting clock to real time if the
+    /// backend models clock drift).
+    fn set_timer(&mut self, pid: ProcessId, id: TimerId, delay: SimDuration, timer: A::Timer);
+
+    /// Informs the backend that a previously scheduled timer was
+    /// cancelled, so eager backends can prune its expiry from their
+    /// schedule. The node has already retired the id in its slab, so a
+    /// backend may also ignore this and drop the stale expiry when it
+    /// comes due (the engine does; the real-thread runtime prunes so
+    /// shutdown never waits on cancelled timers).
+    fn cancel_timer(&mut self, pid: ProcessId, id: TimerId) {
+        let _ = (pid, id);
+    }
+}
+
+/// The engine's [`Transport`]: a virtual-time event heap.
+///
+/// A send is assigned a delay by the [`DelayModel`] (re-validated
+/// against the bounds on every call), logged, and queued for delivery
+/// at `sent_at + delay`; a timer arm is converted from local clock
+/// ticks to real time under the [`ClockAssignment`] and queued at its
+/// expiry instant. Events pop back in deterministic `(time, seq)`
+/// order. Cancelled timers are *not* pruned from the heap — the node
+/// core's slab generation filters the stale expiry when it pops.
+pub(crate) struct VirtualTransport<A: Actor, D: DelayModel> {
+    pub(crate) clocks: ClockAssignment,
+    pub(crate) delays: D,
+    pub(crate) queue: BinaryHeap<Scheduled<A>>,
+    pub(crate) seq: u64,
+    pub(crate) now: SimTime,
+    /// Per ordered pair `(from, to)` send counters, flattened to
+    /// `from * n + to` (grids run millions of short simulations; a flat
+    /// vector beats a hash map in the send hot path).
+    pub(crate) pair_seq: Vec<u64>,
+    pub(crate) n: usize,
+    pub(crate) next_msg_id: u64,
+    pub(crate) msg_log: Vec<MsgEvent>,
+}
+
+impl<A: Actor, D: DelayModel> VirtualTransport<A, D> {
+    pub(crate) fn bump_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    pub(crate) fn push_invoke(&mut self, pid: ProcessId, at: SimTime, op: A::Op) {
+        let seq = self.bump_seq();
+        self.queue.push(Scheduled {
+            at,
+            seq,
+            pid,
+            kind: EventKind::Invoke { op },
+        });
+    }
+}
+
+impl<A: Actor, D: DelayModel> Transport<A> for VirtualTransport<A, D> {
+    fn send(&mut self, from: ProcessId, to: ProcessId, msg: A::Msg) -> MsgId {
+        let pair_seq = &mut self.pair_seq[from.index() * self.n + to.index()];
+        let this_seq = *pair_seq;
+        *pair_seq += 1;
+        let meta = MsgMeta {
+            from,
+            to,
+            sent_at: self.now,
+            pair_seq: this_seq,
+        };
+        let delay = self.delays.delay(meta);
+        let bounds = self.delays.bounds();
+        assert!(
+            bounds.contains(delay),
+            "delay model produced inadmissible delay {delay:?} for {from}->{to} \
+             (bounds [{:?}, {:?}])",
+            bounds.min(),
+            bounds.max()
+        );
+        let recv_at = self.now + delay;
+        let id = MsgId::new(self.next_msg_id);
+        self.next_msg_id += 1;
+        self.msg_log.push(MsgEvent {
+            id,
+            from,
+            to,
+            sent_at: self.now,
+            delay,
+            recv_at,
+        });
+        let seq = self.bump_seq();
+        self.queue.push(Scheduled {
+            at: recv_at,
+            seq,
+            pid: to,
+            kind: EventKind::Deliver {
+                from,
+                msg,
+                msg_id: id,
+            },
+        });
+        id
+    }
+
+    fn set_timer(&mut self, pid: ProcessId, id: TimerId, delay: SimDuration, timer: A::Timer) {
+        let seq = self.bump_seq();
+        // Timer delays are in clock units; under drift (a non-unit
+        // clock rate) convert to real time.
+        let real_delay = self.clocks.clock_to_real(pid, delay);
+        self.queue.push(Scheduled {
+            at: self.now + real_delay,
+            seq,
+            pid,
+            kind: EventKind::Timer { id, timer },
+        });
+    }
+}
+
+/// The real-thread runtime's wire format to its router thread.
+pub(crate) enum RouterMsg<M> {
+    /// Deliver `msg` to `to` when the wall clock reaches `deliver_at`.
+    Send {
+        from: ProcessId,
+        to: ProcessId,
+        id: MsgId,
+        msg: M,
+        deliver_at: Instant,
+    },
+    /// Stop the router.
+    Shutdown,
+}
+
+/// A timer armed by a real-thread worker's node, waiting for its
+/// wall-clock deadline.
+pub(crate) struct PendingTimer<T> {
+    pub(crate) fire_at: Instant,
+    pub(crate) id: TimerId,
+    pub(crate) timer: T,
+}
+
+/// The real-thread runtime's [`Transport`]: sends go to the
+/// delay-injecting router thread with a seeded random delay within the
+/// cluster bounds; timers wait in the worker's own pending list (the
+/// worker sleeps until the earliest deadline). Cancels prune the
+/// pending list eagerly so shutdown never waits on a cancelled timer.
+pub(crate) struct ChannelTransport<A: Actor> {
+    pub(crate) router_tx: Sender<RouterMsg<A::Msg>>,
+    pub(crate) rng: StdRng,
+    pub(crate) bounds: DelayBounds,
+    /// Global send-order message id allocator, shared with every other
+    /// worker so trace `send`/`deliver` events pair by id cluster-wide.
+    pub(crate) msg_ids: Arc<AtomicU64>,
+    pub(crate) pending: Vec<PendingTimer<A::Timer>>,
+}
+
+impl<A: Actor> ChannelTransport<A> {
+    /// Pops the due pending timer with the earliest `(deadline, id)`,
+    /// if any.
+    pub(crate) fn pop_due(&mut self) -> Option<PendingTimer<A::Timer>> {
+        let now = Instant::now();
+        let due = self
+            .pending
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.fire_at <= now)
+            .min_by_key(|(_, t)| (t.fire_at, t.id))
+            .map(|(i, _)| i)?;
+        Some(self.pending.swap_remove(due))
+    }
+
+    /// The earliest pending deadline, if any timers are armed.
+    pub(crate) fn next_deadline(&self) -> Option<Instant> {
+        self.pending.iter().map(|t| t.fire_at).min()
+    }
+
+    pub(crate) fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+}
+
+impl<A: Actor> Transport<A> for ChannelTransport<A> {
+    fn send(&mut self, from: ProcessId, to: ProcessId, msg: A::Msg) -> MsgId {
+        let ticks = self
+            .rng
+            .gen_range(self.bounds.min().as_ticks()..=self.bounds.max().as_ticks());
+        let deliver_at = Instant::now() + ticks_to_duration(SimDuration::from_ticks(ticks));
+        let id = MsgId::new(self.msg_ids.fetch_add(1, Ordering::Relaxed));
+        // A closed router means shutdown is in progress.
+        let _ = self.router_tx.send(RouterMsg::Send {
+            from,
+            to,
+            id,
+            msg,
+            deliver_at,
+        });
+        id
+    }
+
+    fn set_timer(&mut self, _pid: ProcessId, id: TimerId, delay: SimDuration, timer: A::Timer) {
+        self.pending.push(PendingTimer {
+            fire_at: Instant::now() + ticks_to_duration(delay),
+            id,
+            timer,
+        });
+    }
+
+    fn cancel_timer(&mut self, _pid: ProcessId, id: TimerId) {
+        self.pending.retain(|t| t.id != id);
+    }
+}
+
+/// A worker thread's inbox message in the real-thread runtime.
+pub(crate) enum Input<A: Actor> {
+    /// Invoke an operation already recorded in the history as `OpId`.
+    Invoke(OpId, A::Op),
+    /// Deliver a message from another process.
+    Deliver(ProcessId, MsgId, A::Msg),
+    /// Drain pending timers, then exit.
+    Shutdown,
+}
+
+/// One in-flight message inside the router's delivery heap.
+struct HeapEntry<M> {
+    deliver_at: Instant,
+    seq: u64,
+    to: ProcessId,
+    from: ProcessId,
+    id: MsgId,
+    msg: M,
+}
+
+impl<M> PartialEq for HeapEntry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_at == other.deliver_at && self.seq == other.seq
+    }
+}
+impl<M> Eq for HeapEntry<M> {}
+impl<M> PartialOrd for HeapEntry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for HeapEntry<M> {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        (other.deliver_at, other.seq).cmp(&(self.deliver_at, self.seq))
+    }
+}
+
+/// The delay-injecting router: receives [`RouterMsg::Send`]s from every
+/// [`ChannelTransport`], holds each message until its wall-clock
+/// `deliver_at`, then forwards it to the destination worker's inbox in
+/// deterministic `(deliver_at, seq)` order. Runs on its own thread
+/// until shutdown or until all senders hang up.
+pub(crate) fn run_router<A: Actor>(
+    router_rx: &Receiver<RouterMsg<A::Msg>>,
+    proc_txs: &[SyncSender<Input<A>>],
+) {
+    let mut heap: BinaryHeap<HeapEntry<A::Msg>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    loop {
+        let timeout = heap
+            .peek()
+            .map(|e| e.deliver_at.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_secs(3600));
+        match router_rx.recv_timeout(timeout) {
+            Ok(RouterMsg::Send {
+                from,
+                to,
+                id,
+                msg,
+                deliver_at,
+            }) => {
+                heap.push(HeapEntry {
+                    deliver_at,
+                    seq,
+                    to,
+                    from,
+                    id,
+                    msg,
+                });
+                seq += 1;
+            }
+            Ok(RouterMsg::Shutdown) => break,
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        while let Some(e) = heap.peek() {
+            if e.deliver_at > Instant::now() {
+                break;
+            }
+            let e = heap.pop().expect("peeked");
+            // A closed worker means shutdown is in progress.
+            let _ = proc_txs[e.to.index()].send(Input::Deliver(e.from, e.id, e.msg));
+        }
+    }
+}

@@ -203,7 +203,7 @@ fn tracing_does_not_change_the_run() {
         sim.schedule_invoke(ProcessId::new(0), SimTime::ZERO, 9);
         sim.schedule_invoke(ProcessId::new(1), SimTime::from_ticks(50), 12);
         sim.run().unwrap();
-        sim.history().clone()
+        sim.into_history()
     };
     assert_eq!(run(false), run(true));
 }
