@@ -26,9 +26,12 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 echo "== benches compile =="
 cargo bench --workspace --no-run
 
-echo "== grid bench smoke (per-stage fields) =="
-cargo run --release -p skewbound-bench --bin tables -- --object register >/dev/null
-for field in sim_wall_nanos check_wall_nanos check_nodes check_nodes_per_sec; do
+echo "== grid bench smoke + 100k-process scale run (wall-clock budget 120s) =="
+timeout 120 cargo run --release -p skewbound-bench --bin tables -- \
+  --object register --scale 100000 >/dev/null
+for field in sim_wall_nanos check_wall_nanos check_nodes check_nodes_per_sec \
+  events_per_sec peak_rss_bytes scale_events scale_events_per_sec \
+  scale_peak_rss_bytes; do
   value=$(grep -o "\"$field\": [0-9.]*" BENCH_grid.json | grep -o '[0-9.]*$' || true)
   if [ -z "$value" ]; then
     echo "BENCH_grid.json missing field: $field" >&2
@@ -39,7 +42,12 @@ for field in sim_wall_nanos check_wall_nanos check_nodes check_nodes_per_sec; do
     exit 1
   fi
 done
-echo "BENCH_grid.json per-stage fields present and non-zero"
+scale_n=$(grep -o '"scale_processes": [0-9]*' BENCH_grid.json | grep -o '[0-9]*$')
+if [ "$scale_n" -lt 100000 ]; then
+  echo "scale run simulated only $scale_n processes (want >= 100000)" >&2
+  exit 1
+fi
+echo "BENCH_grid.json per-stage + scale fields present and non-zero ($scale_n processes)"
 
 echo "== skewlint (model checker + protocol lints) =="
 skewlint_out=target/skewlint

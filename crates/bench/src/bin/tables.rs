@@ -1,15 +1,20 @@
 //! Regenerates every table and figure experiment of the paper.
 //!
 //! ```text
-//! tables [--object register|queue|stack|tree] [--fig fig1|thmC|thmD|thmE|derive|ablation|nsweep|xsweep|drift|skew]
+//! tables [--object register|queue|stack|tree] [--scale N]
+//!        [--fig fig1|thmC|thmD|thmE|derive|ablation|nsweep|xsweep|drift|skew]
 //! ```
+//!
+//! `--scale N` additionally runs one register workload at `N` replica
+//! processes in a single simulation and records its throughput and peak
+//! RSS in `BENCH_grid.json`.
 //!
 //! With no arguments, prints everything: Tables I–IV and all figure
 //! experiments, using the workspace default parameters.
 
 use skewbound_bench::default_params;
 use skewbound_bench::figures;
-use skewbound_bench::measure::GridStats;
+use skewbound_bench::measure::{scale_run, GridStats, ScaleStats};
 use skewbound_bench::report::{table_report_stats, Object};
 use skewbound_sim::time::SimDuration;
 
@@ -21,6 +26,7 @@ fn main() {
     let mut object_filter: Option<&str> = None;
     let mut fig_filter: Option<&str> = None;
     let mut csv = false;
+    let mut scale: Option<usize> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -41,9 +47,17 @@ fn main() {
                 ));
             }
             "--csv" => csv = true,
+            "--scale" => {
+                scale = Some(
+                    iter.next()
+                        .expect("--scale needs a value")
+                        .parse()
+                        .expect("--scale needs a process count"),
+                );
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: tables [--object register|queue|stack|tree] [--csv] \
+                    "usage: tables [--object register|queue|stack|tree] [--csv] [--scale N] \
                      [--fig fig1|thmC|thmD|thmE|derive|ablation|nsweep|xsweep|drift|skew]"
                 );
                 return;
@@ -95,7 +109,22 @@ fn main() {
                     Err(e) => eprintln!("failed to write {}: {e}", path.display()),
                 }
             }
-            if let Err(e) = write_grid_bench(&stats, elapsed) {
+            let scale_stats = scale.map(|n| {
+                let s = scale_run(n, 8);
+                if !csv {
+                    println!(
+                        "scale run: {} processes, {} events in {:.3?} \
+                         ({:.0} events/sec, peak RSS {} MiB)",
+                        s.processes,
+                        s.report.events,
+                        std::time::Duration::from_nanos(s.report.wall_nanos),
+                        s.report.events_per_sec(),
+                        s.report.peak_rss_bytes >> 20,
+                    );
+                }
+                s
+            });
+            if let Err(e) = write_grid_bench(&stats, scale_stats.as_ref(), elapsed) {
                 eprintln!("failed to write BENCH_grid.json: {e}");
             } else if !csv {
                 println!(
@@ -158,13 +187,21 @@ fn main() {
 
 /// Writes the machine-readable grid benchmark summary. The workspace has
 /// no JSON dependency, so the (flat, numeric) object is written by hand.
-fn write_grid_bench(stats: &GridStats, elapsed: std::time::Duration) -> std::io::Result<()> {
+/// The `scale_*` fields are zero when `--scale` was not requested.
+fn write_grid_bench(
+    stats: &GridStats,
+    scale: Option<&ScaleStats>,
+    elapsed: std::time::Duration,
+) -> std::io::Result<()> {
     let json = format!(
         "{{\n  \"runs\": {},\n  \"workers\": {},\n  \"elapsed_nanos\": {},\n  \
          \"sim_wall_nanos\": {},\n  \"check_wall_nanos\": {},\n  \"events\": {},\n  \
          \"events_per_sec\": {:.1},\n  \"check_nodes\": {},\n  \
          \"check_nodes_per_sec\": {:.1},\n  \"check_memo_hits\": {},\n  \
-         \"check_max_frontier\": {}\n}}\n",
+         \"check_max_frontier\": {},\n  \"peak_rss_bytes\": {},\n  \
+         \"scale_processes\": {},\n  \"scale_events\": {},\n  \
+         \"scale_events_per_sec\": {:.1},\n  \"scale_wall_nanos\": {},\n  \
+         \"scale_peak_rss_bytes\": {}\n}}\n",
         stats.runs,
         stats.workers,
         elapsed.as_nanos(),
@@ -176,6 +213,12 @@ fn write_grid_bench(stats: &GridStats, elapsed: std::time::Duration) -> std::io:
         stats.check_nodes_per_sec(),
         stats.check_memo_hits,
         stats.check_max_frontier,
+        stats.peak_rss_bytes,
+        scale.map_or(0, |s| s.processes),
+        scale.map_or(0, |s| s.report.events),
+        scale.map_or(0.0, |s| s.report.events_per_sec()),
+        scale.map_or(0, |s| s.report.wall_nanos),
+        scale.map_or(0, |s| s.report.peak_rss_bytes),
     );
     std::fs::write("BENCH_grid.json", json)
 }

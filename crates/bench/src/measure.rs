@@ -57,6 +57,11 @@ pub struct GridStats {
     pub check_max_frontier: u64,
     /// Worker threads the grid was fanned out over.
     pub workers: usize,
+    /// Peak resident set size of the bench process in bytes, sampled
+    /// after the grid finished (`0` when the platform cannot report
+    /// it). A whole-process high-water mark — comparable across PRs as
+    /// long as the bench binary runs the same workload set.
+    pub peak_rss_bytes: u64,
 }
 
 impl GridStats {
@@ -92,6 +97,7 @@ impl GridStats {
         self.check_memo_hits += other.check_memo_hits;
         self.check_max_frontier = self.check_max_frontier.max(other.check_max_frontier);
         self.workers = self.workers.max(other.workers);
+        self.peak_rss_bytes = self.peak_rss_bytes.max(other.peak_rss_bytes);
     }
 }
 
@@ -342,6 +348,7 @@ where
             .max(check_sample.stats.max_frontier_depth);
         stats.check_wall_nanos += check_sample.wall_nanos;
     }
+    stats.peak_rss_bytes = skewbound_sim::stats::peak_rss_bytes();
     (acc, stats)
 }
 
@@ -453,6 +460,61 @@ where
         label,
         &move |history| check_linearizable(check_spec.as_ref(), history),
     )
+}
+
+/// Result of one large-n scale run: the process count, the writers that
+/// drove it and the engine's report (with peak RSS captured).
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleStats {
+    /// Replica processes simulated in the single run.
+    pub processes: usize,
+    /// Processes that issued one write each at `t = 0`.
+    pub writers: usize,
+    /// The engine report, peak RSS included.
+    pub report: skewbound_sim::engine::SimReport,
+}
+
+/// Runs one Algorithm-1 register workload at `processes` replicas in a
+/// single simulation — the 10⁵-node scale point the columnar engine
+/// core exists for. `writers` processes each invoke one write at
+/// `t = 0`; every write broadcasts to all `n − 1` peers and every
+/// receiver arms an execute timer, so the run processes roughly
+/// `2·writers·n` events without any re-broadcast amplification.
+///
+/// # Panics
+///
+/// Panics if the run fails or completes with pending operations.
+#[must_use]
+pub fn scale_run(processes: usize, writers: usize) -> ScaleStats {
+    let params = Params::with_optimal_skew(
+        processes,
+        SimDuration::from_ticks(10_000),
+        SimDuration::from_ticks(2_000),
+        SimDuration::ZERO,
+    )
+    .expect("valid scale parameters");
+    let spec = Arc::new(RmwRegister::default());
+    let mut sim = Simulation::new(
+        Replica::group_shared(&spec, &params),
+        ClockAssignment::zero(processes),
+        FixedDelay::maximal(params.delay_bounds()),
+    );
+    sim.reserve_ops(writers);
+    for w in 0..writers {
+        let pid = ProcessId::new(u32::try_from(w).expect("writer index fits u32"));
+        sim.schedule_invoke(
+            pid,
+            skewbound_sim::time::SimTime::ZERO,
+            RmwOp::Write(w as i64),
+        );
+    }
+    let report = sim.run().expect("scale run failed").with_peak_rss();
+    assert!(sim.history().is_complete(), "scale run left pending ops");
+    ScaleStats {
+        processes,
+        writers,
+        report,
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -606,6 +668,19 @@ mod tests {
         assert_eq!(stats.check_max_frontier, 16);
         assert!(stats.events_per_sec() > 0.0);
         assert!(stats.check_nodes_per_sec() > 0.0);
+        #[cfg(target_os = "linux")]
+        assert!(stats.peak_rss_bytes > 0, "peak RSS must be sampled");
+    }
+
+    #[test]
+    fn scale_run_is_complete_and_counts_events() {
+        let s = scale_run(64, 4);
+        assert_eq!(s.processes, 64);
+        // Each write broadcasts to n − 1 peers; every event is at least
+        // the invoke plus the deliveries.
+        assert!(s.report.events >= 4 * 64);
+        #[cfg(target_os = "linux")]
+        assert!(s.report.peak_rss_bytes > 0);
     }
 
     #[test]
@@ -619,6 +694,7 @@ mod tests {
             check_memo_hits: 12,
             check_max_frontier: 16,
             workers: 4,
+            peak_rss_bytes: 1 << 20,
         };
         let path = std::env::temp_dir().join("skewbound_trace_counters_test.jsonl");
         write_trace_counters(&stats, &path).unwrap();

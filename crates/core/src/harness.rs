@@ -70,6 +70,8 @@ where
     Dr: Driver<A::Op, A::Resp> + ?Sized,
 {
     let mut sim = Simulation::new(actors, clocks, delays);
+    // Callers inspect the returned simulation, so keep the message log.
+    sim.enable_msg_log();
     sim.run_with(driver)?;
     Ok(sim)
 }

@@ -199,6 +199,7 @@ where
             FixedDelay::minimal(bounds)
         };
         let mut sim = Simulation::new(make_actors(), clocks.clone(), delays);
+        sim.enable_msg_log();
         for (pid, at, op) in script {
             sim.schedule_invoke(*pid, *at, op.clone());
         }
@@ -362,6 +363,7 @@ where
             config.clock_choices[clock_idx].clone(),
             EnumeratedDelay::new(bounds, assignment),
         );
+        sim.enable_msg_log();
         for (pid, at, op) in script {
             sim.schedule_invoke(*pid, *at, op.clone());
         }

@@ -20,6 +20,10 @@ use crate::run::{Message, Run, RunTime, Step, StepKind, View};
 /// real times; each view ends one tick after the last global event (the
 /// run is complete, so all messages are delivered and admissibility's
 /// undelivered-message clause is vacuous).
+///
+/// The simulation must have been run with message logging enabled
+/// ([`Simulation::enable_msg_log`]) — with it off the reconstructed run
+/// would silently have no send/receive steps.
 #[must_use]
 pub fn run_from_sim<A, D>(sim: &Simulation<A, D>) -> Run
 where
@@ -90,6 +94,7 @@ mod tests {
             ClockAssignment::spread(3, p.eps()),
             UniformDelay::new(p.delay_bounds(), 5),
         );
+        sim.enable_msg_log();
         sim.schedule_invoke(ProcessId::new(0), SimTime::ZERO, QueueOp::Enqueue(1));
         sim.schedule_invoke(
             ProcessId::new(1),

@@ -73,6 +73,22 @@ impl<A: Actor> Effects<A> {
             response: None,
         }
     }
+
+    /// Empties the buffer in place, keeping the allocations — the node
+    /// core reuses one `Effects` across activations.
+    pub(crate) fn clear(&mut self) {
+        self.sends.clear();
+        self.timers.clear();
+        self.cancels.clear();
+        self.response = None;
+    }
+}
+
+// Manual impl: `A` itself need not be `Default`.
+impl<A: Actor> Default for Effects<A> {
+    fn default() -> Self {
+        Effects::new()
+    }
 }
 
 /// Handler-side view of the runtime: local clock, message sends, timers and

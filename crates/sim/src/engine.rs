@@ -6,10 +6,13 @@
 //! (handler dispatch, effect draining, the one-pending-op invariant,
 //! timer generations, trace emission, history recording — see
 //! [`crate::node`]). The engine's own job is reduced to a virtual-time
-//! event heap: a private `VirtualTransport` implementing
+//! event queue: a private `VirtualTransport` implementing
 //! [`Transport`](crate::transport::Transport) assigns every send a
 //! delay from the [`DelayModel`] and pops deliveries, timer expiries
-//! and invocations back in deterministic `(time, seq)` order.
+//! and invocations back in deterministic `(time, seq)` order. The
+//! queue is a calendar queue ([`crate::equeue`]) carrying `Copy` tags;
+//! payloads live in generation-stamped slabs ([`crate::slab`]) whose
+//! slots recycle, so steady-state scheduling allocates nothing.
 //!
 //! Identical inputs (actors, clocks, delay model, schedule, driver)
 //! always produce identical runs: events at equal real times are
@@ -19,16 +22,13 @@
 //! The engine enforces the model of Chapter III:
 //!
 //! * at most one pending operation per process (via the node core);
-//! * every message delay within `[d − u, d]` (the delay model is
-//!   re-validated on every send);
+//! * every message delay within `[d − u, d]` (the bounds are validated
+//!   at construction; each send is spot-checked in debug builds);
 //! * local processing takes zero time;
 //! * clocks are fixed offsets from real time.
 //!
 //! The real-thread counterpart is [`crate::rt`], which drives the same
 //! node core from OS threads and a delay-injecting router.
-
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 use crate::actor::Actor;
 use crate::clock::ClockAssignment;
@@ -38,7 +38,7 @@ use crate::ids::{MsgId, ProcessId, TimerId};
 use crate::node::{Activation, NodeCore, Stamp};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{EngineTrace, Trace, TraceSink};
-use crate::transport::VirtualTransport;
+use crate::transport::{EvSlot, EvTag, VirtualTransport};
 use crate::workload::Driver;
 
 /// Engine limits and switches.
@@ -99,6 +99,12 @@ pub struct SimReport {
     pub end_time: SimTime,
     /// Host wall-clock time the run took, in nanoseconds.
     pub wall_nanos: u64,
+    /// Peak resident set size of the host process in bytes, if captured
+    /// with [`SimReport::with_peak_rss`]; zero otherwise. Reading it is
+    /// a `/proc` round-trip, so the run loops leave it to the caller —
+    /// grid sweeps record it once per grid, scale runs per run. Ignored
+    /// by equality, like [`SimReport::wall_nanos`].
+    pub peak_rss_bytes: u64,
 }
 
 impl PartialEq for SimReport {
@@ -110,6 +116,14 @@ impl PartialEq for SimReport {
 impl Eq for SimReport {}
 
 impl SimReport {
+    /// Stamps the report with the host's current peak RSS (see
+    /// [`crate::stats::peak_rss_bytes`]).
+    #[must_use]
+    pub fn with_peak_rss(mut self) -> Self {
+        self.peak_rss_bytes = crate::stats::peak_rss_bytes();
+        self
+    }
+
     /// Simulation throughput in events per wall-clock second.
     #[must_use]
     pub fn events_per_sec(&self) -> f64 {
@@ -287,35 +301,6 @@ impl<A: Actor> SchedulePolicy<A> for FifoPolicy {
     }
 }
 
-pub(crate) struct Scheduled<A: Actor> {
-    pub(crate) at: SimTime,
-    pub(crate) seq: u64,
-    pub(crate) pid: ProcessId,
-    pub(crate) kind: EventKind<A>,
-}
-
-impl<A: Actor> PartialEq for Scheduled<A> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-
-impl<A: Actor> Eq for Scheduled<A> {}
-
-impl<A: Actor> PartialOrd for Scheduled<A> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<A: Actor> Ord for Scheduled<A> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so earliest (time, seq) pops
-        // first.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
-}
-
 /// A discrete-event simulation of `n` processes running actor `A` over
 /// delay model `D`.
 ///
@@ -398,20 +383,7 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
                     )
                 })
                 .collect(),
-            transport: VirtualTransport {
-                clocks,
-                delays,
-                // Pre-size the hot collections: a typical grid cell
-                // schedules a handful of events per process at any
-                // instant, and every broadcast appends n − 1 log entries.
-                queue: BinaryHeap::with_capacity(8 * n + 16),
-                seq: 0,
-                now: SimTime::ZERO,
-                pair_seq: vec![0; n * n],
-                n,
-                next_msg_id: 0,
-                msg_log: Vec::with_capacity(16 * n),
-            },
+            transport: VirtualTransport::new(clocks, delays, n),
             config: SimConfig::default(),
             started: false,
             history: History::new(),
@@ -493,8 +465,9 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
     }
 
     /// Consumes the simulation, returning the history, the final actor
-    /// states, and the message log — everything a checker needs, all by
-    /// move.
+    /// states, and the message log (empty unless
+    /// [`Simulation::enable_msg_log`] was called before running) —
+    /// everything a checker needs, all by move.
     #[must_use]
     #[allow(clippy::type_complexity)]
     pub fn into_parts(self) -> (History<A::Op, A::Resp>, Vec<A>, Vec<MsgEvent>) {
@@ -505,10 +478,27 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
         )
     }
 
-    /// Metadata of every message sent so far, in send order.
+    /// Turns on message-metadata logging: every subsequent send appends
+    /// a [`MsgEvent`] to [`Simulation::message_log`]. Off by default —
+    /// the log grows with every send, which run-reconstruction and
+    /// checkers need but measurement sweeps should not pay for. Call
+    /// before running; sends made while disabled are not logged.
+    pub fn enable_msg_log(&mut self) {
+        self.transport.enable_msg_log();
+    }
+
+    /// Metadata of every message sent while logging was enabled (see
+    /// [`Simulation::enable_msg_log`]), in send order. Empty when
+    /// logging was never enabled.
     #[must_use]
     pub fn message_log(&self) -> &[MsgEvent] {
         &self.transport.msg_log
+    }
+
+    /// Reserves room for `additional` further operations in the
+    /// history, so large scripted workloads don't regrow it.
+    pub fn reserve_ops(&mut self, additional: usize) {
+        self.history.reserve(additional);
     }
 
     /// The delay model — e.g. to inspect an enumerated model's state
@@ -562,27 +552,26 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
         Dr: Driver<A::Op, A::Resp> + ?Sized,
     {
         let wall_start = std::time::Instant::now();
-        let initial = driver.initial();
-        self.transport.queue.reserve(initial.len());
-        for (pid, at, op) in initial {
+        for (pid, at, op) in driver.initial() {
             self.schedule_invoke(pid, at, op);
         }
         self.start_nodes(driver);
         let mut events = 0u64;
-        while let Some(ev) = self.transport.queue.pop() {
+        while let Some((at, _seq, tag)) = self.transport.queue.pop() {
             events += 1;
             if events > self.config.max_events {
                 return Err(SimError::EventCapExceeded {
                     cap: self.config.max_events,
                 });
             }
-            self.dispatch_event(ev, driver);
+            self.dispatch_event(at, tag, driver);
         }
         self.emit_run_counters(events);
         Ok(SimReport {
             events,
             end_time: self.transport.now,
             wall_nanos: u64::try_from(wall_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            peak_rss_bytes: 0,
         })
     }
 
@@ -631,57 +620,62 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
         Dr: Driver<A::Op, A::Resp> + ?Sized,
     {
         let wall_start = std::time::Instant::now();
-        let initial = driver.initial();
-        self.transport.queue.reserve(initial.len());
-        for (pid, at, op) in initial {
+        for (pid, at, op) in driver.initial() {
             self.schedule_invoke(pid, at, op);
         }
         self.start_nodes(driver);
         let mut events = 0u64;
-        let mut batch: Vec<Scheduled<A>> = Vec::new();
-        while let Some(first) = self.transport.queue.pop() {
-            let at = first.at;
+        let mut batch: Vec<(u64, EvTag)> = Vec::new();
+        while let Some((at, seq, tag)) = self.transport.queue.pop() {
             batch.clear();
-            batch.push(first);
-            while self
-                .transport
-                .queue
-                .peek()
-                .is_some_and(|next| next.at == at)
-            {
-                batch.push(self.transport.queue.pop().expect("peeked"));
+            batch.push((seq, tag));
+            while self.transport.queue.next_at() == Some(at) {
+                let (_, s, t) = self.transport.queue.pop().expect("peeked");
+                batch.push((s, t));
             }
-            // The heap pops in (at, seq) order, so the batch is already in
-            // the engine's default FIFO order. Stale timer expiries are
-            // not schedulable events — drop them before the policy looks.
-            let nodes = &self.nodes;
-            batch.retain(|ev| match &ev.kind {
-                EventKind::Timer { id, .. } => nodes[ev.pid.index()].timers().is_live(*id),
-                _ => true,
-            });
+            // The queue pops in (at, seq) order, so the batch is already
+            // in the engine's default FIFO order. Stale timer expiries
+            // are not schedulable events — drop them (and free their
+            // payload slots) before the policy looks.
+            {
+                let nodes = &self.nodes;
+                let transport = &mut self.transport;
+                batch.retain(|&(_, tag)| match tag.kind {
+                    EvSlot::Timer => {
+                        let id = transport.timer_payloads.get(tag.slot).0;
+                        if nodes[tag.pid.index()].timers().is_live(id) {
+                            true
+                        } else {
+                            let _ = transport.timer_payloads.take(tag.slot);
+                            false
+                        }
+                    }
+                    _ => true,
+                });
+            }
             if batch.is_empty() {
                 continue;
             }
             let chosen = {
                 let views: Vec<EventView<'_, A>> = batch
                     .iter()
-                    .map(|ev| match &ev.kind {
-                        EventKind::Invoke { op } => EventView::Invoke {
-                            seq: ev.seq,
-                            pid: ev.pid,
-                            op,
+                    .map(|&(seq, tag)| match tag.kind {
+                        EvSlot::Invoke => EventView::Invoke {
+                            seq,
+                            pid: tag.pid,
+                            op: self.transport.ops.get(tag.slot),
                         },
-                        EventKind::Deliver { from, msg, msg_id } => EventView::Deliver {
-                            seq: ev.seq,
-                            pid: ev.pid,
-                            from: *from,
-                            msg_id: *msg_id,
-                            msg,
-                        },
-                        EventKind::Timer { .. } => EventView::Timer {
-                            seq: ev.seq,
-                            pid: ev.pid,
-                        },
+                        EvSlot::Deliver => {
+                            let p = self.transport.msgs.get(tag.slot);
+                            EventView::Deliver {
+                                seq,
+                                pid: tag.pid,
+                                from: p.from,
+                                msg_id: p.id,
+                                msg: &p.msg,
+                            }
+                        }
+                        EvSlot::Timer => EventView::Timer { seq, pid: tag.pid },
                     })
                     .collect();
                 match policy.choose(at, &views) {
@@ -696,9 +690,9 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
                     ScheduleDecision::Abort => return Err(SimError::PolicyAbort),
                 }
             };
-            let ev = batch.remove(chosen);
-            for rest in batch.drain(..) {
-                self.transport.queue.push(rest);
+            let (_, chosen_tag) = batch.remove(chosen);
+            for (s, t) in batch.drain(..) {
+                self.transport.queue.push(at, s, t);
             }
             events += 1;
             if events > self.config.max_events {
@@ -706,13 +700,14 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
                     cap: self.config.max_events,
                 });
             }
-            self.dispatch_event(ev, driver);
+            self.dispatch_event(at, chosen_tag, driver);
         }
         self.emit_run_counters(events);
         Ok(SimReport {
             events,
             end_time: self.transport.now,
             wall_nanos: u64::try_from(wall_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            peak_rss_bytes: 0,
         })
     }
 
@@ -755,20 +750,22 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
         }
     }
 
-    /// Advances time to the event and activates the node core. Stale
-    /// timer expiries (cancelled after queueing) are dropped silently by
-    /// the node's slab generation check.
+    /// Advances time to the event, takes its payload out of the slabs
+    /// and activates the node core. Stale timer expiries (cancelled
+    /// after queueing) are dropped silently by the node's slab
+    /// generation check.
     #[inline]
-    fn dispatch_event<Dr>(&mut self, ev: Scheduled<A>, driver: &mut Dr)
+    fn dispatch_event<Dr>(&mut self, at: SimTime, tag: EvTag, driver: &mut Dr)
     where
         Dr: Driver<A::Op, A::Resp> + ?Sized,
     {
-        debug_assert!(ev.at >= self.transport.now, "time went backwards");
-        self.transport.now = ev.at;
-        let pid = ev.pid;
+        debug_assert!(at >= self.transport.now, "time went backwards");
+        self.transport.now = at;
+        let pid = tag.pid;
         let stamp = self.stamp(pid);
+        let kind = self.transport.resolve(tag);
         let node = &mut self.nodes[pid.index()];
-        let act = match ev.kind {
+        let act = match kind {
             EventKind::Invoke { op } => node.on_invoke(
                 stamp,
                 op,
@@ -864,6 +861,7 @@ mod tests {
             ClockAssignment::zero(2),
             FixedDelay::maximal(bounds()),
         );
+        sim.enable_msg_log();
         sim.schedule_invoke(ProcessId::new(0), SimTime::ZERO, ());
         let report = sim.run().unwrap();
         assert!(sim.history().is_complete());
@@ -1072,6 +1070,7 @@ mod tests {
                 ClockAssignment::zero(2),
                 FixedDelay::maximal(bounds()),
             );
+            sim.enable_msg_log();
             sim.schedule_invoke(ProcessId::new(0), SimTime::ZERO, ());
             sim
         };
@@ -1162,9 +1161,11 @@ mod tests {
             ClockAssignment::zero(2),
             FixedDelay::maximal(bounds()),
         );
+        sim.enable_msg_log();
         sim.schedule_invoke(ProcessId::new(0), SimTime::ZERO, ());
         sim.run().unwrap();
         let log_len = sim.message_log().len();
+        assert_eq!(log_len, 2, "logging was enabled, so sends were recorded");
         let (history, actors, log) = sim.into_parts();
         assert!(history.is_complete());
         assert_eq!(actors.len(), 2);

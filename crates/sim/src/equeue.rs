@@ -1,0 +1,452 @@
+//! A calendar (radix) event queue for the discrete-event hot path.
+//!
+//! The engine used to schedule every event through a
+//! `BinaryHeap<Scheduled<A>>`: `O(log n)` sift-up/sift-down per
+//! operation, with the payload moved through the heap on every swap.
+//! Discrete-event workloads are far more structured than the general
+//! priority-queue problem assumes — virtual time only moves forward,
+//! and almost every push lands within one delay bound `d` of the
+//! current instant. A [`CalendarQueue`] exploits that structure:
+//!
+//! * Time is divided into fixed power-of-two *days* of `2^shift` ticks.
+//!   A ring of `nbuckets` (also a power of two) buckets maps day `D` to
+//!   bucket `D mod nbuckets`, so the ring covers a rolling window of
+//!   `nbuckets` consecutive days starting at the cursor.
+//! * A push within the window appends to its day's bucket — `O(1)`, no
+//!   sifting. Pushes beyond the window (rare: timers longer than the
+//!   delay bound) go to a small overflow `BinaryHeap` and migrate into
+//!   the ring as the cursor advances.
+//! * Buckets keep entries in push order with a `sorted` flag and a head
+//!   cursor. Pushes are monotone in `(time, seq)` almost always (the
+//!   seq counter increases), so the flag stays set and a pop is a plain
+//!   array read. An out-of-order append (same-day earlier time, or a
+//!   re-pushed entry with an old seq) clears the flag and the bucket is
+//!   lazily `sort_unstable`d once before its next pop — deterministic
+//!   despite the unstable sort because `(time, seq)` keys are unique.
+//! * Occupancy is a bitmask, one bit per bucket; finding the next
+//!   non-empty bucket is a word scan plus `trailing_zeros`.
+//!
+//! ## Determinism contract
+//!
+//! [`CalendarQueue::pop`] returns entries in exactly ascending
+//! `(SimTime, seq)` order — bit-identical to a `BinaryHeap` min-heap
+//! over the same keys — provided the caller upholds the discrete-event
+//! contract: **never push an entry earlier than the last popped entry**
+//! (pushing at the same time is fine). Keys must be unique, which the
+//! engine guarantees by allocating `seq` from a per-run counter. The
+//! property suite in `tests/equeue_prop.rs` checks the equivalence on
+//! random workloads, including same-tick ties and times adjacent to
+//! `u64::MAX`.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+const MIN_BUCKETS: usize = 16;
+const MAX_BUCKETS: usize = 4096;
+
+/// Sentinel for [`CalendarQueue::cur`]: no settled frontier bucket.
+const NO_FRONTIER: usize = usize::MAX;
+
+#[derive(Clone, Copy)]
+struct Entry<T> {
+    at: SimTime,
+    seq: u64,
+    data: T,
+}
+
+struct Bucket<T> {
+    entries: Vec<Entry<T>>,
+    /// Index of the next unpopped entry; entries before it are spent.
+    head: usize,
+    /// `true` while `entries[head..]` is ascending in `(at, seq)`.
+    sorted: bool,
+}
+
+impl<T> Default for Bucket<T> {
+    fn default() -> Self {
+        Bucket {
+            entries: Vec::new(),
+            head: 0,
+            sorted: true,
+        }
+    }
+}
+
+struct OverflowEntry<T> {
+    at: SimTime,
+    seq: u64,
+    data: T,
+}
+
+impl<T> PartialEq for OverflowEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for OverflowEntry<T> {}
+impl<T> PartialOrd for OverflowEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for OverflowEntry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest (at, seq) pops
+        // first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A monotone event queue popping entries in ascending `(SimTime, seq)`
+/// order (see the [module docs](self) for the design and the
+/// determinism contract).
+///
+/// # Examples
+///
+/// ```
+/// use skewbound_sim::equeue::CalendarQueue;
+/// use skewbound_sim::time::{SimDuration, SimTime};
+///
+/// let mut q = CalendarQueue::new(8, SimDuration::from_ticks(10));
+/// q.push(SimTime::from_ticks(7), 1, "late");
+/// q.push(SimTime::from_ticks(3), 0, "early");
+/// assert_eq!(q.pop(), Some((SimTime::from_ticks(3), 0, "early")));
+/// assert_eq!(q.pop(), Some((SimTime::from_ticks(7), 1, "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct CalendarQueue<T> {
+    buckets: Vec<Bucket<T>>,
+    /// One bit per bucket: set while the bucket has unpopped entries.
+    occupied: Vec<u64>,
+    /// `log2` of the day width in ticks.
+    shift: u32,
+    /// `nbuckets - 1` (bucket count is a power of two).
+    mask: u64,
+    /// The day of the earliest possibly-live entry; only advances.
+    cursor_day: u64,
+    /// Tick of the last popped entry — the floor the push contract is
+    /// checked against.
+    last_pop: u64,
+    /// The bucket [`CalendarQueue::settle`] last landed on, while it is
+    /// still guaranteed to hold the global minimum (`NO_FRONTIER`
+    /// otherwise): pops hit it directly without re-scanning. Invalidated
+    /// when the bucket drains or an insert breaks its sort order;
+    /// inserts into *later* days never touch the frontier.
+    cur: usize,
+    /// Live entries in the bucket ring.
+    cal_len: usize,
+    /// Entries more than `nbuckets` days past the cursor, migrated into
+    /// the ring as the cursor advances.
+    overflow: BinaryHeap<OverflowEntry<T>>,
+}
+
+impl<T> core::fmt::Debug for CalendarQueue<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("CalendarQueue")
+            .field("len", &(self.cal_len + self.overflow.len()))
+            .field("buckets", &self.buckets.len())
+            .field("day_ticks", &(1u64 << self.shift))
+            .field("cursor_day", &self.cursor_day)
+            .field("overflow", &self.overflow.len())
+            .finish()
+    }
+}
+
+impl<T: Copy> CalendarQueue<T> {
+    /// Creates a queue sized for roughly `expected` concurrently queued
+    /// entries whose times mostly fall within `horizon` of the current
+    /// instant (the engine passes the delay bound `d`). Both parameters
+    /// only tune bucket geometry; any entry count and any time is
+    /// handled correctly.
+    #[must_use]
+    pub fn new(expected: usize, horizon: SimDuration) -> Self {
+        let nbuckets = expected.next_power_of_two().clamp(MIN_BUCKETS, MAX_BUCKETS);
+        // Cover about two horizons with the ring so steady-state pushes
+        // (delays in [d - u, d], short timers) land in buckets, not the
+        // overflow heap. Day width is forced to a power of two so the
+        // day of a time is a shift, not a division.
+        let span = horizon.as_ticks().saturating_mul(2).max(1);
+        let width = (span / nbuckets as u64).max(1).next_power_of_two();
+        // Pre-size every bucket so steady-state pushes never allocate —
+        // construction is off the measured path, pushes are on it.
+        let per_bucket = (expected / nbuckets).max(4);
+        let mut buckets = Vec::with_capacity(nbuckets);
+        buckets.resize_with(nbuckets, || Bucket {
+            entries: Vec::with_capacity(per_bucket),
+            head: 0,
+            sorted: true,
+        });
+        CalendarQueue {
+            buckets,
+            occupied: vec![0u64; nbuckets.div_ceil(64)],
+            shift: width.trailing_zeros(),
+            mask: (nbuckets - 1) as u64,
+            cursor_day: 0,
+            last_pop: 0,
+            cur: NO_FRONTIER,
+            cal_len: 0,
+            overflow: BinaryHeap::new(),
+        }
+    }
+
+    /// Number of queued entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cal_len + self.overflow.len()
+    }
+
+    /// `true` when no entries are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Queues an entry. `at` must not precede the time of the last
+    /// popped entry (the discrete-event contract; see the
+    /// [module docs](self)), and `(at, seq)` must be unique among queued
+    /// entries.
+    pub fn push(&mut self, at: SimTime, seq: u64, data: T) {
+        debug_assert!(
+            at.as_ticks() >= self.last_pop,
+            "pushed an entry before the last popped time (at {at:?}, last pop t{})",
+            self.last_pop
+        );
+        // A push at the last popped time can land behind the cursor when
+        // its bucket was drained and the cursor settled forward (the
+        // scheduler's batch re-push). Such an entry precedes everything
+        // queued, so filing it under the cursor's own day keeps the scan
+        // order exact without ever moving the cursor backwards.
+        let day = (at.as_ticks() >> self.shift).max(self.cursor_day);
+        if day - self.cursor_day < self.buckets.len() as u64 {
+            self.bucket_insert(day, at, seq, data);
+        } else {
+            self.overflow.push(OverflowEntry { at, seq, data });
+        }
+    }
+
+    /// Removes and returns the earliest entry as `(at, seq, data)`.
+    pub fn pop(&mut self) -> Option<(SimTime, u64, T)> {
+        let idx = if self.cur == NO_FRONTIER {
+            self.settle()?
+        } else {
+            self.cur
+        };
+        let b = &mut self.buckets[idx];
+        let e = b.entries[b.head];
+        b.head += 1;
+        self.cal_len -= 1;
+        if b.head == b.entries.len() {
+            b.entries.clear();
+            b.head = 0;
+            b.sorted = true;
+            self.occupied[idx >> 6] &= !(1u64 << (idx & 63));
+            self.cur = NO_FRONTIER;
+        }
+        self.last_pop = e.at.as_ticks();
+        Some((e.at, e.seq, e.data))
+    }
+
+    /// The time of the earliest entry without removing it. Like `pop`,
+    /// this may advance internal cursors and sort a bucket, hence
+    /// `&mut self`.
+    pub fn next_at(&mut self) -> Option<SimTime> {
+        let idx = if self.cur == NO_FRONTIER {
+            self.settle()?
+        } else {
+            self.cur
+        };
+        let b = &self.buckets[idx];
+        Some(b.entries[b.head].at)
+    }
+
+    /// Positions the cursor on the bucket holding the globally earliest
+    /// entry, migrating newly in-window overflow entries and lazily
+    /// sorting the bucket. Returns its index, or `None` when empty.
+    fn settle(&mut self) -> Option<usize> {
+        if self.cal_len == 0 {
+            // Ring empty: jump the cursor to the overflow's earliest day
+            // so the migration below moves at least one entry in.
+            let peek_day = self.overflow.peek()?.at.as_ticks() >> self.shift;
+            debug_assert!(peek_day >= self.cursor_day, "overflow behind cursor");
+            self.cursor_day = peek_day;
+        }
+        let nbuckets = self.buckets.len() as u64;
+        while let Some(e) = self.overflow.peek() {
+            let day = e.at.as_ticks() >> self.shift;
+            if day.saturating_sub(self.cursor_day) >= nbuckets {
+                break;
+            }
+            let e = self.overflow.pop().expect("peeked");
+            let day = e.at.as_ticks() >> self.shift;
+            self.bucket_insert(day, e.at, e.seq, e.data);
+        }
+        debug_assert!(self.cal_len > 0, "migration left the ring empty");
+        let pos = (self.cursor_day & self.mask) as usize;
+        let idx = self.next_occupied(pos).expect("cal_len > 0");
+        // Each in-window day maps to a distinct bucket, so stepping to
+        // the next occupied bucket from the cursor's position reaches
+        // the bucket of the earliest occupied day. Remaining overflow
+        // entries lie at or beyond the *pre-advance* window end, hence
+        // after every ring entry — the found bucket is the global min.
+        let steps = (idx as u64).wrapping_sub(pos as u64) & self.mask;
+        self.cursor_day += steps;
+        let b = &mut self.buckets[idx];
+        if !b.sorted {
+            if b.head > 0 {
+                b.entries.drain(..b.head);
+                b.head = 0;
+            }
+            b.entries.sort_unstable_by_key(|e| (e.at, e.seq));
+            b.sorted = true;
+        }
+        self.cur = idx;
+        Some(idx)
+    }
+
+    /// Files an entry under `day` (normally `at`'s own day; the clamped
+    /// cursor day for behind-cursor re-pushes, which sort first anyway).
+    fn bucket_insert(&mut self, day: u64, at: SimTime, seq: u64, data: T) {
+        let idx = (day & self.mask) as usize;
+        let b = &mut self.buckets[idx];
+        if b.sorted {
+            if let Some(last) = b.entries.last() {
+                if (at, seq) < (last.at, last.seq) {
+                    b.sorted = false;
+                }
+            }
+        }
+        b.entries.push(Entry { at, seq, data });
+        if idx == self.cur && !b.sorted {
+            // The frontier bucket needs a re-sort (and spent-prefix
+            // drain) before its next pop — fall back to `settle`.
+            self.cur = NO_FRONTIER;
+        }
+        self.occupied[idx >> 6] |= 1u64 << (idx & 63);
+        self.cal_len += 1;
+    }
+
+    /// Index of the first occupied bucket at or cyclically after `from`.
+    fn next_occupied(&self, from: usize) -> Option<usize> {
+        let nwords = self.occupied.len();
+        let start_word = from >> 6;
+        let first = self.occupied[start_word] & (!0u64 << (from & 63));
+        if first != 0 {
+            return Some((start_word << 6) | first.trailing_zeros() as usize);
+        }
+        for i in 1..=nwords {
+            let w = (start_word + i) % nwords;
+            let bits = self.occupied[w];
+            if bits != 0 {
+                return Some((w << 6) | bits.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ticks: u64) -> SimTime {
+        SimTime::from_ticks(ticks)
+    }
+
+    fn drain(q: &mut CalendarQueue<u32>) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        while let Some((at, seq, _)) = q.pop() {
+            out.push((at.as_ticks(), seq));
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut q = CalendarQueue::new(4, SimDuration::from_ticks(100));
+        q.push(t(50), 3, 0);
+        q.push(t(10), 1, 0);
+        q.push(t(50), 2, 0);
+        q.push(t(10), 0, 0);
+        assert_eq!(q.len(), 4);
+        assert_eq!(drain(&mut q), vec![(10, 0), (10, 1), (50, 2), (50, 3)]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ring_wraps_across_many_windows() {
+        // Horizon 1 tick → minimal day width; times far apart force both
+        // overflow migration and repeated ring wrap-around.
+        let mut q = CalendarQueue::new(1, SimDuration::from_ticks(1));
+        let times: Vec<u64> = (0..200).map(|i| i * 37).collect();
+        for (seq, &ticks) in times.iter().enumerate() {
+            q.push(t(ticks), seq as u64, 0);
+        }
+        let popped = drain(&mut q);
+        let mut expect: Vec<(u64, u64)> = times
+            .iter()
+            .enumerate()
+            .map(|(s, &ti)| (ti, s as u64))
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(popped, expect);
+    }
+
+    #[test]
+    fn interleaved_push_pop_respects_contract() {
+        let mut q = CalendarQueue::new(8, SimDuration::from_ticks(10));
+        q.push(t(5), 0, 0);
+        assert_eq!(q.pop(), Some((t(5), 0, 0)));
+        // New pushes at the last popped time are legal and pop next.
+        q.push(t(5), 2, 0);
+        q.push(t(7), 1, 0);
+        assert_eq!(q.next_at(), Some(t(5)));
+        assert_eq!(drain(&mut q), vec![(5, 2), (7, 1)]);
+    }
+
+    #[test]
+    fn repushed_old_seq_sorts_before_later_entries() {
+        // Model the scheduler's batch re-push: an entry with an *older*
+        // seq lands in a bucket after younger ones at the same time.
+        let mut q = CalendarQueue::new(8, SimDuration::from_ticks(100));
+        q.push(t(20), 5, 0);
+        q.push(t(20), 9, 0);
+        q.push(t(20), 3, 0); // out of order: marks the bucket unsorted
+        assert_eq!(drain(&mut q), vec![(20, 3), (20, 5), (20, 9)]);
+    }
+
+    #[test]
+    fn saturation_adjacent_times() {
+        let mut q = CalendarQueue::new(4, SimDuration::from_ticks(16));
+        q.push(t(u64::MAX), 1, 0);
+        q.push(t(u64::MAX - 1), 0, 0);
+        q.push(t(3), 2, 0);
+        assert_eq!(
+            drain(&mut q),
+            vec![(3, 2), (u64::MAX - 1, 0), (u64::MAX, 1)]
+        );
+    }
+
+    #[test]
+    fn overflow_migrates_in_pop_order() {
+        let mut q = CalendarQueue::new(2, SimDuration::from_ticks(2));
+        // Far-future entries overflow; near entries stay in the ring.
+        q.push(t(1_000_000), 0, 0);
+        q.push(t(2), 1, 0);
+        q.push(t(1_000_001), 2, 0);
+        assert_eq!(q.len(), 3);
+        assert_eq!(drain(&mut q), vec![(2, 1), (1_000_000, 0), (1_000_001, 2)]);
+    }
+
+    #[test]
+    fn next_at_is_stable_and_nonconsuming() {
+        let mut q = CalendarQueue::new(4, SimDuration::from_ticks(10));
+        assert_eq!(q.next_at(), None);
+        q.push(t(9), 0, 7);
+        assert_eq!(q.next_at(), Some(t(9)));
+        assert_eq!(q.next_at(), Some(t(9)));
+        assert_eq!(q.pop(), Some((t(9), 0, 7)));
+        assert_eq!(q.next_at(), None);
+    }
+}

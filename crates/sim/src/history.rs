@@ -92,6 +92,20 @@ impl<O, R> History<O, R> {
         }
     }
 
+    /// Creates an empty history with room for `capacity` operations
+    /// before reallocating.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        History {
+            records: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Reserves room for at least `additional` further operations.
+    pub fn reserve(&mut self, additional: usize) {
+        self.records.reserve(additional);
+    }
+
     /// Appends an invocation and returns its id.
     pub fn record_invoke(&mut self, pid: ProcessId, op: O, at: SimTime) -> OpId {
         let id = OpId::new(self.records.len() as u64);

@@ -93,6 +93,9 @@ impl MsgId {
 }
 
 impl TimerId {
+    const SLOT_BITS: u32 = 32;
+    const SLOT_MASK: u64 = (1 << Self::SLOT_BITS) - 1;
+
     /// Creates a timer id from a raw value.
     #[must_use]
     pub const fn new(v: u64) -> Self {
@@ -103,6 +106,27 @@ impl TimerId {
     #[must_use]
     pub const fn as_u64(self) -> u64 {
         self.0
+    }
+
+    /// Packs a slab coordinate into an id: `(generation << 32) | slot`
+    /// (the [`TimerSlab`](crate::timers::TimerSlab) scheme).
+    #[must_use]
+    pub const fn from_parts(generation: u32, slot: u32) -> Self {
+        TimerId(((generation as u64) << Self::SLOT_BITS) | slot as u64)
+    }
+
+    /// The slab slot this id addresses.
+    #[must_use]
+    #[allow(clippy::cast_possible_truncation)] // masked to 32 bits
+    pub const fn slot(self) -> u32 {
+        (self.0 & Self::SLOT_MASK) as u32
+    }
+
+    /// The slab generation this id was minted under.
+    #[must_use]
+    #[allow(clippy::cast_possible_truncation)] // shifted into 32 bits
+    pub const fn generation(self) -> u32 {
+        (self.0 >> Self::SLOT_BITS) as u32
     }
 }
 
@@ -166,5 +190,16 @@ mod tests {
         assert_eq!(format!("{:?}", OpId::new(7)), "op#7");
         assert_eq!(format!("{:?}", MsgId::new(9)), "m#9");
         assert_eq!(format!("{:?}", TimerId::new(2)), "timer#2");
+    }
+
+    #[test]
+    fn timer_id_packing_round_trips() {
+        let id = TimerId::from_parts(7, 42);
+        assert_eq!(id.generation(), 7);
+        assert_eq!(id.slot(), 42);
+        assert_eq!(id, TimerId::new((7 << 32) | 42));
+        let extremes = TimerId::from_parts(u32::MAX, u32::MAX);
+        assert_eq!(extremes.generation(), u32::MAX);
+        assert_eq!(extremes.slot(), u32::MAX);
     }
 }

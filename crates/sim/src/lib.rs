@@ -58,11 +58,13 @@ pub mod actor;
 pub mod clock;
 pub mod delay;
 pub mod engine;
+pub mod equeue;
 pub mod history;
 pub mod ids;
 pub mod node;
 pub mod par;
 pub mod rt;
+pub mod slab;
 pub mod stats;
 pub mod time;
 pub mod timers;

@@ -132,6 +132,10 @@ pub struct NodeCore<A: Actor> {
     timers: TimerSlab,
     /// The at-most-one-pending-operation invariant of Chapter III §A.
     pending_op: Option<OpId>,
+    /// Reused effect buffer: every activation borrows it, fills it and
+    /// hands it back drained, so steady-state activations allocate
+    /// nothing for their effects.
+    scratch: Effects<A>,
 }
 
 impl<A: Actor> fmt::Debug for NodeCore<A> {
@@ -154,6 +158,7 @@ impl<A: Actor> NodeCore<A> {
             actor,
             timers: TimerSlab::with_capacity(2),
             pending_op: None,
+            scratch: Effects::new(),
         }
     }
 
@@ -355,13 +360,15 @@ impl<A: Actor> NodeCore<A> {
         });
     }
 
-    /// Runs one handler against a fresh [`Context`] and returns the
-    /// recorded effects.
+    /// Runs one handler against the reusable scratch [`Effects`] buffer
+    /// and returns it filled. The caller must hand it back (drained)
+    /// via [`NodeCore::apply_effects`], which restores the buffers.
     fn run<F>(&mut self, clock: ClockTime, f: F) -> Effects<A>
     where
         F: FnOnce(&mut A, &mut Context<'_, A>),
     {
-        let mut effects = Effects::new();
+        let mut effects = core::mem::take(&mut self.scratch);
+        effects.clear();
         {
             let mut ctx = Context::new(self.pid, self.n, clock, &mut self.timers, &mut effects);
             f(&mut self.actor, &mut ctx);
@@ -370,11 +377,12 @@ impl<A: Actor> NodeCore<A> {
     }
 
     /// Drains one activation's effects in the model's fixed order:
-    /// sends, timer arms, timer cancels, then the response.
+    /// sends, timer arms, timer cancels, then the response — then puts
+    /// the emptied buffer back as scratch for the next activation.
     fn apply_effects<T, TO, H>(
         &mut self,
         stamp: Stamp,
-        effects: Effects<A>,
+        mut effects: Effects<A>,
         transport: &mut T,
         trace: &mut TO,
         history: &mut H,
@@ -384,14 +392,7 @@ impl<A: Actor> NodeCore<A> {
         TO: TraceOutput,
         H: HistorySink<A>,
     {
-        let Effects {
-            sends,
-            timers,
-            cancels,
-            response,
-        } = effects;
-
-        for (to, msg) in sends {
+        for (to, msg) in effects.sends.drain(..) {
             if trace.active() {
                 let payload = format!("{msg:?}");
                 let id = transport.send(self.pid, to, msg);
@@ -409,7 +410,7 @@ impl<A: Actor> NodeCore<A> {
             }
         }
 
-        for (id, delay, timer) in timers {
+        for (id, delay, timer) in effects.timers.drain(..) {
             // The id is already live in the slab (allocated by
             // `Context::set_timer`); the transport only schedules the
             // expiry.
@@ -426,11 +427,14 @@ impl<A: Actor> NodeCore<A> {
             transport.set_timer(self.pid, id, delay, timer);
         }
 
-        for id in cancels {
+        for id in effects.cancels.drain(..) {
             if self.timers.cancel(id) {
                 transport.cancel_timer(self.pid, id);
             }
         }
+
+        let response = effects.response.take();
+        self.scratch = effects;
 
         if let Some(resp) = response {
             let op_id = self

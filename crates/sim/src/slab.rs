@@ -1,0 +1,202 @@
+//! Generation-stamped payload slabs: u32-indexed pools for in-flight
+//! event payloads.
+//!
+//! The engine's event queue used to move whole `Scheduled<A>` values —
+//! operation, message or timer payload included — through a binary
+//! heap. A [`Slab`] splits that into columns: payloads live in a
+//! recycled slot pool and the queue carries only a [`SlabRef`] (slot
+//! index plus generation), eight bytes of `Copy` data. Slots return to
+//! a free list when their payload is taken, so steady-state simulation
+//! performs no payload allocation at all — the pool high-water mark is
+//! the peak number of *concurrently* in-flight events, not the total
+//! ever scheduled.
+//!
+//! The generation stamp extends the [`TimerSlab`](crate::timers)
+//! pattern to arbitrary payloads: every recycle bumps the slot's
+//! generation, so a stale reference (a queue entry that was already
+//! resolved) can never silently read a successor payload — [`Slab::get`]
+//! and [`Slab::take`] panic instead.
+
+/// A `Copy` handle to a payload stored in a [`Slab`].
+///
+/// Valid from [`Slab::insert`] until the matching [`Slab::take`];
+/// using it afterwards panics (generation mismatch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlabRef {
+    slot: u32,
+    generation: u32,
+}
+
+#[derive(Debug)]
+struct Slot<T> {
+    generation: u32,
+    value: Option<T>,
+}
+
+/// A u32-indexed pool of payloads with generation-stamped handles (see
+/// the [module docs](self)).
+///
+/// # Examples
+///
+/// ```
+/// use skewbound_sim::slab::Slab;
+///
+/// let mut slab = Slab::new();
+/// let a = slab.insert("hello");
+/// assert_eq!(slab.get(a), &"hello");
+/// assert_eq!(slab.take(a), "hello");
+/// let b = slab.insert("world"); // recycles a's slot, new generation
+/// assert_ne!(a, b);
+/// assert_eq!(slab.take(b), "world");
+/// assert_eq!(slab.live(), 0);
+/// ```
+#[derive(Debug)]
+pub struct Slab<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Slab::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// Creates an empty slab.
+    #[must_use]
+    pub fn new() -> Self {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Creates an empty slab with room for `capacity` concurrently
+    /// stored payloads before reallocating.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Slab {
+            slots: Vec::with_capacity(capacity),
+            free: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Stores `value` and returns its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u32::MAX` payloads are stored at once.
+    pub fn insert(&mut self, value: T) -> SlabRef {
+        match self.free.pop() {
+            Some(slot) => {
+                let s = &mut self.slots[slot as usize];
+                debug_assert!(s.value.is_none(), "free-listed slot still occupied");
+                s.value = Some(value);
+                SlabRef {
+                    slot,
+                    generation: s.generation,
+                }
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len())
+                    .expect("more than u32::MAX concurrently stored payloads");
+                self.slots.push(Slot {
+                    generation: 0,
+                    value: Some(value),
+                });
+                SlabRef {
+                    slot,
+                    generation: 0,
+                }
+            }
+        }
+    }
+
+    /// Borrows the payload behind `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is stale (already taken).
+    #[must_use]
+    pub fn get(&self, r: SlabRef) -> &T {
+        let s = &self.slots[r.slot as usize];
+        assert_eq!(s.generation, r.generation, "stale slab reference");
+        s.value.as_ref().expect("stale slab reference")
+    }
+
+    /// Removes and returns the payload behind `r`, recycling its slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is stale (already taken).
+    pub fn take(&mut self, r: SlabRef) -> T {
+        let s = &mut self.slots[r.slot as usize];
+        assert_eq!(s.generation, r.generation, "stale slab reference");
+        let value = s.value.take().expect("stale slab reference");
+        // Generations only guard against double-resolution bugs within
+        // one run; wrapping after 2^32 recycles of one slot is fine.
+        s.generation = s.generation.wrapping_add(1);
+        self.free.push(r.slot);
+        value
+    }
+
+    /// Number of payloads currently stored.
+    #[must_use]
+    pub fn live(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// High-water mark: the total number of slots ever allocated.
+    #[must_use]
+    pub fn capacity_used(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_take_recycles_slots() {
+        let mut slab = Slab::new();
+        let a = slab.insert(1);
+        let b = slab.insert(2);
+        assert_eq!(slab.live(), 2);
+        assert_eq!(slab.take(a), 1);
+        let c = slab.insert(3);
+        assert_eq!(slab.capacity_used(), 2, "slot was recycled, not grown");
+        assert_eq!(slab.take(b), 2);
+        assert_eq!(slab.take(c), 3);
+        assert_eq!(slab.live(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale slab reference")]
+    fn double_take_panics() {
+        let mut slab = Slab::new();
+        let a = slab.insert(7);
+        assert_eq!(slab.take(a), 7);
+        let _ = slab.take(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale slab reference")]
+    fn stale_get_after_recycle_panics() {
+        let mut slab = Slab::new();
+        let a = slab.insert(7);
+        let _ = slab.take(a);
+        let _b = slab.insert(8); // same slot, new generation
+        let _ = slab.get(a);
+    }
+
+    #[test]
+    fn get_borrows_without_consuming() {
+        let mut slab = Slab::new();
+        let a = slab.insert(String::from("x"));
+        assert_eq!(slab.get(a), "x");
+        assert_eq!(slab.get(a), "x");
+        assert_eq!(slab.take(a), "x");
+    }
+}

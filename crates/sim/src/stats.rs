@@ -103,6 +103,37 @@ impl core::fmt::Display for LatencySummary {
     }
 }
 
+/// The host process's peak resident set size in bytes, read from
+/// `/proc/self/status` (`VmHWM`). Returns `0` on platforms without
+/// procfs or if the field is missing — callers treat `0` as "not
+/// measured". Peak RSS is a whole-process high-water mark, so it is
+/// meaningful per *process lifetime* (one bench invocation), not per
+/// individual run.
+#[must_use]
+pub fn peak_rss_bytes() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    let kb: u64 = rest
+                        .trim()
+                        .trim_end_matches("kB")
+                        .trim()
+                        .parse()
+                        .unwrap_or(0);
+                    return kb * 1024;
+                }
+            }
+        }
+        0
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,6 +176,12 @@ mod tests {
         assert_eq!(m.min, d(2));
         assert_eq!(m.max, d(12));
         assert_eq!(m.mean, d(7)); // (3*2 + 11*2)/4
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn peak_rss_is_positive_on_linux() {
+        assert!(peak_rss_bytes() > 0);
     }
 
     #[test]

@@ -18,9 +18,6 @@
 
 use crate::ids::TimerId;
 
-const SLOT_BITS: u32 = 32;
-const SLOT_MASK: u64 = (1 << SLOT_BITS) - 1;
-
 #[derive(Debug, Clone, Copy)]
 struct Slot {
     generation: u32,
@@ -93,7 +90,7 @@ impl TimerSlab {
             }
         };
         let generation = self.slots[slot as usize].generation;
-        TimerId::new((u64::from(generation) << SLOT_BITS) | u64::from(slot))
+        TimerId::from_parts(generation, slot)
     }
 
     /// Cancels a live timer. Returns `false` (a no-op) if the id is
@@ -115,13 +112,9 @@ impl TimerSlab {
     /// live ones.
     #[must_use]
     pub fn is_live(&self, id: TimerId) -> bool {
-        let raw = id.as_u64();
-        let slot = (raw & SLOT_MASK) as u32;
-        #[allow(clippy::cast_possible_truncation)]
-        let generation = (raw >> SLOT_BITS) as u32;
         self.slots
-            .get(slot as usize)
-            .is_some_and(|s| s.live && s.generation == generation)
+            .get(id.slot() as usize)
+            .is_some_and(|s| s.live && s.generation == id.generation())
     }
 
     /// Number of currently live (pending) timers.
@@ -131,14 +124,11 @@ impl TimerSlab {
     }
 
     fn retire(&mut self, id: TimerId) -> bool {
-        let raw = id.as_u64();
-        let slot = (raw & SLOT_MASK) as u32;
-        #[allow(clippy::cast_possible_truncation)]
-        let generation = (raw >> SLOT_BITS) as u32;
+        let slot = id.slot();
         let Some(s) = self.slots.get_mut(slot as usize) else {
             return false;
         };
-        if !s.live || s.generation != generation {
+        if !s.live || s.generation != id.generation() {
             return false;
         }
         s.live = false;
@@ -220,14 +210,14 @@ mod tests {
         // Fast-forward the recycled slot to the last generation.
         slab.slots[0].generation = u32::MAX;
         let b = slab.alloc();
-        assert_eq!(b.as_u64() & SLOT_MASK, 0, "free list recycles slot 0");
+        assert_eq!(b.slot(), 0, "free list recycles slot 0");
         assert_eq!(slab.pending(), 1);
         assert!(slab.fire(b));
         assert_eq!(slab.pending(), 0, "exhausted slot is not counted pending");
         // The slot is permanently retired: a fresh alloc gets a new slot
         // instead of wrapping slot 0 back to generation 0.
         let c = slab.alloc();
-        assert_eq!(c.as_u64() & SLOT_MASK, 1, "slot 0 must not be recycled");
+        assert_eq!(c.slot(), 1, "slot 0 must not be recycled");
         assert!(slab.is_live(c));
         // Ids minted for slot 0 stay dead forever, including the id that
         // a generation-0 wraparound would have resurrected.

@@ -7,8 +7,8 @@
 //! back to a node. A [`Transport`] captures exactly that difference:
 //!
 //! * the discrete-event engine implements it with a virtual-time
-//!   `BinaryHeap` — a send is assigned a delay by the
-//!   [`DelayModel`] and popped back at
+//!   calendar queue ([`crate::equeue`]) — a send is assigned a delay by
+//!   the [`DelayModel`] and popped back at
 //!   `sent_at + delay` in deterministic `(time, seq)` order;
 //! * the real-thread runtime implements it with a delay-injecting
 //!   router thread plus per-worker mpsc channels — a send is assigned a
@@ -25,14 +25,17 @@ use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use fxhash::FxHashMap;
 use rand::rngs::StdRng;
 use rand::Rng;
 
 use crate::actor::Actor;
 use crate::clock::ClockAssignment;
 use crate::delay::{DelayBounds, DelayModel, MsgMeta};
-use crate::engine::{EventKind, MsgEvent, Scheduled};
+use crate::engine::{EventKind, MsgEvent};
+use crate::equeue::CalendarQueue;
 use crate::ids::{MsgId, OpId, ProcessId, TimerId};
+use crate::slab::{Slab, SlabRef};
 use crate::time::{ticks_to_duration, SimDuration, SimTime};
 
 /// A backend that schedules message deliveries and timer expiries.
@@ -68,104 +71,252 @@ pub trait Transport<A: Actor> {
     }
 }
 
-/// The engine's [`Transport`]: a virtual-time event heap.
+/// Above this process count, per-pair send counters move from a dense
+/// `n * n` vector to a hash map: the dense table is fastest for grid
+/// cells (n of a few dozen) but is quadratic in memory — 80 GB of
+/// counters at n = 100 000.
+const DENSE_PAIR_LIMIT: usize = 1024;
+
+/// Per ordered pair `(from, to)` send counters, feeding
+/// [`MsgMeta::pair_seq`]. Dense for small systems, sparse above
+/// [`DENSE_PAIR_LIMIT`]; both give bit-identical counter sequences, so
+/// scripted/enumerated delay models replay the same either way.
+#[derive(Debug)]
+pub(crate) enum PairSeq {
+    /// Flat `from * n + to` vector (grids run millions of short
+    /// simulations; a flat vector beats a hash map in the send path).
+    Dense { counts: Vec<u64>, n: usize },
+    /// `(from << 32) | to` keyed map, allocated per *used* pair only.
+    Sparse(FxHashMap<u64, u64>),
+}
+
+impl PairSeq {
+    pub(crate) fn new(n: usize) -> Self {
+        if n <= DENSE_PAIR_LIMIT {
+            PairSeq::Dense {
+                counts: vec![0; n * n],
+                n,
+            }
+        } else {
+            PairSeq::Sparse(FxHashMap::default())
+        }
+    }
+
+    /// Post-increments the counter of the ordered pair.
+    #[inline]
+    fn next(&mut self, from: ProcessId, to: ProcessId) -> u64 {
+        let counter = match self {
+            PairSeq::Dense { counts, n } => &mut counts[from.index() * *n + to.index()],
+            PairSeq::Sparse(map) => map
+                .entry((u64::from(from.as_u32()) << 32) | u64::from(to.as_u32()))
+                .or_insert(0),
+        };
+        let seq = *counter;
+        *counter += 1;
+        seq
+    }
+}
+
+/// Which payload slab a queued [`EvTag`] resolves through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EvSlot {
+    Invoke,
+    Deliver,
+    Timer,
+}
+
+/// One queued event in columnar form: the destination process, the
+/// payload kind and the slab handle of the payload. 16 bytes of `Copy`
+/// data — this is all the calendar queue moves around.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct EvTag {
+    pub(crate) pid: ProcessId,
+    pub(crate) kind: EvSlot,
+    pub(crate) slot: SlabRef,
+}
+
+/// Slab payload of an in-flight message.
+pub(crate) struct MsgPayload<M> {
+    pub(crate) from: ProcessId,
+    pub(crate) id: MsgId,
+    pub(crate) msg: M,
+}
+
+/// The engine's [`Transport`]: a virtual-time calendar queue over
+/// struct-of-arrays event storage.
 ///
-/// A send is assigned a delay by the [`DelayModel`] (re-validated
-/// against the bounds on every call), logged, and queued for delivery
-/// at `sent_at + delay`; a timer arm is converted from local clock
-/// ticks to real time under the [`ClockAssignment`] and queued at its
-/// expiry instant. Events pop back in deterministic `(time, seq)`
-/// order. Cancelled timers are *not* pruned from the heap — the node
-/// core's slab generation filters the stale expiry when it pops.
+/// A send is assigned a delay by the [`DelayModel`] (validated against
+/// the bounds once at construction, `debug_assert`ed per call), and
+/// queued for delivery at `sent_at + delay`; a timer arm is converted
+/// from local clock ticks to real time under the [`ClockAssignment`]
+/// and queued at its expiry instant. The queue itself carries only
+/// [`EvTag`]s — payloads live in per-kind generation-stamped
+/// [`Slab`]s whose slots recycle, so steady-state scheduling allocates
+/// nothing. Events pop back in deterministic `(time, seq)` order.
+/// Cancelled timers are *not* pruned from the queue — the node core's
+/// slab generation filters the stale expiry when it pops.
 pub(crate) struct VirtualTransport<A: Actor, D: DelayModel> {
     pub(crate) clocks: ClockAssignment,
     pub(crate) delays: D,
-    pub(crate) queue: BinaryHeap<Scheduled<A>>,
+    /// The model's admissible delay interval, hoisted at construction.
+    bounds: DelayBounds,
+    pub(crate) queue: CalendarQueue<EvTag>,
+    pub(crate) ops: Slab<A::Op>,
+    pub(crate) msgs: Slab<MsgPayload<A::Msg>>,
+    pub(crate) timer_payloads: Slab<(TimerId, A::Timer)>,
     pub(crate) seq: u64,
     pub(crate) now: SimTime,
-    /// Per ordered pair `(from, to)` send counters, flattened to
-    /// `from * n + to` (grids run millions of short simulations; a flat
-    /// vector beats a hash map in the send hot path).
-    pub(crate) pair_seq: Vec<u64>,
+    pair_seq: PairSeq,
     pub(crate) n: usize,
     pub(crate) next_msg_id: u64,
+    /// Send metadata, recorded only while [`Self::log_messages`] — the
+    /// log grows with every send, which checkers need and sweeps do not.
     pub(crate) msg_log: Vec<MsgEvent>,
+    pub(crate) log_messages: bool,
 }
 
 impl<A: Actor, D: DelayModel> VirtualTransport<A, D> {
+    pub(crate) fn new(clocks: ClockAssignment, delays: D, n: usize) -> Self {
+        let bounds = delays.bounds();
+        VirtualTransport {
+            clocks,
+            // Pre-size the hot collections: a typical grid cell
+            // schedules a handful of events per process at any instant,
+            // within one delay bound of now.
+            queue: CalendarQueue::new(4 * n, bounds.max()),
+            ops: Slab::with_capacity(4),
+            // Sized like the old event heap (8n + 16): a broadcast keeps
+            // n - 1 messages in flight per concurrent writer, and growth
+            // past capacity is a realloc-copy on the hot path.
+            msgs: Slab::with_capacity(8 * n + 16),
+            timer_payloads: Slab::with_capacity(2 * n + 16),
+            delays,
+            bounds,
+            seq: 0,
+            now: SimTime::ZERO,
+            pair_seq: PairSeq::new(n),
+            n,
+            next_msg_id: 0,
+            msg_log: Vec::new(),
+            log_messages: false,
+        }
+    }
+
+    /// Turns on message-metadata logging, pre-sizing the log.
+    pub(crate) fn enable_msg_log(&mut self) {
+        self.log_messages = true;
+        if self.msg_log.capacity() == 0 {
+            // Every broadcast appends n − 1 entries.
+            self.msg_log.reserve(16 * self.n);
+        }
+    }
+
     pub(crate) fn bump_seq(&mut self) -> u64 {
         let s = self.seq;
         self.seq += 1;
         s
     }
 
+    /// Takes the payload of a popped tag out of its slab.
+    pub(crate) fn resolve(&mut self, tag: EvTag) -> EventKind<A> {
+        match tag.kind {
+            EvSlot::Invoke => EventKind::Invoke {
+                op: self.ops.take(tag.slot),
+            },
+            EvSlot::Deliver => {
+                let p = self.msgs.take(tag.slot);
+                EventKind::Deliver {
+                    from: p.from,
+                    msg: p.msg,
+                    msg_id: p.id,
+                }
+            }
+            EvSlot::Timer => {
+                let (id, timer) = self.timer_payloads.take(tag.slot);
+                EventKind::Timer { id, timer }
+            }
+        }
+    }
+
     pub(crate) fn push_invoke(&mut self, pid: ProcessId, at: SimTime, op: A::Op) {
+        let slot = self.ops.insert(op);
         let seq = self.bump_seq();
-        self.queue.push(Scheduled {
+        self.queue.push(
             at,
             seq,
-            pid,
-            kind: EventKind::Invoke { op },
-        });
+            EvTag {
+                pid,
+                kind: EvSlot::Invoke,
+                slot,
+            },
+        );
     }
 }
 
 impl<A: Actor, D: DelayModel> Transport<A> for VirtualTransport<A, D> {
     fn send(&mut self, from: ProcessId, to: ProcessId, msg: A::Msg) -> MsgId {
-        let pair_seq = &mut self.pair_seq[from.index() * self.n + to.index()];
-        let this_seq = *pair_seq;
-        *pair_seq += 1;
+        let pair_seq = self.pair_seq.next(from, to);
         let meta = MsgMeta {
             from,
             to,
             sent_at: self.now,
-            pair_seq: this_seq,
+            pair_seq,
         };
         let delay = self.delays.delay(meta);
-        let bounds = self.delays.bounds();
-        assert!(
-            bounds.contains(delay),
+        // The bounds themselves are validated once at construction
+        // (`DelayBounds::new` enforces u ≤ d, d > 0); per-send
+        // containment is a model invariant every shipped DelayModel
+        // upholds by construction, so the hot path only spot-checks it
+        // in debug builds.
+        debug_assert!(
+            self.bounds.contains(delay),
             "delay model produced inadmissible delay {delay:?} for {from}->{to} \
              (bounds [{:?}, {:?}])",
-            bounds.min(),
-            bounds.max()
+            self.bounds.min(),
+            self.bounds.max()
         );
         let recv_at = self.now + delay;
         let id = MsgId::new(self.next_msg_id);
         self.next_msg_id += 1;
-        self.msg_log.push(MsgEvent {
-            id,
-            from,
-            to,
-            sent_at: self.now,
-            delay,
-            recv_at,
-        });
-        let seq = self.bump_seq();
-        self.queue.push(Scheduled {
-            at: recv_at,
-            seq,
-            pid: to,
-            kind: EventKind::Deliver {
+        if self.log_messages {
+            self.msg_log.push(MsgEvent {
+                id,
                 from,
-                msg,
-                msg_id: id,
+                to,
+                sent_at: self.now,
+                delay,
+                recv_at,
+            });
+        }
+        let slot = self.msgs.insert(MsgPayload { from, id, msg });
+        let seq = self.bump_seq();
+        self.queue.push(
+            recv_at,
+            seq,
+            EvTag {
+                pid: to,
+                kind: EvSlot::Deliver,
+                slot,
             },
-        });
+        );
         id
     }
 
     fn set_timer(&mut self, pid: ProcessId, id: TimerId, delay: SimDuration, timer: A::Timer) {
-        let seq = self.bump_seq();
         // Timer delays are in clock units; under drift (a non-unit
         // clock rate) convert to real time.
         let real_delay = self.clocks.clock_to_real(pid, delay);
-        self.queue.push(Scheduled {
-            at: self.now + real_delay,
+        let slot = self.timer_payloads.insert((id, timer));
+        let seq = self.bump_seq();
+        self.queue.push(
+            self.now + real_delay,
             seq,
-            pid,
-            kind: EventKind::Timer { id, timer },
-        });
+            EvTag {
+                pid,
+                kind: EvSlot::Timer,
+                slot,
+            },
+        );
     }
 }
 

@@ -91,9 +91,12 @@ fn message_log_is_reproducible() {
             ClockAssignment::zero(2),
             UniformDelay::new(bounds, 9),
         );
+        sim.enable_msg_log();
         sim.schedule_invoke(ProcessId::new(0), SimTime::ZERO, 27);
         sim.run().unwrap();
-        sim.message_log().to_vec()
+        let log = sim.message_log().to_vec();
+        assert!(!log.is_empty(), "logging was enabled before the run");
+        log
     };
     assert_eq!(build(), build());
 }
