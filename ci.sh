@@ -26,12 +26,12 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 echo "== benches compile =="
 cargo bench --workspace --no-run
 
-echo "== grid bench smoke + 100k-process scale run (wall-clock budget 120s) =="
+echo "== grid bench smoke + 100k-process scale run + shard scaling (budget 120s) =="
 timeout 120 cargo run --release -p skewbound-bench --bin tables -- \
-  --object register --scale 100000 >/dev/null
+  --object register --scale 100000 --shards 1,4,8 >/dev/null
 for field in sim_wall_nanos check_wall_nanos check_nodes check_nodes_per_sec \
   events_per_sec peak_rss_bytes scale_events scale_events_per_sec \
-  scale_peak_rss_bytes; do
+  scale_peak_rss_bytes shards shard_events_per_sec; do
   value=$(grep -o "\"$field\": [0-9.]*" BENCH_grid.json | grep -o '[0-9.]*$' || true)
   if [ -z "$value" ]; then
     echo "BENCH_grid.json missing field: $field" >&2
@@ -47,7 +47,12 @@ if [ "$scale_n" -lt 100000 ]; then
   echo "scale run simulated only $scale_n processes (want >= 100000)" >&2
   exit 1
 fi
-echo "BENCH_grid.json per-stage + scale fields present and non-zero ($scale_n processes)"
+shard_max=$(grep -o '"shards": [0-9]*' BENCH_grid.json | grep -o '[0-9]*$')
+if [ "$shard_max" -lt 8 ]; then
+  echo "shard scaling topped out at $shard_max shards (want >= 8)" >&2
+  exit 1
+fi
+echo "BENCH_grid.json per-stage + scale + shard fields present and non-zero ($scale_n processes, $shard_max shards)"
 
 echo "== skewlint (model checker + protocol lints) =="
 skewlint_out=target/skewlint

@@ -1,7 +1,7 @@
 //! Regenerates every table and figure experiment of the paper.
 //!
 //! ```text
-//! tables [--object register|queue|stack|tree] [--scale N]
+//! tables [--object register|queue|stack|tree] [--scale N] [--shards S1,S2,...]
 //!        [--fig fig1|thmC|thmD|thmE|derive|ablation|nsweep|xsweep|drift|skew]
 //! ```
 //!
@@ -9,14 +9,60 @@
 //! processes in a single simulation and records its throughput and peak
 //! RSS in `BENCH_grid.json`.
 //!
+//! `--shards S1,S2,...` additionally runs the sharded-namespace scaling
+//! grid at each listed shard count (fixed total work, batching on and
+//! off, every shard gated by the per-shard linearizability check) and
+//! records the curve in `BENCH_grid.json`.
+//!
 //! With no arguments, prints everything: Tables I–IV and all figure
 //! experiments, using the workspace default parameters.
 
 use skewbound_bench::default_params;
 use skewbound_bench::figures;
-use skewbound_bench::measure::{scale_run, GridStats, ScaleStats};
+use skewbound_bench::measure::{scale_run, shard_scaling, GridStats, ScaleStats, ShardScalePoint};
 use skewbound_bench::report::{table_report_stats, Object};
 use skewbound_sim::time::SimDuration;
+
+const USAGE: &str = "usage: tables [--object register|queue|stack|tree] [--csv] [--scale N] \
+     [--shards S1,S2,...] \
+     [--fig fig1|thmC|thmD|thmE|derive|ablation|nsweep|xsweep|drift|skew]";
+
+/// Parses `--scale`'s argument: a positive process count. Prints the
+/// usage message and exits with status 2 on anything else (zero,
+/// negative, non-numeric) instead of panicking.
+fn parse_scale(value: &str) -> usize {
+    match value.trim().parse::<usize>() {
+        Ok(n) if n > 0 => n,
+        _ => {
+            eprintln!("--scale needs a positive process count, got {value:?}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Parses `--shards`'s argument: a non-empty comma-separated list of
+/// positive shard counts. Prints the usage message and exits with
+/// status 2 on anything else.
+fn parse_shards(value: &str) -> Vec<usize> {
+    let counts: Option<Vec<usize>> = value
+        .split(',')
+        .map(|part| match part.trim().parse::<usize>() {
+            Ok(n) if n > 0 => Some(n),
+            _ => None,
+        })
+        .collect();
+    match counts {
+        Some(counts) if !counts.is_empty() => counts,
+        _ => {
+            eprintln!(
+                "--shards needs a comma-separated list of positive shard counts, got {value:?}"
+            );
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,6 +73,7 @@ fn main() {
     let mut fig_filter: Option<&str> = None;
     let mut csv = false;
     let mut scale: Option<usize> = None;
+    let mut shard_counts: Option<Vec<usize>> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -48,18 +95,23 @@ fn main() {
             }
             "--csv" => csv = true,
             "--scale" => {
-                scale = Some(
-                    iter.next()
-                        .expect("--scale needs a value")
-                        .parse()
-                        .expect("--scale needs a process count"),
-                );
+                let Some(value) = iter.next() else {
+                    eprintln!("--scale needs a value");
+                    eprintln!("{USAGE}");
+                    std::process::exit(2);
+                };
+                scale = Some(parse_scale(value));
+            }
+            "--shards" => {
+                let Some(value) = iter.next() else {
+                    eprintln!("--shards needs a value");
+                    eprintln!("{USAGE}");
+                    std::process::exit(2);
+                };
+                shard_counts = Some(parse_shards(value));
             }
             "--help" | "-h" => {
-                println!(
-                    "usage: tables [--object register|queue|stack|tree] [--csv] [--scale N] \
-                     [--fig fig1|thmC|thmD|thmE|derive|ablation|nsweep|xsweep|drift|skew]"
-                );
+                println!("{USAGE}");
                 return;
             }
             other => {
@@ -124,7 +176,26 @@ fn main() {
                 }
                 s
             });
-            if let Err(e) = write_grid_bench(&stats, scale_stats.as_ref(), elapsed) {
+            let shard_points: Vec<ShardScalePoint> =
+                shard_counts.as_deref().map_or_else(Vec::new, |counts| {
+                    let mut points = shard_scaling(counts, true);
+                    points.extend(shard_scaling(counts, false));
+                    if !csv {
+                        for p in &points {
+                            println!(
+                                "shard run: {} shard(s), batching {}: {} events, \
+                                 {:.0} aggregate events/sec ({} keys gated)",
+                                p.shards,
+                                if p.batched { "on" } else { "off" },
+                                p.events,
+                                p.agg_events_per_sec,
+                                p.checked_keys,
+                            );
+                        }
+                    }
+                    points
+                });
+            if let Err(e) = write_grid_bench(&stats, scale_stats.as_ref(), &shard_points, elapsed) {
                 eprintln!("failed to write BENCH_grid.json: {e}");
             } else if !csv {
                 println!(
@@ -187,12 +258,40 @@ fn main() {
 
 /// Writes the machine-readable grid benchmark summary. The workspace has
 /// no JSON dependency, so the (flat, numeric) object is written by hand.
-/// The `scale_*` fields are zero when `--scale` was not requested.
+/// The `scale_*` fields are zero when `--scale` was not requested;
+/// `shards` / `shard_events_per_sec` are zero and `shard_scaling` empty
+/// when `--shards` was not requested. The headline `shards` /
+/// `shard_events_per_sec` pair reports the largest batching-on point;
+/// the full curve (batching on and off) is in the `shard_scaling` array,
+/// whose entries use `shard_count` so every field name stays unique in
+/// the file (the CI greps rely on that).
 fn write_grid_bench(
     stats: &GridStats,
     scale: Option<&ScaleStats>,
+    shard_points: &[ShardScalePoint],
     elapsed: std::time::Duration,
 ) -> std::io::Result<()> {
+    let headline = shard_points
+        .iter()
+        .filter(|p| p.batched)
+        .max_by_key(|p| p.shards);
+    let shard_curve = shard_points
+        .iter()
+        .map(|p| {
+            format!(
+                "\n    {{ \"shard_count\": {}, \"batched\": {}, \"shard_events\": {}, \
+                 \"agg_events_per_sec\": {:.1}, \"max_shard_wall_nanos\": {}, \
+                 \"gated_keys\": {} }}",
+                p.shards,
+                p.batched,
+                p.events,
+                p.agg_events_per_sec,
+                p.max_wall_nanos,
+                p.checked_keys,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
     let json = format!(
         "{{\n  \"runs\": {},\n  \"workers\": {},\n  \"elapsed_nanos\": {},\n  \
          \"sim_wall_nanos\": {},\n  \"check_wall_nanos\": {},\n  \"events\": {},\n  \
@@ -201,7 +300,8 @@ fn write_grid_bench(
          \"check_max_frontier\": {},\n  \"peak_rss_bytes\": {},\n  \
          \"scale_processes\": {},\n  \"scale_events\": {},\n  \
          \"scale_events_per_sec\": {:.1},\n  \"scale_wall_nanos\": {},\n  \
-         \"scale_peak_rss_bytes\": {}\n}}\n",
+         \"scale_peak_rss_bytes\": {},\n  \"shards\": {},\n  \
+         \"shard_events_per_sec\": {:.1},\n  \"shard_scaling\": [{}{}]\n}}\n",
         stats.runs,
         stats.workers,
         elapsed.as_nanos(),
@@ -219,6 +319,10 @@ fn write_grid_bench(
         scale.map_or(0.0, |s| s.report.events_per_sec()),
         scale.map_or(0, |s| s.report.wall_nanos),
         scale.map_or(0, |s| s.report.peak_rss_bytes),
+        headline.map_or(0, |p| p.shards),
+        headline.map_or(0.0, |p| p.agg_events_per_sec),
+        shard_curve,
+        if shard_points.is_empty() { "" } else { "\n  " },
     );
     std::fs::write("BENCH_grid.json", json)
 }

@@ -614,6 +614,89 @@ pub fn tree_label(op: &TreeOp) -> &'static str {
     }
 }
 
+/// One point of the shard-count scaling curve: a full sharded-namespace
+/// run at `shards` shards, gated per shard by the locality
+/// linearizability check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardScalePoint {
+    /// Shard count of this point.
+    pub shards: usize,
+    /// Whether broadcasts were framed as delivery batches.
+    pub batched: bool,
+    /// Total engine events across all shards.
+    pub events: u64,
+    /// Aggregate throughput: `Σ eventsᵢ / wallᵢ` (see
+    /// [`ShardStats`](skewbound_sim::shard::ShardStats)).
+    pub agg_events_per_sec: f64,
+    /// The slowest shard's wall time, in nanoseconds.
+    pub max_wall_nanos: u64,
+    /// Distinct object keys the per-shard gates checked.
+    pub checked_keys: usize,
+}
+
+/// The fixed total work of the shard-scaling grid, chosen to divide
+/// evenly over `shards × 3` process slots for every `shards ∈
+/// {1, 2, 3, 4, 6, 8, 12, 16, 24}`, and large enough that each shard's
+/// wall time is well clear of timer resolution.
+pub const SHARD_SCALE_TOTAL_BATCHES: usize = 5760;
+
+/// Runs the shard-count scaling grid: one sharded-namespace run per
+/// entry of `shard_counts`, at **fixed total work**
+/// ([`SHARD_SCALE_TOTAL_BATCHES`] batches of 8 keyed register ops over a
+/// 4096-key universe, 3 replica processes per shard), so points are
+/// comparable across shard counts.
+///
+/// Every shard's history must pass the per-shard linearizability gate —
+/// flatten the batches, split per key, check each key against the plain
+/// register spec — before its measurement is reported.
+///
+/// # Panics
+///
+/// Panics if any shard's history fails its gate, naming the shard and
+/// the violating keys.
+#[must_use]
+pub fn shard_scaling(shard_counts: &[usize], batched: bool) -> Vec<ShardScalePoint> {
+    shard_counts
+        .iter()
+        .map(|&shards| shard_scale_point(shards, batched))
+        .collect()
+}
+
+fn shard_scale_point(shards: usize, batched: bool) -> ShardScalePoint {
+    let workload = skewbound_core::shard::ShardWorkload::with_total_batches(
+        shards,
+        3,
+        4096,
+        SHARD_SCALE_TOTAL_BATCHES,
+        8,
+        batched,
+        0x5EED_CAFE,
+    );
+    let outcomes = skewbound_core::shard::run_sharded(&workload);
+    let mut checked_keys = 0;
+    for out in &outcomes {
+        let flat = skewbound_lin::flatten_batches(&out.history);
+        let gate = skewbound_lin::check_namespace(&RmwRegister::default(), &flat);
+        assert!(
+            gate.is_linearizable(),
+            "shard {} of {shards} failed its linearizability gate: keys {:?}",
+            out.shard,
+            gate.violating_keys()
+        );
+        checked_keys += gate.per_key.len();
+    }
+    let runs: Vec<_> = outcomes.iter().map(|o| o.run).collect();
+    let stats = skewbound_sim::shard::ShardStats::from_runs(&runs);
+    ShardScalePoint {
+        shards,
+        batched,
+        events: stats.events,
+        agg_events_per_sec: stats.aggregate_events_per_sec,
+        max_wall_nanos: stats.max_wall_nanos,
+        checked_keys,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -52,8 +52,10 @@ pub mod centralized;
 pub mod foils;
 pub mod harness;
 pub mod invariants;
+pub mod nsreplica;
 pub mod params;
 pub mod replica;
+pub mod shard;
 pub mod timestamp;
 
 /// The most commonly used items, for glob import.
@@ -66,7 +68,11 @@ pub mod prelude {
     pub use crate::centralized::{CentralMsg, Centralized};
     pub use crate::foils::LocalFirstReplica;
     pub use crate::harness::{run_history, run_history_rt, run_history_traced, run_simulation};
+    pub use crate::nsreplica::{NsOpMsg, NsReplica, NsTimer};
     pub use crate::params::{ParamError, Params};
     pub use crate::replica::{OpMsg, Replica, ReplicaTimer, TimerProfile};
+    pub use crate::shard::{
+        run_shard, run_sharded, shard_params, NsBatch, ShardOutcome, ShardWorkload,
+    };
     pub use crate::timestamp::Timestamp;
 }

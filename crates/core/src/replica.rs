@@ -456,6 +456,30 @@ impl<S: SequentialSpec> Actor for Replica<S> {
         self.enqueue(msg.op, msg.ts, ctx);
     }
 
+    fn on_message_batch(
+        &mut self,
+        _from: skewbound_sim::ids::ProcessId,
+        msgs: Vec<OpMsg<S>>,
+        ctx: &mut Context<'_, Self>,
+    ) {
+        // Every op of a delivery batch arrives at one instant and shares
+        // one hold deadline, so a single `Execute` timer at the largest
+        // timestamp stands in for the per-op timers: `execute_up_to` is
+        // inclusive and timestamp-ordered, so firing once at the max
+        // executes each batched op exactly when its own timer would have.
+        let mut max_ts: Option<Timestamp> = None;
+        for msg in msgs {
+            max_ts = Some(max_ts.map_or(msg.ts, |m| m.max(msg.ts)));
+            self.to_execute.push(Reverse(Queued {
+                ts: msg.ts,
+                op: msg.op,
+            }));
+        }
+        if let Some(ts) = max_ts {
+            ctx.set_timer(self.profile.hold, ReplicaTimer::Execute { ts });
+        }
+    }
+
     fn on_timer(&mut self, timer: ReplicaTimer<S>, ctx: &mut Context<'_, Self>) {
         match timer {
             ReplicaTimer::SelfAdd { op, ts } => self.enqueue(op, ts, ctx),

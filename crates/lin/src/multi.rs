@@ -15,9 +15,110 @@ use std::collections::BTreeMap;
 
 use skewbound_sim::history::History;
 use skewbound_spec::combinators::IndexedOp;
+use skewbound_spec::namespace::NsOp;
 use skewbound_spec::seqspec::SequentialSpec;
 
 use crate::checker::{check_history_with, CheckLimits, CheckOutcome};
+
+/// Expands a *batched* history — each record invoking a `Vec` of
+/// operations and receiving a `Vec` of responses — into the op-level
+/// history it abbreviates.
+///
+/// A batch is one closed-loop client turn: its operations were invoked
+/// together and responded together, so every expanded operation keeps
+/// the batch's process, invocation time and response time. Real-time
+/// order is therefore preserved exactly, and checking the flattened
+/// history is checking the batched one.
+///
+/// # Panics
+///
+/// Panics if the history is incomplete or a batch's response count does
+/// not match its operation count.
+pub fn flatten_batches<O: Clone, R: Clone>(history: &History<Vec<O>, Vec<R>>) -> History<O, R> {
+    let mut flat = History::new();
+    flat.reserve(history.records().iter().map(|r| r.op.len()).sum());
+    for rec in history.records() {
+        let (resps, responded_at) = rec.response.as_ref().expect("complete histories only");
+        assert_eq!(
+            rec.op.len(),
+            resps.len(),
+            "batch returned {} response(s) for {} op(s)",
+            resps.len(),
+            rec.op.len()
+        );
+        for (op, resp) in rec.op.iter().zip(resps) {
+            let id = flat.record_invoke(rec.pid, op.clone(), rec.invoked_at);
+            flat.record_response(id, resp.clone(), *responded_at);
+        }
+    }
+    flat
+}
+
+/// Per-key outcome of a namespace locality check (see
+/// [`check_namespace`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NsOutcome {
+    /// The outcome for each object key that appeared in the history.
+    pub per_key: Vec<(u64, CheckOutcome)>,
+}
+
+impl NsOutcome {
+    /// `true` when every key's sub-history is linearizable — by
+    /// locality, exactly when the whole namespace history is.
+    #[must_use]
+    pub fn is_linearizable(&self) -> bool {
+        self.per_key.iter().all(|(_, o)| o.is_linearizable())
+    }
+
+    /// Keys whose sub-histories are violations.
+    #[must_use]
+    pub fn violating_keys(&self) -> Vec<u64> {
+        self.per_key
+            .iter()
+            .filter(|(_, o)| o.is_violation())
+            .map(|(k, _)| *k)
+            .collect()
+    }
+}
+
+/// Checks a [`Namespace`](skewbound_spec::namespace::Namespace) history
+/// by locality: each key addresses an independent object, so each key's
+/// sub-history is checked against the inner spec on its own. This is the
+/// per-shard linearizability gate of the sharded runner: every shard
+/// checks its own keys, and passing shards compose into a linearizable
+/// namespace because locality also holds *across* shards.
+///
+/// # Panics
+///
+/// Panics if the history is incomplete.
+#[must_use]
+pub fn check_namespace<S: SequentialSpec>(
+    inner: &S,
+    history: &History<NsOp<S::Op>, S::Resp>,
+) -> NsOutcome {
+    check_namespace_with(inner, history, CheckLimits::default())
+}
+
+/// [`check_namespace`] with explicit limits.
+///
+/// # Panics
+///
+/// Panics if the history is incomplete.
+#[must_use]
+pub fn check_namespace_with<S: SequentialSpec>(
+    inner: &S,
+    history: &History<NsOp<S::Op>, S::Resp>,
+    limits: CheckLimits,
+) -> NsOutcome {
+    let per_key = split_history(history, |op| op.key)
+        .into_iter()
+        .map(|(key, sub)| {
+            let projected = sub.map(|op| op.op.clone(), Clone::clone);
+            (key, check_history_with(inner, &projected, limits))
+        })
+        .collect();
+    NsOutcome { per_key }
+}
 
 /// Splits a complete history into per-key sub-histories, preserving
 /// invocation order and real times. Keys are returned in ascending
@@ -188,5 +289,64 @@ mod tests {
         let inner: Queue<i64> = Queue::new();
         let h: History<IndexedOp<QueueOp<i64>>, QueueResp<i64>> = History::new();
         assert!(check_multi_object(&inner, &h).is_linearizable());
+    }
+
+    #[test]
+    fn flatten_expands_batches_in_place() {
+        let mut h: History<Vec<RmwOp>, Vec<RmwResp>> = History::new();
+        let a = h.record_invoke(p(0), vec![RmwOp::Write(1), RmwOp::Write(2)], t(0));
+        h.record_response(a, vec![RmwResp::Ack, RmwResp::Ack], t(5));
+        let b = h.record_invoke(p(1), vec![RmwOp::Read], t(6));
+        h.record_response(b, vec![RmwResp::Value(2)], t(9));
+        let flat = flatten_batches(&h);
+        assert_eq!(flat.len(), 3);
+        assert_eq!(flat.records()[0].op, RmwOp::Write(1));
+        assert_eq!(flat.records()[1].op, RmwOp::Write(2));
+        assert_eq!(flat.records()[0].invoked_at, t(0));
+        assert_eq!(flat.records()[1].pid, p(0));
+        assert_eq!(flat.records()[2].response, Some((RmwResp::Value(2), t(9))));
+        assert!(check_history(&RmwRegister::default(), &flat).is_linearizable());
+    }
+
+    #[test]
+    #[should_panic(expected = "1 response(s) for 2 op(s)")]
+    fn flatten_rejects_mismatched_batch() {
+        let mut h: History<Vec<RmwOp>, Vec<RmwResp>> = History::new();
+        let a = h.record_invoke(p(0), vec![RmwOp::Write(1), RmwOp::Write(2)], t(0));
+        h.record_response(a, vec![RmwResp::Ack], t(5));
+        let _ = flatten_batches(&h);
+    }
+
+    #[test]
+    fn namespace_check_decomposes_per_key() {
+        let mut h: History<NsOp<RmwOp>, RmwResp> = History::new();
+        let ids = [
+            h.record_invoke(p(0), NsOp::new(7, RmwOp::Write(1)), t(0)),
+            h.record_invoke(p(1), NsOp::new(9, RmwOp::Write(2)), t(0)),
+            h.record_invoke(p(0), NsOp::new(7, RmwOp::Read), t(10)),
+            h.record_invoke(p(1), NsOp::new(9, RmwOp::Read), t(10)),
+        ];
+        h.record_response(ids[0], RmwResp::Ack, t(5));
+        h.record_response(ids[1], RmwResp::Ack, t(5));
+        h.record_response(ids[2], RmwResp::Value(1), t(15));
+        h.record_response(ids[3], RmwResp::Value(2), t(15));
+        let out = check_namespace(&RmwRegister::default(), &h);
+        assert!(out.is_linearizable());
+        assert_eq!(out.per_key.len(), 2);
+    }
+
+    #[test]
+    fn namespace_check_blames_the_violating_key() {
+        let mut h: History<NsOp<RmwOp>, RmwResp> = History::new();
+        let ids = [
+            h.record_invoke(p(0), NsOp::new(7, RmwOp::Write(1)), t(0)),
+            // Key 9 reads a value nobody wrote: only key 9 is to blame.
+            h.record_invoke(p(1), NsOp::new(9, RmwOp::Read), t(10)),
+        ];
+        h.record_response(ids[0], RmwResp::Ack, t(5));
+        h.record_response(ids[1], RmwResp::Value(42), t(15));
+        let out = check_namespace(&RmwRegister::default(), &h);
+        assert!(!out.is_linearizable());
+        assert_eq!(out.violating_keys(), vec![9]);
     }
 }

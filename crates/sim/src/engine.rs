@@ -105,11 +105,19 @@ pub struct SimReport {
     /// grid sweeps record it once per grid, scale runs per run. Ignored
     /// by equality, like [`SimReport::wall_nanos`].
     pub peak_rss_bytes: u64,
+    /// Payload-arena slots (invoke / message / batch / timer) still live
+    /// when the run loop returned. Every pop takes its payload out of
+    /// the owning slab — stale timers included — so a quiescent run must
+    /// report zero; anything else means a payload leaked (also asserted
+    /// in debug builds at end of run).
+    pub leaked_payloads: u64,
 }
 
 impl PartialEq for SimReport {
     fn eq(&self, other: &Self) -> bool {
-        self.events == other.events && self.end_time == other.end_time
+        self.events == other.events
+            && self.end_time == other.end_time
+            && self.leaked_payloads == other.leaked_payloads
     }
 }
 
@@ -165,6 +173,11 @@ pub(crate) enum EventKind<A: Actor> {
         msg: A::Msg,
         msg_id: MsgId,
     },
+    DeliverBatch {
+        from: ProcessId,
+        first_id: MsgId,
+        msgs: Vec<A::Msg>,
+    },
     Timer {
         id: TimerId,
         timer: A::Timer,
@@ -200,6 +213,21 @@ pub enum EventView<'a, A: Actor> {
         /// The payload.
         msg: &'a A::Msg,
     },
+    /// Delivery of a coalesced message batch at `pid`
+    /// (see [`Transport::send_batch`](crate::transport::Transport::send_batch)).
+    DeliverBatch {
+        /// Stable event identity within a deterministic replay.
+        seq: u64,
+        /// The receiving process.
+        pid: ProcessId,
+        /// The sender.
+        from: ProcessId,
+        /// Id of the first message; the batch spans
+        /// `first_id..first_id + msgs.len()`.
+        first_id: MsgId,
+        /// The payloads, in send order.
+        msgs: &'a [A::Msg],
+    },
     /// A live timer expiry at `pid` (stale expiries are filtered out
     /// before the policy sees the batch).
     Timer {
@@ -218,6 +246,7 @@ impl<A: Actor> EventView<'_, A> {
         match self {
             EventView::Invoke { seq, .. }
             | EventView::Deliver { seq, .. }
+            | EventView::DeliverBatch { seq, .. }
             | EventView::Timer { seq, .. } => *seq,
         }
     }
@@ -228,6 +257,7 @@ impl<A: Actor> EventView<'_, A> {
         match self {
             EventView::Invoke { pid, .. }
             | EventView::Deliver { pid, .. }
+            | EventView::DeliverBatch { pid, .. }
             | EventView::Timer { pid, .. } => *pid,
         }
     }
@@ -255,6 +285,20 @@ impl<A: Actor> core::fmt::Debug for EventView<'_, A> {
                 .field("from", from)
                 .field("msg_id", msg_id)
                 .field("msg", msg)
+                .finish(),
+            EventView::DeliverBatch {
+                seq,
+                pid,
+                from,
+                first_id,
+                msgs,
+            } => f
+                .debug_struct("DeliverBatch")
+                .field("seq", seq)
+                .field("pid", pid)
+                .field("from", from)
+                .field("first_id", first_id)
+                .field("len", &msgs.len())
                 .finish(),
             EventView::Timer { seq, pid } => f
                 .debug_struct("Timer")
@@ -567,12 +611,7 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
             self.dispatch_event(at, tag, driver);
         }
         self.emit_run_counters(events);
-        Ok(SimReport {
-            events,
-            end_time: self.transport.now,
-            wall_nanos: u64::try_from(wall_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
-            peak_rss_bytes: 0,
-        })
+        Ok(self.finish_report(events, wall_start))
     }
 
     /// Runs to quiescence under `policy`, which picks among same-time
@@ -675,6 +714,16 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
                                 msg: &p.msg,
                             }
                         }
+                        EvSlot::DeliverBatch => {
+                            let p = self.transport.batches.get(tag.slot);
+                            EventView::DeliverBatch {
+                                seq,
+                                pid: tag.pid,
+                                from: p.from,
+                                first_id: p.first_id,
+                                msgs: &p.msgs,
+                            }
+                        }
                         EvSlot::Timer => EventView::Timer { seq, pid: tag.pid },
                     })
                     .collect();
@@ -703,12 +752,25 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
             self.dispatch_event(at, chosen_tag, driver);
         }
         self.emit_run_counters(events);
-        Ok(SimReport {
+        Ok(self.finish_report(events, wall_start))
+    }
+
+    /// Builds the end-of-run report and performs the payload-leak check:
+    /// the event queue is empty here, so every invoke/message/batch/timer
+    /// payload must have been taken out of its arena.
+    fn finish_report(&self, events: u64, wall_start: std::time::Instant) -> SimReport {
+        let leaked = self.transport.live_payloads();
+        debug_assert_eq!(
+            leaked, 0,
+            "event queue drained but {leaked} payload slab slot(s) still live"
+        );
+        SimReport {
             events,
             end_time: self.transport.now,
             wall_nanos: u64::try_from(wall_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
             peak_rss_bytes: 0,
-        })
+            leaked_payloads: leaked as u64,
+        }
     }
 
     /// Runs every node's `on_start` hook once, at the start of the first
@@ -778,6 +840,19 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
                 from,
                 msg_id,
                 msg,
+                &mut self.transport,
+                &mut self.trace,
+                &mut self.history,
+            ),
+            EventKind::DeliverBatch {
+                from,
+                first_id,
+                msgs,
+            } => node.on_message_batch(
+                stamp,
+                from,
+                first_id,
+                msgs,
                 &mut self.transport,
                 &mut self.trace,
                 &mut self.history,

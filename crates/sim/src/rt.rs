@@ -671,6 +671,18 @@ fn worker_loop<A: Actor>(
                 );
                 finish::<A>(act, pid, history, in_flight, resp_tx, done_tx);
             }
+            Ok(Input::DeliverBatch(from, first_id, msgs)) => {
+                let act = node.on_message_batch(
+                    stamp_now(epoch, offset),
+                    from,
+                    first_id,
+                    msgs,
+                    transport,
+                    &mut trace_out,
+                    &mut SharedHistory(history),
+                );
+                finish::<A>(act, pid, history, in_flight, resp_tx, done_tx);
+            }
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => break,
         }

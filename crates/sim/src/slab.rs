@@ -142,9 +142,22 @@ impl<T> Slab<T> {
     }
 
     /// Number of payloads currently stored.
+    ///
+    /// This is the arena's leak check: every queued event takes its
+    /// payload back out when it pops (stale timer expiries included), so
+    /// at quiescence — event queue empty — every payload slab must
+    /// report zero. The engine asserts exactly that at end of run and
+    /// surfaces the count as
+    /// [`SimReport::leaked_payloads`](crate::engine::SimReport::leaked_payloads).
+    #[must_use]
+    pub fn live_count(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Alias for [`Slab::live_count`].
     #[must_use]
     pub fn live(&self) -> usize {
-        self.slots.len() - self.free.len()
+        self.live_count()
     }
 
     /// High-water mark: the total number of slots ever allocated.
@@ -170,6 +183,25 @@ mod tests {
         assert_eq!(slab.take(b), 2);
         assert_eq!(slab.take(c), 3);
         assert_eq!(slab.live(), 0);
+        assert_eq!(slab.live_count(), 0);
+    }
+
+    #[test]
+    fn live_count_tracks_insert_take() {
+        let mut slab = Slab::new();
+        assert_eq!(slab.live_count(), 0);
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        assert_eq!(slab.live_count(), 2);
+        let _ = slab.take(a);
+        assert_eq!(slab.live_count(), 1);
+        let _ = slab.take(b);
+        assert_eq!(slab.live_count(), 0);
+        // Recycled slots don't count as live.
+        let c = slab.insert("c");
+        assert_eq!(slab.live_count(), 1);
+        let _ = slab.take(c);
+        assert_eq!(slab.live_count(), 0);
     }
 
     #[test]

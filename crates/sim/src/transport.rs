@@ -53,6 +53,29 @@ pub trait Transport<A: Actor> {
     /// with exactly one later `deliver` carrying the same id.
     fn send(&mut self, from: ProcessId, to: ProcessId, msg: A::Msg) -> MsgId;
 
+    /// Enqueues a delivery *batch*: `msgs` travel to `to` together,
+    /// under one delay draw, and arrive as a single
+    /// [`Actor::on_message_batch`] activation. Returns the id of the
+    /// first message; the batch occupies ids `first..first + msgs.len()`
+    /// consecutively so per-message trace events still pair up.
+    ///
+    /// The default forwards each message through [`Transport::send`] —
+    /// correct but unamortized (one queue entry and one delay draw per
+    /// message). The engine and the real-thread runtime both override it
+    /// with true single-entry framing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `msgs` is empty.
+    fn send_batch(&mut self, from: ProcessId, to: ProcessId, msgs: Vec<A::Msg>) -> MsgId {
+        let mut first = None;
+        for msg in msgs {
+            let id = self.send(from, to, msg);
+            first.get_or_insert(id);
+        }
+        first.expect("empty delivery batch")
+    }
+
     /// Enqueues the expiry of timer `id` at `pid`, `delay` *local
     /// clock* ticks from now. The id is already live in the node's
     /// [`TimerSlab`](crate::timers::TimerSlab); the transport only
@@ -122,6 +145,7 @@ impl PairSeq {
 pub(crate) enum EvSlot {
     Invoke,
     Deliver,
+    DeliverBatch,
     Timer,
 }
 
@@ -140,6 +164,15 @@ pub(crate) struct MsgPayload<M> {
     pub(crate) from: ProcessId,
     pub(crate) id: MsgId,
     pub(crate) msg: M,
+}
+
+/// Slab payload of an in-flight delivery batch: one queue entry and one
+/// slab slot carry the whole batch, whose messages hold the consecutive
+/// ids `first_id..first_id + msgs.len()`.
+pub(crate) struct BatchPayload<M> {
+    pub(crate) from: ProcessId,
+    pub(crate) first_id: MsgId,
+    pub(crate) msgs: Vec<M>,
 }
 
 /// The engine's [`Transport`]: a virtual-time calendar queue over
@@ -163,6 +196,7 @@ pub(crate) struct VirtualTransport<A: Actor, D: DelayModel> {
     pub(crate) queue: CalendarQueue<EvTag>,
     pub(crate) ops: Slab<A::Op>,
     pub(crate) msgs: Slab<MsgPayload<A::Msg>>,
+    pub(crate) batches: Slab<BatchPayload<A::Msg>>,
     pub(crate) timer_payloads: Slab<(TimerId, A::Timer)>,
     pub(crate) seq: u64,
     pub(crate) now: SimTime,
@@ -189,6 +223,9 @@ impl<A: Actor, D: DelayModel> VirtualTransport<A, D> {
             // n - 1 messages in flight per concurrent writer, and growth
             // past capacity is a realloc-copy on the hot path.
             msgs: Slab::with_capacity(8 * n + 16),
+            // Batched sends are opt-in; start empty and let the slab grow
+            // to the workload's steady-state batch fan-out.
+            batches: Slab::new(),
             timer_payloads: Slab::with_capacity(2 * n + 16),
             delays,
             bounds,
@@ -231,11 +268,30 @@ impl<A: Actor, D: DelayModel> VirtualTransport<A, D> {
                     msg_id: p.id,
                 }
             }
+            EvSlot::DeliverBatch => {
+                let p = self.batches.take(tag.slot);
+                EventKind::DeliverBatch {
+                    from: p.from,
+                    first_id: p.first_id,
+                    msgs: p.msgs,
+                }
+            }
             EvSlot::Timer => {
                 let (id, timer) = self.timer_payloads.take(tag.slot);
                 EventKind::Timer { id, timer }
             }
         }
+    }
+
+    /// Payloads currently live across all four event arenas. Every pop
+    /// takes its payload out of the owning slab (stale timers included),
+    /// so this must be zero whenever the event queue is empty — the
+    /// end-of-run leak check the engine asserts and reports.
+    pub(crate) fn live_payloads(&self) -> usize {
+        self.ops.live_count()
+            + self.msgs.live_count()
+            + self.batches.live_count()
+            + self.timer_payloads.live_count()
     }
 
     pub(crate) fn push_invoke(&mut self, pid: ProcessId, at: SimTime, op: A::Op) {
@@ -302,6 +358,61 @@ impl<A: Actor, D: DelayModel> Transport<A> for VirtualTransport<A, D> {
         id
     }
 
+    fn send_batch(&mut self, from: ProcessId, to: ProcessId, msgs: Vec<A::Msg>) -> MsgId {
+        assert!(!msgs.is_empty(), "empty delivery batch {from}->{to}");
+        // One pair-seq tick and one delay draw for the whole batch: the
+        // batch is one wire-level message as far as the delay model is
+        // concerned.
+        let pair_seq = self.pair_seq.next(from, to);
+        let meta = MsgMeta {
+            from,
+            to,
+            sent_at: self.now,
+            pair_seq,
+        };
+        let delay = self.delays.delay(meta);
+        debug_assert!(
+            self.bounds.contains(delay),
+            "delay model produced inadmissible delay {delay:?} for {from}->{to} \
+             (bounds [{:?}, {:?}])",
+            self.bounds.min(),
+            self.bounds.max()
+        );
+        let recv_at = self.now + delay;
+        let first_id = MsgId::new(self.next_msg_id);
+        self.next_msg_id += msgs.len() as u64;
+        if self.log_messages {
+            // The log stays per-message (checkers pair ids one-to-one);
+            // all entries of a batch share the send/recv instants.
+            for i in 0..msgs.len() {
+                self.msg_log.push(MsgEvent {
+                    id: MsgId::new(first_id.as_u64() + i as u64),
+                    from,
+                    to,
+                    sent_at: self.now,
+                    delay,
+                    recv_at,
+                });
+            }
+        }
+        let slot = self.batches.insert(BatchPayload {
+            from,
+            first_id,
+            msgs,
+        });
+        let seq = self.bump_seq();
+        self.queue.push(
+            recv_at,
+            seq,
+            EvTag {
+                pid: to,
+                kind: EvSlot::DeliverBatch,
+                slot,
+            },
+        );
+        first_id
+    }
+
     fn set_timer(&mut self, pid: ProcessId, id: TimerId, delay: SimDuration, timer: A::Timer) {
         // Timer delays are in clock units; under drift (a non-unit
         // clock rate) convert to real time.
@@ -328,6 +439,16 @@ pub(crate) enum RouterMsg<M> {
         to: ProcessId,
         id: MsgId,
         msg: M,
+        deliver_at: Instant,
+    },
+    /// Deliver a whole batch to `to` in one inbox push when the wall
+    /// clock reaches `deliver_at`. The messages hold the consecutive ids
+    /// `first_id..first_id + msgs.len()`.
+    SendBatch {
+        from: ProcessId,
+        to: ProcessId,
+        first_id: MsgId,
+        msgs: Vec<M>,
         deliver_at: Instant,
     },
     /// Stop the router.
@@ -400,6 +521,24 @@ impl<A: Actor> Transport<A> for ChannelTransport<A> {
         id
     }
 
+    fn send_batch(&mut self, from: ProcessId, to: ProcessId, msgs: Vec<A::Msg>) -> MsgId {
+        assert!(!msgs.is_empty(), "empty delivery batch {from}->{to}");
+        let ticks = self
+            .rng
+            .gen_range(self.bounds.min().as_ticks()..=self.bounds.max().as_ticks());
+        let deliver_at = Instant::now() + ticks_to_duration(SimDuration::from_ticks(ticks));
+        let first_id = MsgId::new(self.msg_ids.fetch_add(msgs.len() as u64, Ordering::Relaxed));
+        // A closed router means shutdown is in progress.
+        let _ = self.router_tx.send(RouterMsg::SendBatch {
+            from,
+            to,
+            first_id,
+            msgs,
+            deliver_at,
+        });
+        first_id
+    }
+
     fn set_timer(&mut self, _pid: ProcessId, id: TimerId, delay: SimDuration, timer: A::Timer) {
         self.pending.push(PendingTimer {
             fire_at: Instant::now() + ticks_to_duration(delay),
@@ -419,18 +558,26 @@ pub(crate) enum Input<A: Actor> {
     Invoke(OpId, A::Op),
     /// Deliver a message from another process.
     Deliver(ProcessId, MsgId, A::Msg),
+    /// Deliver a batch from another process: `(from, first_id, msgs)`.
+    DeliverBatch(ProcessId, MsgId, Vec<A::Msg>),
     /// Drain pending timers, then exit.
     Shutdown,
 }
 
-/// One in-flight message inside the router's delivery heap.
+/// A heap entry's cargo: one message or one batch.
+enum Wire<M> {
+    One(M),
+    Batch(Vec<M>),
+}
+
+/// One in-flight message (or batch) inside the router's delivery heap.
 struct HeapEntry<M> {
     deliver_at: Instant,
     seq: u64,
     to: ProcessId,
     from: ProcessId,
     id: MsgId,
-    msg: M,
+    wire: Wire<M>,
 }
 
 impl<M> PartialEq for HeapEntry<M> {
@@ -480,7 +627,24 @@ pub(crate) fn run_router<A: Actor>(
                     to,
                     from,
                     id,
-                    msg,
+                    wire: Wire::One(msg),
+                });
+                seq += 1;
+            }
+            Ok(RouterMsg::SendBatch {
+                from,
+                to,
+                first_id,
+                msgs,
+                deliver_at,
+            }) => {
+                heap.push(HeapEntry {
+                    deliver_at,
+                    seq,
+                    to,
+                    from,
+                    id: first_id,
+                    wire: Wire::Batch(msgs),
                 });
                 seq += 1;
             }
@@ -494,7 +658,73 @@ pub(crate) fn run_router<A: Actor>(
             }
             let e = heap.pop().expect("peeked");
             // A closed worker means shutdown is in progress.
-            let _ = proc_txs[e.to.index()].send(Input::Deliver(e.from, e.id, e.msg));
+            let _ = proc_txs[e.to.index()].send(match e.wire {
+                Wire::One(msg) => Input::Deliver(e.from, e.id, msg),
+                Wire::Batch(msgs) => Input::DeliverBatch(e.from, e.id, msgs),
+            });
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// Drives a seeded interleaved stream of ordered pairs through both
+    /// `PairSeq` representations and asserts the counter sequences are
+    /// identical draw-for-draw.
+    fn assert_pair_seq_parity(n: usize, draws: usize, seed: u64) {
+        let mut dense = PairSeq::Dense {
+            counts: vec![0; n * n],
+            n,
+        };
+        let mut sparse = PairSeq::Sparse(FxHashMap::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..draws {
+            let from = ProcessId::new(rng.gen_range(0..n as u32));
+            let to = ProcessId::new(rng.gen_range(0..n as u32));
+            assert_eq!(
+                dense.next(from, to),
+                sparse.next(from, to),
+                "pair ({from}, {to}) diverged (n = {n})"
+            );
+        }
+    }
+
+    #[test]
+    fn pair_seq_parity_small_n() {
+        assert_pair_seq_parity(8, 4_000, 11);
+    }
+
+    #[test]
+    fn pair_seq_parity_at_dense_boundary() {
+        // Exactly at the dense limit the constructor still picks Dense…
+        assert!(matches!(
+            PairSeq::new(DENSE_PAIR_LIMIT),
+            PairSeq::Dense { .. }
+        ));
+        assert_pair_seq_parity(DENSE_PAIR_LIMIT, 2_000, 22);
+    }
+
+    #[test]
+    fn pair_seq_parity_past_dense_boundary() {
+        // …and one past it, Sparse. The counter sequences must agree on
+        // both sides of the switch.
+        assert!(matches!(
+            PairSeq::new(DENSE_PAIR_LIMIT + 1),
+            PairSeq::Sparse(_)
+        ));
+        assert_pair_seq_parity(DENSE_PAIR_LIMIT + 1, 2_000, 33);
+    }
+
+    #[test]
+    fn pair_seq_post_increments_per_ordered_pair() {
+        let mut seq = PairSeq::new(4);
+        let (a, b) = (ProcessId::new(0), ProcessId::new(1));
+        assert_eq!(seq.next(a, b), 0);
+        assert_eq!(seq.next(a, b), 1);
+        // The reverse direction is a different ordered pair.
+        assert_eq!(seq.next(b, a), 0);
     }
 }

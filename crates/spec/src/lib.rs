@@ -47,6 +47,7 @@ pub mod counter;
 pub mod deque;
 pub mod explore;
 pub mod kv;
+pub mod namespace;
 pub mod probes;
 pub mod queue;
 pub mod register;
@@ -62,6 +63,7 @@ pub mod prelude {
     pub use crate::counter::{Counter, CounterOp, CounterResp};
     pub use crate::deque::{Deque, DequeOp, DequeResp};
     pub use crate::kv::{KvOp, KvResp, KvStore};
+    pub use crate::namespace::{Namespace, NsOp, ShardRouter};
     pub use crate::queue::{Queue, QueueOp, QueueResp};
     pub use crate::register::{
         RegOp, RegResp, RmwKind, RmwOp, RmwRegister, RmwResp, RwRegister, Value,
