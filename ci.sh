@@ -1,9 +1,22 @@
 #!/usr/bin/env bash
 # Workspace gate: lints, the full test suite, and the parallel-runner
 # determinism test under a forced multi-worker pool. Run from the repo
-# root; any failure aborts.
+# root; any failure aborts. Pass --deep to additionally run the Miri
+# pass over the sim crate's unsafe-adjacent modules (slab, equeue,
+# timers); it needs a toolchain with the miri component installed.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+deep=0
+for arg in "$@"; do
+  case "$arg" in
+    --deep) deep=1 ;;
+    *)
+      echo "unknown argument: $arg (usage: ci.sh [--deep])" >&2
+      exit 1
+      ;;
+  esac
+done
 
 echo "== rustfmt (check) =="
 cargo fmt --all -- --check
@@ -62,6 +75,8 @@ grep -q '^skewlint: OK$' /tmp/skewlint.log
 cert_count=0
 for cert in "$skewlint_out"/*.json; do
   [ -e "$cert" ] || continue
+  # report.json is the rule report, not a foil certificate.
+  [ "$(basename "$cert")" = "report.json" ] && continue
   if ! grep -q '"replay_confirmed": true' "$cert"; then
     echo "certificate $cert is not replay-confirmed" >&2
     exit 1
@@ -77,6 +92,41 @@ if [ "$cert_count" -lt 2 ]; then
   exit 1
 fi
 echo "skewlint emitted $cert_count replay-confirmed certificates"
+
+echo "== skewlint rule report (schema + canaries) =="
+report="$skewlint_out/report.json"
+if [ ! -e "$report" ]; then
+  echo "skewlint did not write $report" >&2
+  exit 1
+fi
+grep -q '"schema": "skewbound-lint-report/v1"' "$report"
+for code in SB001 SB002 SB003 SB004 SB005 SB101 SB102 SB103 SB104 SB105; do
+  if ! grep -q "\"code\": \"$code\"" "$report"; then
+    echo "report.json is missing rule code $code" >&2
+    exit 1
+  fi
+done
+if grep -q '"caught": false' "$report"; then
+  echo "report.json records an uncaught canary" >&2
+  exit 1
+fi
+canary_count=$(grep -c '"caught": true' "$report")
+if [ "$canary_count" -lt 10 ]; then
+  echo "report.json has only $canary_count caught canaries (want >= 10)" >&2
+  exit 1
+fi
+echo "report.json schema-tagged, 10 rule codes present, $canary_count canaries caught"
+
+echo "== skewlint trace audit (honest trace re-audited offline) =="
+honest_trace="$skewlint_out/honest.trace.jsonl"
+if [ ! -e "$honest_trace" ]; then
+  echo "skewlint did not write $honest_trace" >&2
+  exit 1
+fi
+cargo run --release -q -p skewbound-mc --bin skewlint -- audit "$honest_trace" \
+  --window 9000,2400 | tee /tmp/skewlint-audit.log
+grep -q '^audit: OK$' /tmp/skewlint-audit.log
+echo "honest trace re-audited clean under window [6600, 9000]"
 
 echo "== trace smoke (sim sink unit tests) =="
 cargo test -q -p skewbound-sim trace
@@ -96,5 +146,17 @@ if ! grep -q '"kind":"counter"' "$trace_file"; then
   exit 1
 fi
 echo "trace gate: $(wc -l < "$trace_file") trace lines validated"
+
+if [ "$deep" -eq 1 ]; then
+  echo "== deep: Miri over sim slab/equeue/timers =="
+  if cargo miri --version >/dev/null 2>&1; then
+    for module in slab equeue timers; do
+      echo "-- miri: skewbound-sim ${module}::"
+      cargo miri test -q -p skewbound-sim --lib "${module}::"
+    done
+  else
+    echo "cargo miri is not installed; skipping the deep pass" >&2
+  fi
+fi
 
 echo "ci.sh: all checks passed"

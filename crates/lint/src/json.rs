@@ -1,11 +1,13 @@
 //! A minimal JSON value, printer, and recursive-descent parser.
 //!
 //! The workspace builds offline and the vendored `serde` is an inert
-//! API stub, so certificates ([`crate::certificate`]) are emitted and
-//! re-validated with this self-contained implementation instead. It
-//! covers exactly what certificates need: objects, arrays, strings with
-//! escapes, integers (certificate numbers are all tick counts and
-//! indices) and booleans.
+//! API stub, so every machine-readable artifact — lint reports
+//! ([`crate::diag::Report`]), JSON-lines trace files audited by
+//! [`crate::audit`], and the model checker's certificates — is emitted
+//! and re-validated with this self-contained implementation instead. It
+//! covers exactly what those artifacts need: objects, arrays, strings
+//! with escapes, integers (all numbers are tick counts and indices) and
+//! booleans.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -209,8 +211,31 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Parses a JSON-lines document: one value per non-empty line. Errors
+/// carry the 1-based line number of the offending record.
+///
+/// # Errors
+///
+/// Returns the first line that fails to parse as a JSON value.
+pub fn parse_lines(text: &str) -> Result<Vec<Json>, String> {
+    let mut values = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = parse(line).map_err(|e| format!("trace line {}: {e}", idx + 1))?;
+        values.push(value);
+    }
+    Ok(values)
+}
+
 /// Parses a JSON document. Numbers must be integers in `i64` range
-/// (all certificate numbers are); anything else is a parse error.
+/// (all skewbound artifact numbers are); anything else is a parse
+/// error.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed byte.
 pub fn parse(text: &str) -> Result<Json, String> {
     let bytes = text.as_bytes();
     let mut pos = 0;

@@ -19,12 +19,13 @@
 //! * protocol invariants from [`skewbound_core::invariants`] checked on
 //!   every explored run, next to full linearizability checking;
 //! * [`certificate`] — minimized, replay-confirmed counterexample
-//!   certificates in a stable JSON schema, via the in-tree [`json`]
-//!   module;
+//!   certificates in a stable JSON schema, via the [`json`] module
+//!   (re-exported from `skewbound-lint`);
 //! * `skewlint` (in `src/bin`) — the command-line analyzer CI runs:
-//!   static routing lints, honest-implementation verification with
-//!   DPOR-vs-naive schedule accounting, and certificate emission for
-//!   the known-broken foils.
+//!   the `skewbound-lint` rule registry with per-rule foil canaries,
+//!   honest-implementation verification with DPOR-vs-naive schedule
+//!   accounting, certificate emission for the known-broken foils, and
+//!   the offline happens-before trace auditor.
 //!
 //! ```
 //! use skewbound_core::{params::Params, replica::Replica};
@@ -57,9 +58,10 @@
 
 pub mod certificate;
 pub mod explore;
-pub mod json;
 pub mod model;
 pub mod trace;
+
+pub use skewbound_lint::json;
 
 pub use certificate::{certify, validate_certificate, CertRecord, Certificate, SCHEMA};
 pub use explore::{

@@ -5,11 +5,13 @@
 //! The sink buffers lines in memory; callers write the buffer wherever
 //! they like (`skewlint --trace <path>` writes it next to the foil
 //! certificates). Every line is an object with a `"kind"` field — the
-//! six engine kinds (`invoke`, `respond`, `send`, `deliver`,
-//! `timer-set`, `timer-fire`) plus `counter` for stage counters — so a
-//! reader can dispatch on one key without a schema in hand. Lines parse
-//! back through [`crate::json::parse`], which is how CI validates the
-//! trace artifact.
+//! seven engine kinds (`invoke`, `respond`, `send`, `deliver`,
+//! `timer-set`, `timer-fire`, `timer-cancel`) plus `counter` for stage
+//! counters — so a reader can dispatch on one key without a schema in
+//! hand. Lines parse back through [`crate::json::parse`], which is how
+//! CI validates the trace artifact, and the offline auditor
+//! (`skewbound_lint::audit`, `skewlint audit`) consumes the same
+//! format.
 
 use skewbound_sim::prelude::{TraceEvent, TraceEventKind, TraceSink};
 
@@ -46,11 +48,18 @@ pub fn event_json(event: &TraceEvent) -> Json {
             members.push(("from", Json::Num(i64::from(from.as_u32()))));
             members.push(("msg", num_u64(msg.as_u64())));
         }
-        TraceEventKind::TimerSet { tag, delay } => {
+        TraceEventKind::TimerSet { id, tag, delay } => {
+            members.push(("timer", num_u64(id.as_u64())));
             members.push(("tag", Json::Str(tag.clone())));
             members.push(("delay", num_u64(delay.as_ticks())));
         }
-        TraceEventKind::Timer { tag } => members.push(("tag", Json::Str(tag.clone()))),
+        TraceEventKind::Timer { id, tag } => {
+            members.push(("timer", num_u64(id.as_u64())));
+            members.push(("tag", Json::Str(tag.clone())));
+        }
+        TraceEventKind::TimerCancel { id } => {
+            members.push(("timer", num_u64(id.as_u64())));
+        }
     }
     obj(members)
 }
@@ -150,16 +159,7 @@ impl TraceSink for SharedJsonLinesSink {
 
 /// Parses a JSON-lines trace back into values, one per non-empty line.
 /// Errors carry the 1-based line number.
-pub fn parse_lines(text: &str) -> Result<Vec<Json>, String> {
-    let mut values = Vec::new();
-    for (i, line) in text.lines().enumerate() {
-        if line.trim().is_empty() {
-            continue;
-        }
-        values.push(crate::json::parse(line).map_err(|e| format!("trace line {}: {e}", i + 1))?);
-    }
-    Ok(values)
-}
+pub use skewbound_lint::json::parse_lines;
 
 #[cfg(test)]
 mod tests {
@@ -249,6 +249,7 @@ mod tests {
             ),
             (
                 TraceEventKind::TimerSet {
+                    id: TimerId::new(4),
                     tag: "hold".into(),
                     delay: SimDuration::from_ticks(9),
                 },
@@ -256,9 +257,19 @@ mod tests {
                 "delay",
             ),
             (
-                TraceEventKind::Timer { tag: "hold".into() },
+                TraceEventKind::Timer {
+                    id: TimerId::new(4),
+                    tag: "hold".into(),
+                },
                 "timer-fire",
                 "tag",
+            ),
+            (
+                TraceEventKind::TimerCancel {
+                    id: TimerId::new(4),
+                },
+                "timer-cancel",
+                "timer",
             ),
         ];
         for (kind, label, field) in kinds {

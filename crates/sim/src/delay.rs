@@ -38,7 +38,57 @@ pub struct DelayBounds {
     u: SimDuration,
 }
 
+/// Why a requested `[d − u, d]` window is inadmissible. Returned by
+/// [`DelayBounds::try_new`] so callers wiring up transports from
+/// untrusted configuration can reject bad windows in release builds
+/// instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DelayBoundsError {
+    /// `d` was zero: a zero-width window at zero means instantaneous
+    /// delivery, which the partially synchronous model excludes.
+    ZeroMax,
+    /// `u > d`: the minimum delay `d − u` would be negative.
+    UncertaintyExceedsMax {
+        /// The requested maximum delay.
+        d: SimDuration,
+        /// The requested (too large) uncertainty.
+        u: SimDuration,
+    },
+}
+
+impl core::fmt::Display for DelayBoundsError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DelayBoundsError::ZeroMax => write!(f, "delay bound d must be positive"),
+            DelayBoundsError::UncertaintyExceedsMax { d, u } => {
+                write!(f, "uncertainty u must not exceed d (u = {u}, d = {d})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DelayBoundsError {}
+
 impl DelayBounds {
+    /// Creates bounds with maximum delay `d` and uncertainty `u`,
+    /// rejecting inadmissible windows as a returned error (checked in
+    /// release builds too — transports built from configuration go
+    /// through this).
+    ///
+    /// # Errors
+    ///
+    /// [`DelayBoundsError::ZeroMax`] if `d` is zero,
+    /// [`DelayBoundsError::UncertaintyExceedsMax`] if `u > d`.
+    pub fn try_new(d: SimDuration, u: SimDuration) -> Result<Self, DelayBoundsError> {
+        if d.is_zero() {
+            return Err(DelayBoundsError::ZeroMax);
+        }
+        if u > d {
+            return Err(DelayBoundsError::UncertaintyExceedsMax { d, u });
+        }
+        Ok(DelayBounds { d, u })
+    }
+
     /// Creates bounds with maximum delay `d` and uncertainty `u`.
     ///
     /// # Panics
@@ -47,9 +97,13 @@ impl DelayBounds {
     /// if `d` is zero.
     #[must_use]
     pub fn new(d: SimDuration, u: SimDuration) -> Self {
-        assert!(!d.is_zero(), "delay bound d must be positive");
-        assert!(u <= d, "uncertainty u must not exceed d");
-        DelayBounds { d, u }
+        match DelayBounds::try_new(d, u) {
+            Ok(bounds) => bounds,
+            Err(DelayBoundsError::ZeroMax) => panic!("delay bound d must be positive"),
+            Err(DelayBoundsError::UncertaintyExceedsMax { .. }) => {
+                panic!("uncertainty u must not exceed d")
+            }
+        }
     }
 
     /// The maximum message delay `d`.
@@ -418,6 +472,24 @@ mod tests {
     #[should_panic(expected = "u must not exceed d")]
     fn bounds_reject_u_gt_d() {
         let _ = DelayBounds::new(SimDuration::from_ticks(10), SimDuration::from_ticks(11));
+    }
+
+    #[test]
+    fn try_new_returns_errors_instead_of_panicking() {
+        // The release-build path for configuration-derived windows: both
+        // inadmissible shapes come back as structured errors.
+        assert_eq!(
+            DelayBounds::try_new(SimDuration::ZERO, SimDuration::ZERO),
+            Err(DelayBoundsError::ZeroMax)
+        );
+        let d = SimDuration::from_ticks(10);
+        let u = SimDuration::from_ticks(11);
+        let err = DelayBounds::try_new(d, u).unwrap_err();
+        assert_eq!(err, DelayBoundsError::UncertaintyExceedsMax { d, u });
+        assert!(err.to_string().contains("must not exceed"));
+        let ok = DelayBounds::try_new(d, SimDuration::from_ticks(10)).unwrap();
+        assert_eq!(ok.min(), SimDuration::ZERO);
+        assert_eq!(ok.max(), d);
     }
 
     #[test]

@@ -809,6 +809,13 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
         if let Some(sink) = self.trace.sink.as_deref_mut() {
             sink.counter("engine", "events", events);
             sink.counter("engine", "messages", self.transport.next_msg_id);
+            // Zero on every honest run; the offline trace auditor turns a
+            // nonzero reading into an SB105 payload-leak diagnostic.
+            sink.counter(
+                "engine",
+                "leaked_payloads",
+                self.transport.live_payloads() as u64,
+            );
         }
     }
 

@@ -78,8 +78,8 @@ pub mod prelude {
     pub use crate::actor::{Actor, Context};
     pub use crate::clock::ClockAssignment;
     pub use crate::delay::{
-        BimodalDelay, DelayBounds, DelayModel, FixedDelay, MatrixDelay, MsgMeta, ScriptedDelay,
-        UniformDelay,
+        BimodalDelay, DelayBounds, DelayBoundsError, DelayModel, FixedDelay, MatrixDelay, MsgMeta,
+        ScriptedDelay, UniformDelay,
     };
     pub use crate::engine::{
         EventView, FifoPolicy, ScheduleDecision, SchedulePolicy, SimConfig, SimError, SimReport,

@@ -372,6 +372,7 @@ impl<A: Actor> NodeCore<A> {
                 trace,
                 stamp,
                 TraceEventKind::Timer {
+                    id,
                     tag: format!("{timer:?}"),
                 },
             );
@@ -479,6 +480,7 @@ impl<A: Actor> NodeCore<A> {
                     trace,
                     stamp,
                     TraceEventKind::TimerSet {
+                        id,
                         tag: format!("{timer:?}"),
                         delay,
                     },
@@ -490,6 +492,9 @@ impl<A: Actor> NodeCore<A> {
         for id in effects.cancels.drain(..) {
             if self.timers.cancel(id) {
                 transport.cancel_timer(self.pid, id);
+                if trace.active() {
+                    self.emit(trace, stamp, TraceEventKind::TimerCancel { id });
+                }
             }
         }
 

@@ -21,7 +21,7 @@
 
 use core::fmt;
 
-use crate::ids::{MsgId, ProcessId};
+use crate::ids::{MsgId, ProcessId, TimerId};
 use crate::time::{ClockTime, SimDuration, SimTime};
 
 /// What a trace event describes. Payloads are captured as their `Debug`
@@ -56,6 +56,11 @@ pub enum TraceEventKind {
     },
     /// A timer being armed.
     TimerSet {
+        /// The slab handle of the armed timer; matches the later
+        /// [`Timer`](TraceEventKind::Timer) or
+        /// [`TimerCancel`](TraceEventKind::TimerCancel) event, so
+        /// offline auditors can pair set/fire/cancel per timer.
+        id: TimerId,
         /// `Debug` rendering of the timer tag.
         tag: String,
         /// The requested wait, in local clock ticks.
@@ -63,8 +68,16 @@ pub enum TraceEventKind {
     },
     /// A timer firing.
     Timer {
+        /// The slab handle assigned when the timer was set.
+        id: TimerId,
         /// `Debug` rendering of the timer tag.
         tag: String,
+    },
+    /// A live timer being cancelled (stale cancels of already-fired
+    /// timers are not traced — they are no-ops).
+    TimerCancel {
+        /// The slab handle assigned when the timer was set.
+        id: TimerId,
     },
 }
 
@@ -80,6 +93,7 @@ impl TraceEventKind {
             TraceEventKind::Recv { .. } => "deliver",
             TraceEventKind::TimerSet { .. } => "timer-set",
             TraceEventKind::Timer { .. } => "timer-fire",
+            TraceEventKind::TimerCancel { .. } => "timer-cancel",
         }
     }
 }
@@ -107,8 +121,11 @@ impl fmt::Display for TraceEvent {
                 write!(f, "SEND    -> {to} {msg:?} {payload}")
             }
             TraceEventKind::Recv { from, msg } => write!(f, "RECV    <- {from} {msg:?}"),
-            TraceEventKind::TimerSet { tag, delay } => write!(f, "TSET    {tag} +{delay}"),
-            TraceEventKind::Timer { tag } => write!(f, "TIMER   {tag}"),
+            TraceEventKind::TimerSet { id, tag, delay } => {
+                write!(f, "TSET    {tag} +{delay} ({id:?})")
+            }
+            TraceEventKind::Timer { id, tag } => write!(f, "TIMER   {tag} ({id:?})"),
+            TraceEventKind::TimerCancel { id } => write!(f, "TCANCEL {id:?}"),
         }
     }
 }
@@ -282,7 +299,14 @@ mod tests {
     fn records_and_filters() {
         let mut tr = Trace::new();
         tr.record(ev(t(0), p(0), TraceEventKind::Invoke { op: "w".into() }));
-        tr.record(ev(t(5), p(1), TraceEventKind::Timer { tag: "hold".into() }));
+        tr.record(ev(
+            t(5),
+            p(1),
+            TraceEventKind::Timer {
+                id: TimerId::new(0),
+                tag: "hold".into(),
+            },
+        ));
         tr.record(ev(
             t(9),
             p(0),
@@ -369,6 +393,7 @@ mod tests {
         );
         assert_eq!(
             TraceEventKind::TimerSet {
+                id: TimerId::new(0),
                 tag: String::new(),
                 delay: SimDuration::from_ticks(1),
             }
@@ -376,8 +401,19 @@ mod tests {
             "timer-set"
         );
         assert_eq!(
-            TraceEventKind::Timer { tag: String::new() }.label(),
+            TraceEventKind::Timer {
+                id: TimerId::new(0),
+                tag: String::new(),
+            }
+            .label(),
             "timer-fire"
+        );
+        assert_eq!(
+            TraceEventKind::TimerCancel {
+                id: TimerId::new(0),
+            }
+            .label(),
+            "timer-cancel"
         );
     }
 
@@ -400,6 +436,7 @@ mod tests {
             clock: ClockTime::from_ticks(6),
             pid: p(0),
             kind: TraceEventKind::TimerSet {
+                id: TimerId::new(3),
                 tag: "hold".into(),
                 delay: SimDuration::from_ticks(50),
             },
@@ -407,5 +444,6 @@ mod tests {
         let text = e.to_string();
         assert!(text.contains("c=6"), "{text}");
         assert!(text.contains("TSET    hold +50"), "{text}");
+        assert!(text.contains("timer#3"), "{text}");
     }
 }

@@ -179,7 +179,8 @@ pub(crate) struct BatchPayload<M> {
 /// struct-of-arrays event storage.
 ///
 /// A send is assigned a delay by the [`DelayModel`] (validated against
-/// the bounds once at construction, `debug_assert`ed per call), and
+/// the bounds once at construction and asserted per call, in release
+/// builds too), and
 /// queued for delivery at `sent_at + delay`; a timer arm is converted
 /// from local clock ticks to real time under the [`ClockAssignment`]
 /// and queued at its expiry instant. The queue itself carries only
@@ -320,11 +321,11 @@ impl<A: Actor, D: DelayModel> Transport<A> for VirtualTransport<A, D> {
         };
         let delay = self.delays.delay(meta);
         // The bounds themselves are validated once at construction
-        // (`DelayBounds::new` enforces u ≤ d, d > 0); per-send
-        // containment is a model invariant every shipped DelayModel
-        // upholds by construction, so the hot path only spot-checks it
-        // in debug builds.
-        debug_assert!(
+        // (`DelayBounds::try_new` rejects u > d and d = 0); per-send
+        // containment is checked in release builds too — an
+        // inadmissible delay would silently void every bound the run
+        // is supposed to witness, so it must never reach the queue.
+        assert!(
             self.bounds.contains(delay),
             "delay model produced inadmissible delay {delay:?} for {from}->{to} \
              (bounds [{:?}, {:?}])",
@@ -371,7 +372,7 @@ impl<A: Actor, D: DelayModel> Transport<A> for VirtualTransport<A, D> {
             pair_seq,
         };
         let delay = self.delays.delay(meta);
-        debug_assert!(
+        assert!(
             self.bounds.contains(delay),
             "delay model produced inadmissible delay {delay:?} for {from}->{to} \
              (bounds [{:?}, {:?}])",

@@ -12,6 +12,7 @@ use crate::array::ArrayOp;
 use crate::counter::CounterOp;
 use crate::deque::DequeOp;
 use crate::kv::KvOp;
+use crate::namespace::NsOp;
 use crate::queue::QueueOp;
 use crate::register::{RmwKind, RmwOp};
 use crate::set::SetOp;
@@ -205,6 +206,32 @@ pub fn array_ops() -> Vec<ArrayOp> {
     ]
 }
 
+/// Probe states for the register namespace: empty; one key set; two
+/// keys set (canonical maps — initial-valued keys are absent).
+#[must_use]
+pub fn ns_register_states() -> Vec<std::collections::BTreeMap<u64, i64>> {
+    vec![
+        std::collections::BTreeMap::new(),
+        std::collections::BTreeMap::from([(7, 5)]),
+        std::collections::BTreeMap::from([(7, 1), (40, -3)]),
+    ]
+}
+
+/// Probe instances for the register namespace: reads, writes, and RMWs
+/// spread over three keys, so batch-equivalence checks see both
+/// same-key and cross-key pairs.
+#[must_use]
+pub fn ns_register_ops() -> Vec<NsOp<RmwOp>> {
+    vec![
+        NsOp::new(7, RmwOp::Read),
+        NsOp::new(7, RmwOp::Write(2)),
+        NsOp::new(7, RmwOp::Rmw(RmwKind::FetchAdd(1))),
+        NsOp::new(40, RmwOp::Read),
+        NsOp::new(40, RmwOp::Write(9)),
+        NsOp::new(3, RmwOp::Rmw(RmwKind::Swap(4))),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,6 +257,12 @@ mod tests {
         .unwrap();
         check_class_consistency(&Deque::<i64>::new(), &deque_states(), &deque_ops()).unwrap();
         check_class_consistency(&KvStore::new(), &kv_states(), &kv_ops()).unwrap();
+        check_class_consistency(
+            &Namespace::new(RmwRegister::default()),
+            &ns_register_states(),
+            &ns_register_ops(),
+        )
+        .unwrap();
     }
 
     #[test]
