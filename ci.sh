@@ -44,7 +44,8 @@ timeout 120 cargo run --release -p skewbound-bench --bin tables -- \
   --object register --scale 100000 --shards 1,4,8 >/dev/null
 for field in sim_wall_nanos check_wall_nanos check_nodes check_nodes_per_sec \
   events_per_sec peak_rss_bytes scale_events scale_events_per_sec \
-  scale_peak_rss_bytes shards shard_events_per_sec; do
+  scale_peak_rss_bytes shards shard_events_per_sec \
+  mc_schedules mc_explored_states mc_wall_nanos explored_states_per_sec; do
   value=$(grep -o "\"$field\": [0-9.]*" BENCH_grid.json | grep -o '[0-9.]*$' || true)
   if [ -z "$value" ]; then
     echo "BENCH_grid.json missing field: $field" >&2
@@ -93,6 +94,29 @@ if [ "$cert_count" -lt 2 ]; then
 fi
 echo "skewlint emitted $cert_count replay-confirmed certificates"
 
+echo "== thread-count determinism (1-worker vs 2-worker certificates byte-identical) =="
+SKEWBOUND_THREADS=1 cargo run --release -q -p skewbound-mc --bin skewlint -- \
+  --smoke --out target/skewlint-t1 >/dev/null
+SKEWBOUND_THREADS=2 cargo run --release -q -p skewbound-mc --bin skewlint -- \
+  --smoke --out target/skewlint-t2 >/dev/null
+cert_pairs=0
+for cert in target/skewlint-t1/*.json; do
+  name=$(basename "$cert")
+  # report.json carries wall-clock throughput; only certificates must be
+  # bit-identical across worker counts.
+  [ "$name" = "report.json" ] && continue
+  if ! cmp -s "$cert" "target/skewlint-t2/$name"; then
+    echo "certificate $name differs between 1 and 2 workers" >&2
+    exit 1
+  fi
+  cert_pairs=$((cert_pairs + 1))
+done
+if [ "$cert_pairs" -lt 2 ]; then
+  echo "expected at least 2 certificates to compare, found $cert_pairs" >&2
+  exit 1
+fi
+echo "$cert_pairs certificates byte-identical across worker counts"
+
 echo "== skewlint rule report (schema + canaries) =="
 report="$skewlint_out/report.json"
 if [ ! -e "$report" ]; then
@@ -115,7 +139,12 @@ if [ "$canary_count" -lt 10 ]; then
   echo "report.json has only $canary_count caught canaries (want >= 10)" >&2
   exit 1
 fi
-echo "report.json schema-tagged, 10 rule codes present, $canary_count canaries caught"
+mc_rate=$(grep -o '"explored_states_per_sec": [0-9]*' "$report" | grep -o '[0-9]*$' || true)
+if [ -z "$mc_rate" ] || [ "$mc_rate" -le 0 ]; then
+  echo "report.json has no positive explored_states_per_sec (got ${mc_rate:-missing})" >&2
+  exit 1
+fi
+echo "report.json schema-tagged, 10 rule codes present, $canary_count canaries caught, $mc_rate explored states/sec"
 
 echo "== skewlint trace audit (honest trace re-audited offline) =="
 honest_trace="$skewlint_out/honest.trace.jsonl"

@@ -21,7 +21,12 @@ use skewbound_bench::default_params;
 use skewbound_bench::figures;
 use skewbound_bench::measure::{scale_run, shard_scaling, GridStats, ScaleStats, ShardScalePoint};
 use skewbound_bench::report::{table_report_stats, Object};
-use skewbound_sim::time::SimDuration;
+use skewbound_core::replica::Replica;
+use skewbound_mc::{model_check, McConfig, McReport};
+use skewbound_sim::ids::ProcessId;
+use skewbound_sim::time::{SimDuration, SimTime};
+use skewbound_spec::prelude::*;
+use skewbound_spec::probes;
 
 const USAGE: &str = "usage: tables [--object register|queue|stack|tree] [--csv] [--scale N] \
      [--shards S1,S2,...] \
@@ -195,7 +200,20 @@ fn main() {
                     }
                     points
                 });
-            if let Err(e) = write_grid_bench(&stats, scale_stats.as_ref(), &shard_points, elapsed) {
+            let mc = mc_throughput_run();
+            if !csv {
+                println!(
+                    "model-check run: {} schedules, {} engine events on {} worker(s) \
+                     ({:.0} explored states/sec)",
+                    mc.schedules,
+                    mc.explored_states,
+                    mc.workers,
+                    mc.explored_states_per_sec(),
+                );
+            }
+            if let Err(e) =
+                write_grid_bench(&stats, scale_stats.as_ref(), &shard_points, &mc, elapsed)
+            {
                 eprintln!("failed to write BENCH_grid.json: {e}");
             } else if !csv {
                 println!(
@@ -256,6 +274,32 @@ fn main() {
     }
 }
 
+/// Explores the honest register under a truncated clock grid with the
+/// parallel model checker (worker count from the environment, see
+/// `SKEWBOUND_THREADS`) purely to measure explorer throughput for
+/// `BENCH_grid.json`. Truncating to three clock corners keeps this well
+/// inside the CI time budget while still exercising the work-stealing
+/// frontier and the shared transposition table.
+fn mc_throughput_run() -> McReport {
+    let p = default_params();
+    let mut config = McConfig::corners(&p, probes::register_states());
+    config.clock_choices.truncate(3);
+    let pid = ProcessId::new;
+    let t = SimTime::from_ticks;
+    let script = [
+        (pid(0), t(0), RmwOp::Write(1)),
+        (pid(1), t(0), RmwOp::Write(2)),
+        (pid(2), t(40_000), RmwOp::Read),
+    ];
+    model_check(
+        &RmwRegister::default(),
+        || Replica::group(RmwRegister::default(), &p),
+        &p,
+        &script,
+        &config,
+    )
+}
+
 /// Writes the machine-readable grid benchmark summary. The workspace has
 /// no JSON dependency, so the (flat, numeric) object is written by hand.
 /// The `scale_*` fields are zero when `--scale` was not requested;
@@ -264,11 +308,14 @@ fn main() {
 /// `shard_events_per_sec` pair reports the largest batching-on point;
 /// the full curve (batching on and off) is in the `shard_scaling` array,
 /// whose entries use `shard_count` so every field name stays unique in
-/// the file (the CI greps rely on that).
+/// the file (the CI greps rely on that). The `mc_*` fields and
+/// `explored_states_per_sec` report the model-checker throughput run
+/// from [`mc_throughput_run`].
 fn write_grid_bench(
     stats: &GridStats,
     scale: Option<&ScaleStats>,
     shard_points: &[ShardScalePoint],
+    mc: &McReport,
     elapsed: std::time::Duration,
 ) -> std::io::Result<()> {
     let headline = shard_points
@@ -301,7 +348,10 @@ fn write_grid_bench(
          \"scale_processes\": {},\n  \"scale_events\": {},\n  \
          \"scale_events_per_sec\": {:.1},\n  \"scale_wall_nanos\": {},\n  \
          \"scale_peak_rss_bytes\": {},\n  \"shards\": {},\n  \
-         \"shard_events_per_sec\": {:.1},\n  \"shard_scaling\": [{}{}]\n}}\n",
+         \"shard_events_per_sec\": {:.1},\n  \"mc_workers\": {},\n  \
+         \"mc_schedules\": {},\n  \"mc_explored_states\": {},\n  \
+         \"mc_wall_nanos\": {},\n  \"explored_states_per_sec\": {:.1},\n  \
+         \"shard_scaling\": [{}{}]\n}}\n",
         stats.runs,
         stats.workers,
         elapsed.as_nanos(),
@@ -321,6 +371,11 @@ fn write_grid_bench(
         scale.map_or(0, |s| s.report.peak_rss_bytes),
         headline.map_or(0, |p| p.shards),
         headline.map_or(0.0, |p| p.agg_events_per_sec),
+        mc.workers,
+        mc.schedules,
+        mc.explored_states,
+        mc.wall_nanos,
+        mc.explored_states_per_sec(),
         shard_curve,
         if shard_points.is_empty() { "" } else { "\n  " },
     );

@@ -229,6 +229,11 @@ pub struct Report {
     pub diagnostics: Vec<Diagnostic>,
     /// Seeded-foil outcomes appended by the gate runner.
     pub canaries: Vec<Canary>,
+    /// Model-checker throughput (engine events per wall-clock second)
+    /// measured while producing this report, if the producer ran the
+    /// explorer. Advisory: machine- and load-dependent, excluded from
+    /// structural validation beyond being a number.
+    pub explored_states_per_sec: Option<i64>,
 }
 
 impl Report {
@@ -239,6 +244,7 @@ impl Report {
             rules: catalog().to_vec(),
             diagnostics,
             canaries: Vec::new(),
+            explored_states_per_sec: None,
         }
     }
 
@@ -316,15 +322,18 @@ impl Report {
                 ])
             })
             .collect();
-        obj([
+        let mut members = vec![
             ("schema", Json::Str(SCHEMA.into())),
             ("rules", Json::Arr(rules)),
             ("diagnostics", Json::Arr(diagnostics)),
             ("canaries", Json::Arr(canaries)),
             ("errors", Json::Num(self.errors() as i64)),
             ("warnings", Json::Num(self.warnings() as i64)),
-        ])
-        .pretty()
+        ];
+        if let Some(rate) = self.explored_states_per_sec {
+            members.push(("explored_states_per_sec", Json::Num(rate)));
+        }
+        obj(members).pretty()
     }
 }
 
@@ -410,6 +419,12 @@ pub fn validate_report(text: &str) -> Result<(), String> {
     }
     if doc.get("warnings").and_then(Json::as_num) != Some(warnings) {
         return Err("warnings count does not match diagnostics".into());
+    }
+    if let Some(rate) = doc.get("explored_states_per_sec") {
+        match rate.as_num() {
+            Some(n) if n >= 0 => {}
+            _ => return Err("explored_states_per_sec must be a non-negative number".into()),
+        }
     }
     for canary in doc
         .get("canaries")

@@ -369,9 +369,14 @@ fn check_honest<A, F>(
     script: &[(ProcessId, SimTime, A::Op)],
     probe_states: Vec<<A::Spec as SequentialSpec>::State>,
     smoke: bool,
-) where
+) -> (u64, u64)
+where
     A: ModelActor,
-    F: Fn() -> Vec<A>,
+    A::Spec: Sync,
+    <A::Spec as SequentialSpec>::State: Sync,
+    <A::Spec as SequentialSpec>::Op: Send + Sync,
+    <A::Spec as SequentialSpec>::Resp: Send + Sync,
+    F: Fn() -> Vec<A> + Sync,
 {
     let mut config = McConfig::corners(p, probe_states);
     if smoke {
@@ -384,7 +389,8 @@ fn check_honest<A, F>(
     config.max_schedules = 20_000;
     let naive = model_check(spec, &make_actors, p, script, &config);
     println!(
-        "  {name}: messages={} cells={} schedules dpor={} naive{}{} pruned={} violations={}",
+        "  {name}: messages={} cells={} schedules dpor={} naive{}{} pruned={} violations={} \
+         explored-states/sec={:.0}",
         dpor.messages,
         dpor.cells,
         dpor.schedules,
@@ -392,6 +398,7 @@ fn check_honest<A, F>(
         naive.schedules,
         dpor.pruned,
         dpor.violations.len(),
+        dpor.explored_states_per_sec(),
     );
     gate.expect(dpor.all_passed(), &format!("{name} honest runs all pass"));
     gate.expect(
@@ -405,15 +412,25 @@ fn check_honest<A, F>(
             dpor.schedules, naive.schedules
         ),
     );
+    (dpor.explored_states, dpor.wall_nanos)
 }
 
-fn honest_gate(gate: &mut Gate, smoke: bool) {
+/// Runs the honest-implementation scenarios and returns the aggregate
+/// explorer throughput (engine events per wall-clock second, rounded)
+/// across their DPOR runs, for the lint report's advisory field.
+fn honest_gate(gate: &mut Gate, smoke: bool) -> i64 {
     println!("[3/5] model-check honest implementations (Algorithm 1)");
     let p = params();
     let t = SimTime::from_ticks;
     let pid = ProcessId::new;
+    let mut events = 0u64;
+    let mut nanos = 0u64;
+    let mut tally = |(e, n): (u64, u64)| {
+        events += e;
+        nanos += n;
+    };
 
-    check_honest(
+    tally(check_honest(
         gate,
         "register",
         &RmwRegister::default(),
@@ -426,8 +443,8 @@ fn honest_gate(gate: &mut Gate, smoke: bool) {
         ],
         probes::register_states(),
         smoke,
-    );
-    check_honest(
+    ));
+    tally(check_honest(
         gate,
         "queue",
         &Queue::<i64>::new(),
@@ -440,8 +457,8 @@ fn honest_gate(gate: &mut Gate, smoke: bool) {
         ],
         probes::queue_states(),
         smoke,
-    );
-    check_honest(
+    ));
+    tally(check_honest(
         gate,
         "stack",
         &Stack::<i64>::new(),
@@ -453,7 +470,14 @@ fn honest_gate(gate: &mut Gate, smoke: bool) {
         ],
         probes::stack_states(),
         smoke,
-    );
+    ));
+    if nanos == 0 {
+        return 0;
+    }
+    #[allow(clippy::cast_possible_truncation, clippy::cast_precision_loss)]
+    {
+        (events as f64 * 1e9 / nanos as f64).round() as i64
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -470,7 +494,11 @@ fn check_foil<A, F>(
     probe_states: Vec<<A::Spec as SequentialSpec>::State>,
 ) where
     A: ModelActor,
-    F: Fn() -> Vec<A>,
+    A::Spec: Sync,
+    <A::Spec as SequentialSpec>::State: Sync,
+    <A::Spec as SequentialSpec>::Op: Send + Sync,
+    <A::Spec as SequentialSpec>::Resp: Send + Sync,
+    F: Fn() -> Vec<A> + Sync,
 {
     let mut config = McConfig::corners(p, probe_states);
     config.stop_at_first_violation = true;
@@ -980,7 +1008,7 @@ fn main() -> ExitCode {
     lint_gate(&mut gate);
     let (sim_report, trace_text) = honest_register_trace();
     let mut report = rules_gate(&mut gate, "[2/5]", sim_report.leaked_payloads);
-    honest_gate(&mut gate, smoke);
+    report.explored_states_per_sec = Some(honest_gate(&mut gate, smoke));
     foil_gate(&mut gate, &out_dir);
     audit_gate(&mut gate, "[5/5]", &out_dir, &trace_text, &mut report);
     write_report(&mut gate, &out_dir, &report);

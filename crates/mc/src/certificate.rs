@@ -76,7 +76,7 @@ pub struct Certificate {
     /// Branch taken at each schedule choice point.
     pub schedule_choices: Vec<usize>,
     /// Violation kind label (`not-linearizable`, `incomplete-history`,
-    /// `invariant`).
+    /// `invariant`, `send-order-divergence`).
     pub violation_kind: String,
     /// Human-readable account of the violation.
     pub violation_detail: String,
@@ -305,7 +305,8 @@ pub fn validate_certificate(text: &str) -> Result<(), String> {
     }
 
     let offsets = require_arr(&doc, "clock_offsets")?;
-    if offsets.len() != usize::try_from(n).expect("n fits") {
+    let n_usize = usize::try_from(n).map_err(|_| format!("params.n does not fit usize: {n}"))?;
+    if offsets.len() != n_usize {
         return Err(format!(
             "clock_offsets has {} entries for n={n} processes",
             offsets.len()
@@ -346,7 +347,7 @@ pub fn validate_certificate(text: &str) -> Result<(), String> {
     let kind = require_str(violation, "kind")?;
     if !matches!(
         kind,
-        "not-linearizable" | "incomplete-history" | "invariant"
+        "not-linearizable" | "incomplete-history" | "invariant" | "send-order-divergence"
     ) {
         return Err(format!("unknown violation.kind {kind:?}"));
     }

@@ -44,6 +44,7 @@ use skewbound_spec::classify::immediately_non_commuting;
 use skewbound_spec::seqspec::SequentialSpec;
 
 use crate::model::ModelActor;
+use crate::table::{CachedVerdict, TranspositionTable};
 
 /// The independence relation the explorer prunes with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,6 +75,11 @@ pub struct McConfig<S: SequentialSpec> {
     pub check_limits: CheckLimits,
     /// Stop at the first violating run instead of exploring on.
     pub stop_at_first_violation: bool,
+    /// Worker threads for the exploration frontier. `None` defers to the
+    /// environment (`SKEWBOUND_THREADS` / `SKEWBOUND_PAR`, one per core
+    /// otherwise — see [`skewbound_sim::par`]); `Some(1)` forces the
+    /// sequential path. The report is bit-identical either way.
+    pub workers: Option<usize>,
 }
 
 impl<S: SequentialSpec> McConfig<S> {
@@ -101,6 +107,7 @@ impl<S: SequentialSpec> McConfig<S> {
             max_schedules: 1_000_000,
             check_limits: CheckLimits::default(),
             stop_at_first_violation: false,
+            workers: None,
         }
     }
 }
@@ -119,6 +126,17 @@ pub enum ViolationKind {
         /// The first violation's evidence.
         detail: String,
     },
+    /// The implementation's send pattern depends on message delays, so
+    /// the enumerated delay grid does not cover its behaviours and no
+    /// per-cell verdict is sound. Detected up front by
+    /// [`verify_send_order_independence`] (two opposite-extreme dry
+    /// runs); the whole exploration is abandoned with this single
+    /// violation instead of aborting the process.
+    SendOrderDivergence {
+        /// The divergence diagnostic (first differing send, both
+        /// orders, both counts).
+        detail: String,
+    },
 }
 
 impl ViolationKind {
@@ -129,6 +147,7 @@ impl ViolationKind {
             ViolationKind::NotLinearizable => "not-linearizable",
             ViolationKind::IncompleteHistory => "incomplete-history",
             ViolationKind::Invariant { .. } => "invariant",
+            ViolationKind::SendOrderDivergence { .. } => "send-order-divergence",
         }
     }
 
@@ -156,6 +175,9 @@ impl core::fmt::Display for ViolationKind {
             }
             ViolationKind::Invariant { name, detail } => {
                 write!(f, "protocol invariant {name} violated: {detail}")
+            }
+            ViolationKind::SendOrderDivergence { detail } => {
+                write!(f, "send order depends on delays: {detail}")
             }
         }
     }
@@ -209,9 +231,27 @@ pub struct McReport {
     pub unknown: u64,
     /// Exploration hit [`McConfig::max_schedules`] before finishing.
     pub capped: bool,
+    /// Engine events executed across all completed (non-pruned) runs —
+    /// the deterministic work measure behind
+    /// [`McReport::explored_states_per_sec`].
+    pub explored_states: u64,
     /// Every violating run found (first per cell under
-    /// `stop_at_first_violation`).
+    /// `stop_at_first_violation`), in canonical cell order: ascending
+    /// clock index, then delay code, then DFS plan — the first entry is
+    /// the lexicographically-least violating coordinate regardless of
+    /// the worker count.
     pub violations: Vec<McViolation>,
+    /// Wall-clock time of the exploration (advisory: not covered by the
+    /// determinism contract, varies run to run).
+    pub wall_nanos: u64,
+    /// Worker threads the frontier actually used (advisory).
+    pub workers: usize,
+    /// Distinct precedence structures in the transposition table
+    /// (advisory: thread-timing dependent when workers race).
+    pub table_entries: u64,
+    /// Linearizability checks served from the transposition table
+    /// (advisory: thread-timing dependent).
+    pub table_hits: u64,
 }
 
 impl McReport {
@@ -220,6 +260,37 @@ impl McReport {
     #[must_use]
     pub fn all_passed(&self) -> bool {
         self.violations.is_empty() && self.unknown == 0 && !self.capped
+    }
+
+    /// Exploration throughput: engine events per wall-clock second.
+    /// Advisory (derived from `wall_nanos`).
+    #[must_use]
+    pub fn explored_states_per_sec(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.explored_states as f64 * 1e9 / self.wall_nanos as f64
+        }
+    }
+
+    /// `true` when `other` reports the same exploration *results*: every
+    /// deterministic field matches (messages, cells, schedules, pruned,
+    /// off-space, unknown, capped, explored states, violations). The
+    /// advisory timing/table fields are deliberately excluded — this is
+    /// the thread-count determinism contract.
+    #[must_use]
+    pub fn same_results(&self, other: &McReport) -> bool {
+        self.messages == other.messages
+            && self.cells == other.cells
+            && self.schedules == other.schedules
+            && self.pruned == other.pruned
+            && self.off_space == other.off_space
+            && self.unknown == other.unknown
+            && self.capped == other.capped
+            && self.explored_states == other.explored_states
+            && self.violations == other.violations
     }
 }
 
@@ -405,6 +476,9 @@ pub struct RunOutcome<S: SequentialSpec> {
     /// Every choice point the run passed through, in order (the replayed
     /// plan prefix plus default-first decisions beyond it).
     pub trace: Vec<ChoicePoint>,
+    /// Engine events the run executed (0 for pruned runs, whose engine
+    /// report is discarded on abort).
+    pub events: u64,
 }
 
 impl<S: SequentialSpec> RunOutcome<S> {
@@ -416,13 +490,54 @@ impl<S: SequentialSpec> RunOutcome<S> {
     }
 }
 
-fn decode_digits(mut code: u64, base: usize, len: usize) -> Vec<usize> {
-    let mut digits = vec![0usize; len];
-    for d in digits.iter_mut() {
-        *d = usize::try_from(code % base as u64).expect("digit fits");
-        code /= base as u64;
+/// Mixed-radix counter over delay assignments: digit `i` (index into
+/// [`McConfig::delay_choices`]) for message `i`, least-significant digit
+/// first. Replaces the old `base.pow(messages)` cell count, which
+/// overflowed `u64` at 2 choices × 64 messages and panicked — the
+/// counter enumerates the same codes in the same order without ever
+/// materializing the grid size. With `base == 1` or `len == 0` there is
+/// exactly one (all-zero / empty) assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct DigitCounter {
+    digits: Vec<usize>,
+    base: usize,
+}
+
+impl DigitCounter {
+    pub(crate) fn new(base: usize, len: usize) -> Self {
+        assert!(base >= 1, "need at least one delay choice");
+        DigitCounter {
+            digits: vec![0; len],
+            base,
+        }
     }
-    digits
+
+    /// Resumes counting from a serialized position.
+    pub(crate) fn from_digits(digits: Vec<usize>, base: usize) -> Self {
+        assert!(base >= 1, "need at least one delay choice");
+        assert!(
+            digits.iter().all(|&d| d < base),
+            "fringe cursor digit out of range for {base} delay choices"
+        );
+        DigitCounter { digits, base }
+    }
+
+    pub(crate) fn current(&self) -> &[usize] {
+        &self.digits
+    }
+
+    /// Advances to the next assignment; `false` once every code has been
+    /// produced (the counter wrapped back to all zeros).
+    pub(crate) fn advance(&mut self) -> bool {
+        for d in &mut self.digits {
+            *d += 1;
+            if *d < self.base {
+                return true;
+            }
+            *d = 0;
+        }
+        false
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -440,6 +555,39 @@ where
     A: ModelActor,
     F: Fn() -> Vec<A>,
 {
+    run_one_cached(
+        spec,
+        make_actors,
+        params,
+        script,
+        config,
+        clocks,
+        digits,
+        plan,
+        None,
+    )
+}
+
+/// [`run_one`] with an optional shared [`TranspositionTable`] serving
+/// the linearizability verdict from memoized precedence structures.
+/// Used by the parallel frontier; verdicts are identical with or
+/// without the table (see `table`'s module docs).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_one_cached<A, F>(
+    spec: &A::Spec,
+    make_actors: &F,
+    params: &Params,
+    script: &[(ProcessId, SimTime, A::Op)],
+    config: &McConfig<A::Spec>,
+    clocks: &ClockAssignment,
+    digits: &[usize],
+    plan: &[usize],
+    table: Option<&TranspositionTable<A::Spec>>,
+) -> RunOutcome<A::Spec>
+where
+    A: ModelActor,
+    F: Fn() -> Vec<A>,
+{
     run_one_with_sink(
         spec,
         make_actors,
@@ -450,6 +598,7 @@ where
         digits,
         plan,
         None,
+        table,
     )
     .0
 }
@@ -470,6 +619,7 @@ fn run_one_with_sink<A, F>(
     digits: &[usize],
     plan: &[usize],
     sink: Option<Box<dyn TraceSink>>,
+    table: Option<&TranspositionTable<A::Spec>>,
 ) -> (RunOutcome<A::Spec>, Option<Box<dyn TraceSink>>)
 where
     A: ModelActor,
@@ -493,10 +643,14 @@ where
     let result = sim.run_scheduled(&mut policy);
     let trace = policy.trace;
     let mut check_stats = None;
+    let mut events = 0u64;
     let verdict = match result {
         Err(SimError::PolicyAbort) => RunVerdict::Pruned,
-        Err(e) => panic!("model-checked run failed: {e}"),
-        Ok(_) => {
+        // Internal invariant: the engine only fails on its own limits;
+        // name the coordinate so a grid-sized exploration is debuggable.
+        Err(e) => panic!("model-checked run failed at delay digits {digits:?}, plan {plan:?}: {e}"),
+        Ok(report) => {
+            events = report.events;
             let history = sim.history();
             if let Err(exhausted) = sim.delays().check_exhausted() {
                 RunVerdict::OffSpace(exhausted)
@@ -505,14 +659,23 @@ where
             } else if history.len() > 128 {
                 RunVerdict::Unknown
             } else {
-                let (outcome, stats) = check_history_stats(spec, history, config.check_limits);
-                check_stats = Some(stats);
-                match outcome {
-                    CheckOutcome::NotLinearizable(_) => {
+                let lin_verdict = if let Some(table) = table {
+                    table.check(spec, history, config.check_limits)
+                } else {
+                    let (outcome, stats) = check_history_stats(spec, history, config.check_limits);
+                    check_stats = Some(stats);
+                    match outcome {
+                        CheckOutcome::Linearizable(_) => CachedVerdict::Linearizable,
+                        CheckOutcome::NotLinearizable(_) => CachedVerdict::NotLinearizable,
+                        CheckOutcome::Unknown { .. } => CachedVerdict::Unknown,
+                    }
+                };
+                match lin_verdict {
+                    CachedVerdict::NotLinearizable => {
                         RunVerdict::Violation(ViolationKind::NotLinearizable)
                     }
-                    CheckOutcome::Unknown { .. } => RunVerdict::Unknown,
-                    CheckOutcome::Linearizable(_) => {
+                    CachedVerdict::Unknown => RunVerdict::Unknown,
+                    CachedVerdict::Linearizable => {
                         let executed_orders: Vec<_> = ProcessId::all(params.n())
                             .filter_map(|pid| sim.actor(pid).executed_order().map(<[_]>::to_vec))
                             .collect();
@@ -546,6 +709,7 @@ where
             verdict,
             history: sim.into_history(),
             trace,
+            events,
         },
         sink,
     )
@@ -610,20 +774,37 @@ where
         delay_digits,
         choices,
         Some(sink),
+        None,
     );
-    (outcome, sink.expect("engine returns the attached sink"))
+    let sink = sink.unwrap_or_else(|| {
+        // Internal invariant: `Simulation::take_trace_sink` always hands
+        // back the sink we attached above.
+        panic!(
+            "engine dropped the trace sink replaying clock {clock_idx}, \
+             delays {delay_digits:?}, choices {choices:?}"
+        )
+    });
+    (outcome, sink)
 }
 
 /// Explores every `(clock, delay assignment, schedule)` combination of
 /// the scripted scenario, checking each run's history against `spec` and
 /// the protocol invariants.
 ///
+/// Work is fanned out over the work-stealing frontier in
+/// [`crate::frontier`] (worker count from [`McConfig::workers`], else
+/// `SKEWBOUND_THREADS` / one per core) with a shared
+/// [`TranspositionTable`]; results are merged in canonical cell order,
+/// so the report is bit-identical at any thread count. A delay-dependent
+/// send pattern (detected up front, as in
+/// [`skewbound_shift::exhaustive_probe`]) yields a report with a single
+/// [`ViolationKind::SendOrderDivergence`] violation instead of a panic,
+/// and arbitrarily large delay grids are enumerated lazily — hitting
+/// [`McConfig::max_schedules`] sets `capped` rather than overflowing.
+///
 /// # Panics
 ///
-/// Panics if the send pattern is delay-dependent (the enumerated grid
-/// would be unsound — verified up front exactly as in
-/// [`skewbound_shift::exhaustive_probe`]), or if the delay grid exceeds
-/// `u64` cells.
+/// Panics if `config` has no delay or clock choices.
 pub fn model_check<A, F>(
     spec: &A::Spec,
     make_actors: F,
@@ -633,86 +814,191 @@ pub fn model_check<A, F>(
 ) -> McReport
 where
     A: ModelActor,
+    A::Spec: Sync,
+    <A::Spec as SequentialSpec>::State: Sync,
+    <A::Spec as SequentialSpec>::Op: Send + Sync,
+    <A::Spec as SequentialSpec>::Resp: Send + Sync,
+    F: Fn() -> Vec<A> + Sync,
+{
+    crate::frontier::model_check_resumable(spec, &make_actors, params, script, config, None).0
+}
+
+/// Checks the send pattern and sizes the delay grid; `Err` carries the
+/// ready-made divergence report.
+pub(crate) fn preflight<A, F>(
+    make_actors: &F,
+    params: &Params,
+    script: &[(ProcessId, SimTime, A::Op)],
+    config: &McConfig<A::Spec>,
+) -> Result<usize, Box<McReport>>
+where
+    A: ModelActor,
     F: Fn() -> Vec<A>,
 {
     assert!(!config.delay_choices.is_empty(), "need delay choices");
     assert!(!config.clock_choices.is_empty(), "need clock choices");
     let bounds = params.delay_bounds();
-    let messages =
-        verify_send_order_independence(&make_actors, &config.clock_choices[0], bounds, script)
-            .unwrap_or_else(|divergence| panic!("{divergence}"));
+    match verify_send_order_independence(make_actors, &config.clock_choices[0], bounds, script) {
+        Ok(messages) => Ok(messages),
+        Err(divergence) => Err(Box::new(McReport {
+            messages: 0,
+            cells: 0,
+            schedules: 0,
+            pruned: 0,
+            off_space: 0,
+            unknown: 0,
+            capped: false,
+            explored_states: 0,
+            violations: vec![McViolation {
+                // The divergence is a property of the whole grid, not of
+                // one cell; anchor it at the origin coordinate (which is
+                // one of the two dry runs that exposed it).
+                clock_idx: 0,
+                delay_digits: Vec::new(),
+                choices: Vec::new(),
+                kind: ViolationKind::SendOrderDivergence {
+                    detail: divergence.to_string(),
+                },
+            }],
+            wall_nanos: 0,
+            workers: 1,
+            table_entries: 0,
+            table_hits: 0,
+        })),
+    }
+}
 
-    let c = config.delay_choices.len() as u64;
-    let assignments = c
-        .checked_pow(u32::try_from(messages).expect("too many messages"))
-        .expect("delay grid exceeds u64");
+/// What exploring one work unit produced. A unit is a DFS subtree of one
+/// grid cell: the cell's full schedule tree for a fresh cell, or the
+/// subtree under a locked choice prefix for a split-off sibling.
+#[derive(Debug)]
+pub(crate) struct UnitOutcome {
+    /// 1 when this unit counted its cell (a fresh cell that executed at
+    /// least one run), 0 for split subtrees and untouched units.
+    pub cells: u64,
+    pub schedules: u64,
+    pub pruned: u64,
+    pub off_space: u64,
+    pub unknown: u64,
+    /// Engine events across the unit's completed runs.
+    pub events: u64,
+    pub violations: Vec<McViolation>,
+    /// Set when the unit stopped on its schedule budget: the next plan
+    /// the DFS would have run, and the lock depth it would run under.
+    pub resume: Option<(Vec<usize>, usize)>,
+    /// Depth-0 sibling subtrees split off for other workers: `(plan,
+    /// lock_depth)` pairs, in ascending plan order.
+    pub spawned: Vec<(Vec<usize>, usize)>,
+}
 
-    let mut report = McReport {
-        messages,
+/// Runs the DFS of one work unit: starts at `start_plan`, never
+/// backtracks above `lock_depth` (those choice points belong to sibling
+/// units), and stops after `budget` schedules. When `split` is set and
+/// the unit owns a whole fresh cell whose first run branches at depth 0,
+/// the siblings of the first branch are split off as new units instead
+/// of being walked inline — the deterministic work-splitting rule (the
+/// split depends only on the cell's first trace, never on thread
+/// timing).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn explore_unit<A, F>(
+    spec: &A::Spec,
+    make_actors: &F,
+    params: &Params,
+    script: &[(ProcessId, SimTime, A::Op)],
+    config: &McConfig<A::Spec>,
+    clock_idx: usize,
+    digits: &[usize],
+    start_plan: &[usize],
+    lock_depth: usize,
+    budget: u64,
+    table: Option<&TranspositionTable<A::Spec>>,
+    split: bool,
+) -> UnitOutcome
+where
+    A: ModelActor,
+    F: Fn() -> Vec<A>,
+{
+    let fresh = start_plan.is_empty() && lock_depth == 0;
+    let mut out = UnitOutcome {
         cells: 0,
         schedules: 0,
         pruned: 0,
         off_space: 0,
         unknown: 0,
-        capped: false,
+        events: 0,
         violations: Vec::new(),
+        resume: None,
+        spawned: Vec::new(),
     };
-
-    'grid: for (clock_idx, clocks) in config.clock_choices.iter().enumerate() {
-        for code in 0..assignments {
-            report.cells += 1;
-            let digits = decode_digits(code, config.delay_choices.len(), messages);
-            // Depth-first over schedule choice points within this cell.
-            let mut plan: Vec<usize> = Vec::new();
-            loop {
-                if report.schedules >= config.max_schedules {
-                    report.capped = true;
-                    break 'grid;
+    let clocks = &config.clock_choices[clock_idx];
+    let mut plan: Vec<usize> = start_plan.to_vec();
+    let mut lock = lock_depth;
+    let mut first = true;
+    loop {
+        if out.schedules >= budget {
+            out.resume = Some((plan, lock));
+            return out;
+        }
+        let outcome = run_one_cached(
+            spec,
+            make_actors,
+            params,
+            script,
+            config,
+            clocks,
+            digits,
+            &plan,
+            table,
+        );
+        out.schedules += 1;
+        out.events += outcome.events;
+        if fresh {
+            out.cells = 1;
+        }
+        if first && fresh && split {
+            if let Some(cp0) = outcome.trace.first() {
+                // The cell's first decision has siblings: hand them to
+                // the frontier and keep only subtree 0 for ourselves.
+                for j in 1..cp0.alts {
+                    out.spawned.push((vec![j], 1));
                 }
-                let outcome = run_one(
-                    spec,
-                    &make_actors,
-                    params,
-                    script,
-                    config,
-                    clocks,
-                    &digits,
-                    &plan,
-                );
-                report.schedules += 1;
-                let run_choices = outcome.choices();
-                match outcome.verdict {
-                    RunVerdict::Clean => {}
-                    RunVerdict::Pruned => report.pruned += 1,
-                    RunVerdict::OffSpace(_) => report.off_space += 1,
-                    RunVerdict::Unknown => report.unknown += 1,
-                    RunVerdict::Violation(kind) => {
-                        report.violations.push(McViolation {
-                            clock_idx,
-                            delay_digits: digits.clone(),
-                            choices: run_choices,
-                            kind,
-                        });
-                        if config.stop_at_first_violation {
-                            break 'grid;
-                        }
-                    }
-                }
-                // Backtrack: advance the deepest choice point that still
-                // has an unexplored alternative; the prefix above it is
-                // kept, everything below falls back to default-first.
-                match next_plan(&outcome.trace) {
-                    Some(next) => plan = next,
-                    None => break,
+                if cp0.alts > 1 {
+                    lock = 1;
                 }
             }
         }
+        first = false;
+        let run_choices = outcome.choices();
+        match outcome.verdict {
+            RunVerdict::Clean => {}
+            RunVerdict::Pruned => out.pruned += 1,
+            RunVerdict::OffSpace(_) => out.off_space += 1,
+            RunVerdict::Unknown => out.unknown += 1,
+            RunVerdict::Violation(kind) => {
+                out.violations.push(McViolation {
+                    clock_idx,
+                    delay_digits: digits.to_vec(),
+                    choices: run_choices,
+                    kind,
+                });
+                if config.stop_at_first_violation {
+                    return out;
+                }
+            }
+        }
+        // Backtrack: advance the deepest choice point (at or below the
+        // lock) that still has an unexplored alternative; the prefix
+        // above it is kept, everything below falls back to
+        // default-first.
+        match next_plan_locked(&outcome.trace, lock) {
+            Some(next) => plan = next,
+            None => return out,
+        }
     }
-    report
 }
 
-fn next_plan(trace: &[ChoicePoint]) -> Option<Vec<usize>> {
-    for depth in (0..trace.len()).rev() {
+fn next_plan_locked(trace: &[ChoicePoint], lock_depth: usize) -> Option<Vec<usize>> {
+    for depth in (lock_depth..trace.len()).rev() {
         let cp = trace[depth];
         if cp.chosen + 1 < cp.alts {
             let mut plan: Vec<usize> = trace[..depth].iter().map(|c| c.chosen).collect();

@@ -58,7 +58,9 @@
 
 pub mod certificate;
 pub mod explore;
+pub mod frontier;
 pub mod model;
+pub mod table;
 pub mod trace;
 
 pub use skewbound_lint::json;
@@ -68,5 +70,7 @@ pub use explore::{
     minimize, minimize_counted, model_check, replay, replay_traced, ChoicePoint, Independence,
     McConfig, McReport, McViolation, RunOutcome, RunVerdict, ViolationKind,
 };
+pub use frontier::{model_check_resumable, Fringe, FRINGE_SCHEMA};
 pub use model::ModelActor;
+pub use table::{CachedVerdict, TranspositionTable};
 pub use trace::{JsonLinesSink, SharedJsonLinesSink};

@@ -55,6 +55,16 @@ pub fn worker_count(jobs: usize) -> usize {
     configured_workers().min(jobs).max(1)
 }
 
+/// Worker count the environment asks for, before clamping to a job
+/// count: `SKEWBOUND_PAR=0` forces 1, `SKEWBOUND_THREADS=k` forces `k`,
+/// otherwise one per available core. The model checker's work-stealing
+/// frontier (`skewbound-mc`) sizes its pool with this so both layers
+/// obey the same knobs.
+#[must_use]
+pub fn available_workers() -> usize {
+    configured_workers()
+}
+
 fn configured_workers() -> usize {
     if let Ok(par) = std::env::var("SKEWBOUND_PAR") {
         let par = par.trim().to_ascii_lowercase();
