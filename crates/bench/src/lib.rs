@@ -20,6 +20,7 @@
 
 pub mod figures;
 pub mod measure;
+pub mod netreport;
 pub mod report;
 
 use skewbound_core::params::Params;

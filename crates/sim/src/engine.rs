@@ -38,7 +38,7 @@ use crate::ids::{MsgId, ProcessId, TimerId};
 use crate::node::{Activation, NodeCore, Stamp};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{EngineTrace, Trace, TraceSink};
-use crate::transport::{EvSlot, EvTag, VirtualTransport};
+use crate::transport::{EvSlot, EvTag, TransportError, VirtualTransport};
 use crate::workload::Driver;
 
 /// Engine limits and switches.
@@ -69,6 +69,16 @@ pub enum SimError {
     /// ([`ScheduleDecision::Abort`]) — e.g. a model-checking explorer
     /// proved the remaining branch redundant.
     PolicyAbort,
+    /// The transport refused a send. Never produced by the in-process
+    /// backends (their queues are infallible); byte-oriented backends
+    /// surface peer/codec failures here.
+    Transport(TransportError),
+}
+
+impl From<TransportError> for SimError {
+    fn from(e: TransportError) -> Self {
+        SimError::Transport(e)
+    }
 }
 
 impl core::fmt::Display for SimError {
@@ -78,6 +88,7 @@ impl core::fmt::Display for SimError {
                 write!(f, "event cap of {cap} events exceeded before quiescence")
             }
             SimError::PolicyAbort => write!(f, "the schedule policy abandoned the run"),
+            SimError::Transport(e) => write!(f, "transport failure: {e}"),
         }
     }
 }
@@ -599,7 +610,7 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
         for (pid, at, op) in driver.initial() {
             self.schedule_invoke(pid, at, op);
         }
-        self.start_nodes(driver);
+        self.start_nodes(driver)?;
         let mut events = 0u64;
         while let Some((at, _seq, tag)) = self.transport.queue.pop() {
             events += 1;
@@ -608,7 +619,7 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
                     cap: self.config.max_events,
                 });
             }
-            self.dispatch_event(at, tag, driver);
+            self.dispatch_event(at, tag, driver)?;
         }
         self.emit_run_counters(events);
         Ok(self.finish_report(events, wall_start))
@@ -662,7 +673,7 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
         for (pid, at, op) in driver.initial() {
             self.schedule_invoke(pid, at, op);
         }
-        self.start_nodes(driver);
+        self.start_nodes(driver)?;
         let mut events = 0u64;
         let mut batch: Vec<(u64, EvTag)> = Vec::new();
         while let Some((at, seq, tag)) = self.transport.queue.pop() {
@@ -749,7 +760,7 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
                     cap: self.config.max_events,
                 });
             }
-            self.dispatch_event(at, chosen_tag, driver);
+            self.dispatch_event(at, chosen_tag, driver)?;
         }
         self.emit_run_counters(events);
         Ok(self.finish_report(events, wall_start))
@@ -775,12 +786,12 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
 
     /// Runs every node's `on_start` hook once, at the start of the first
     /// run call.
-    fn start_nodes<Dr>(&mut self, driver: &mut Dr)
+    fn start_nodes<Dr>(&mut self, driver: &mut Dr) -> Result<(), SimError>
     where
         Dr: Driver<A::Op, A::Resp> + ?Sized,
     {
         if self.started {
-            return;
+            return Ok(());
         }
         self.started = true;
         for i in 0..self.nodes.len() {
@@ -791,9 +802,10 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
                 &mut self.transport,
                 &mut self.trace,
                 &mut self.history,
-            );
+            )?;
             self.after_activation(pid, act, driver);
         }
+        Ok(())
     }
 
     /// The (real time, local clock) stamp of an activation at `pid` at
@@ -824,7 +836,12 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
     /// after queueing) are dropped silently by the node's slab
     /// generation check.
     #[inline]
-    fn dispatch_event<Dr>(&mut self, at: SimTime, tag: EvTag, driver: &mut Dr)
+    fn dispatch_event<Dr>(
+        &mut self,
+        at: SimTime,
+        tag: EvTag,
+        driver: &mut Dr,
+    ) -> Result<(), SimError>
     where
         Dr: Driver<A::Op, A::Resp> + ?Sized,
     {
@@ -872,8 +889,9 @@ impl<A: Actor, D: DelayModel> Simulation<A, D> {
                 &mut self.trace,
                 &mut self.history,
             ),
-        };
+        }?;
         self.after_activation(pid, act, driver);
+        Ok(())
     }
 
     /// If the activation completed an operation, consults the driver for

@@ -92,6 +92,6 @@ pub mod prelude {
     pub use crate::stats::LatencySummary;
     pub use crate::time::{ClockOffset, ClockTime, SimDuration, SimTime};
     pub use crate::trace::{Trace, TraceEvent, TraceEventKind, TraceSink};
-    pub use crate::transport::Transport;
+    pub use crate::transport::{Transport, TransportError, WireTransport};
     pub use crate::workload::{ClosedLoop, Driver, NoDriver, Script};
 }

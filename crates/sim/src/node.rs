@@ -31,7 +31,7 @@ use crate::ids::{MsgId, OpId, ProcessId, TimerId};
 use crate::time::{ClockTime, SimTime};
 use crate::timers::TimerSlab;
 use crate::trace::{TraceEvent, TraceEventKind};
-use crate::transport::Transport;
+use crate::transport::{Transport, TransportError};
 
 /// The time stamp of one activation: the real time at which it happens
 /// and the local clock reading of the process at that instant.
@@ -200,7 +200,7 @@ impl<A: Actor> NodeCore<A> {
         transport: &mut T,
         trace: &mut TO,
         history: &mut H,
-    ) -> Activation
+    ) -> Result<Activation, TransportError>
     where
         T: Transport<A>,
         TO: TraceOutput,
@@ -228,7 +228,7 @@ impl<A: Actor> NodeCore<A> {
         transport: &mut T,
         trace: &mut TO,
         history: &mut H,
-    ) -> Activation
+    ) -> Result<Activation, TransportError>
     where
         T: Transport<A>,
         TO: TraceOutput,
@@ -264,7 +264,7 @@ impl<A: Actor> NodeCore<A> {
         transport: &mut T,
         trace: &mut TO,
         history: &mut H,
-    ) -> Activation
+    ) -> Result<Activation, TransportError>
     where
         T: Transport<A>,
         TO: TraceOutput,
@@ -296,7 +296,7 @@ impl<A: Actor> NodeCore<A> {
         transport: &mut T,
         trace: &mut TO,
         history: &mut H,
-    ) -> Activation
+    ) -> Result<Activation, TransportError>
     where
         T: Transport<A>,
         TO: TraceOutput,
@@ -323,7 +323,7 @@ impl<A: Actor> NodeCore<A> {
         transport: &mut T,
         trace: &mut TO,
         history: &mut H,
-    ) -> Activation
+    ) -> Result<Activation, TransportError>
     where
         T: Transport<A>,
         TO: TraceOutput,
@@ -358,14 +358,14 @@ impl<A: Actor> NodeCore<A> {
         transport: &mut T,
         trace: &mut TO,
         history: &mut H,
-    ) -> Activation
+    ) -> Result<Activation, TransportError>
     where
         T: Transport<A>,
         TO: TraceOutput,
         H: HistorySink<A>,
     {
         if !self.timers.fire(id) {
-            return Activation::Stale;
+            return Ok(Activation::Stale);
         }
         if trace.active() {
             self.emit(
@@ -418,6 +418,12 @@ impl<A: Actor> NodeCore<A> {
     /// Drains one activation's effects in the model's fixed order:
     /// sends, timer arms, timer cancels, then the response — then puts
     /// the emptied buffer back as scratch for the next activation.
+    ///
+    /// On the first transport failure the remaining effects of the
+    /// activation are discarded (a partially applied activation cannot
+    /// be meaningfully resumed) and the error propagates to the
+    /// scheduler. In-process transports never fail, so both in-process
+    /// backends take the infallible path bit-for-bit.
     fn apply_effects<T, TO, H>(
         &mut self,
         stamp: Stamp,
@@ -425,7 +431,29 @@ impl<A: Actor> NodeCore<A> {
         transport: &mut T,
         trace: &mut TO,
         history: &mut H,
-    ) -> Activation
+    ) -> Result<Activation, TransportError>
+    where
+        T: Transport<A>,
+        TO: TraceOutput,
+        H: HistorySink<A>,
+    {
+        let out = self.drain_effects(stamp, &mut effects, transport, trace, history);
+        // On success every buffer is already drained; on failure this
+        // discards whatever the early return left behind. Either way the
+        // buffer goes back as scratch.
+        effects.clear();
+        self.scratch = effects;
+        out
+    }
+
+    fn drain_effects<T, TO, H>(
+        &mut self,
+        stamp: Stamp,
+        effects: &mut Effects<A>,
+        transport: &mut T,
+        trace: &mut TO,
+        history: &mut H,
+    ) -> Result<Activation, TransportError>
     where
         T: Transport<A>,
         TO: TraceOutput,
@@ -434,7 +462,7 @@ impl<A: Actor> NodeCore<A> {
         for (to, msg) in effects.sends.drain(..) {
             if trace.active() {
                 let payload = format!("{msg:?}");
-                let id = transport.send(self.pid, to, msg);
+                let id = transport.send(self.pid, to, msg)?;
                 self.emit(
                     trace,
                     stamp,
@@ -445,7 +473,7 @@ impl<A: Actor> NodeCore<A> {
                     },
                 );
             } else {
-                let _ = transport.send(self.pid, to, msg);
+                transport.send(self.pid, to, msg)?;
             }
         }
 
@@ -454,7 +482,7 @@ impl<A: Actor> NodeCore<A> {
                 // One Send trace event per message; ids are consecutive
                 // from the batch's first id.
                 let payloads: Vec<String> = msgs.iter().map(|m| format!("{m:?}")).collect();
-                let first = transport.send_batch(self.pid, to, msgs);
+                let first = transport.send_batch(self.pid, to, msgs)?;
                 for (i, payload) in payloads.into_iter().enumerate() {
                     self.emit(
                         trace,
@@ -467,7 +495,7 @@ impl<A: Actor> NodeCore<A> {
                     );
                 }
             } else {
-                let _ = transport.send_batch(self.pid, to, msgs);
+                transport.send_batch(self.pid, to, msgs)?;
             }
         }
 
@@ -498,10 +526,7 @@ impl<A: Actor> NodeCore<A> {
             }
         }
 
-        let response = effects.response.take();
-        self.scratch = effects;
-
-        if let Some(resp) = response {
+        if let Some(resp) = effects.response.take() {
             let op_id = self
                 .pending_op
                 .take()
@@ -516,9 +541,9 @@ impl<A: Actor> NodeCore<A> {
                 );
             }
             history.record_response(op_id, resp, stamp.now);
-            Activation::Completed(op_id)
+            Ok(Activation::Completed(op_id))
         } else {
-            Activation::Ran
+            Ok(Activation::Ran)
         }
     }
 }

@@ -544,15 +544,24 @@ where
     #[must_use]
     pub fn shutdown(mut self, settle: Duration) -> History<A::Op, A::Resp> {
         thread::sleep(settle);
+        // Drain order matters: the router is asked to shut down *first*
+        // and joined before any worker is told to stop. Its drain keeps
+        // holding and forwarding every in-flight message/batch — plus
+        // follow-up sends those deliveries trigger — until nothing has
+        // been in flight for a grace window; only then do workers get
+        // their shutdown marker (a FIFO inbox push, so it sorts after
+        // every forwarded delivery). The old order (workers first,
+        // router break on request) silently dropped queued deliveries
+        // on teardown.
+        let _ = self.router_tx.send(RouterMsg::Shutdown);
+        if let Some(h) = self.router_handle.take() {
+            h.join().expect("router thread panicked");
+        }
         for tx in &self.proc_txs {
             let _ = tx.send(Input::Shutdown);
         }
-        let _ = self.router_tx.send(RouterMsg::Shutdown);
         for h in self.worker_handles.drain(..) {
             h.join().expect("worker thread panicked");
-        }
-        if let Some(h) = self.router_handle.take() {
-            h.join().expect("router thread panicked");
         }
         // Workers are joined; unless a client still holds the Arc, the
         // history moves out without a clone.
@@ -615,25 +624,31 @@ fn worker_loop<A: Actor>(
         let _ = done_tx.send((pid, op_id));
     }
 
-    let act = node.on_start(
-        stamp_now(epoch, offset),
-        transport,
-        &mut trace_out,
-        &mut SharedHistory(history),
-    );
+    // `ChannelTransport` never fails a send, so activation errors are
+    // unreachable in this backend.
+    let act = node
+        .on_start(
+            stamp_now(epoch, offset),
+            transport,
+            &mut trace_out,
+            &mut SharedHistory(history),
+        )
+        .expect("in-process transport is infallible");
     finish::<A>(act, pid, history, in_flight, resp_tx, done_tx);
 
     loop {
         // Fire due timers first.
         while let Some(t) = transport.pop_due() {
-            let act = node.on_timer(
-                stamp_now(epoch, offset),
-                t.id,
-                t.timer,
-                transport,
-                &mut trace_out,
-                &mut SharedHistory(history),
-            );
+            let act = node
+                .on_timer(
+                    stamp_now(epoch, offset),
+                    t.id,
+                    t.timer,
+                    transport,
+                    &mut trace_out,
+                    &mut SharedHistory(history),
+                )
+                .expect("in-process transport is infallible");
             if !matches!(act, Activation::Stale) {
                 fired += 1;
             }
@@ -649,38 +664,44 @@ fn worker_loop<A: Actor>(
         match rx.recv_timeout(timeout) {
             Ok(Input::Shutdown) => shutdown = true,
             Ok(Input::Invoke(op_id, op)) => {
-                let act = node.on_invoke_recorded(
-                    stamp_now(epoch, offset),
-                    op_id,
-                    op,
-                    transport,
-                    &mut trace_out,
-                    &mut SharedHistory(history),
-                );
+                let act = node
+                    .on_invoke_recorded(
+                        stamp_now(epoch, offset),
+                        op_id,
+                        op,
+                        transport,
+                        &mut trace_out,
+                        &mut SharedHistory(history),
+                    )
+                    .expect("in-process transport is infallible");
                 finish::<A>(act, pid, history, in_flight, resp_tx, done_tx);
             }
             Ok(Input::Deliver(from, id, msg)) => {
-                let act = node.on_message(
-                    stamp_now(epoch, offset),
-                    from,
-                    id,
-                    msg,
-                    transport,
-                    &mut trace_out,
-                    &mut SharedHistory(history),
-                );
+                let act = node
+                    .on_message(
+                        stamp_now(epoch, offset),
+                        from,
+                        id,
+                        msg,
+                        transport,
+                        &mut trace_out,
+                        &mut SharedHistory(history),
+                    )
+                    .expect("in-process transport is infallible");
                 finish::<A>(act, pid, history, in_flight, resp_tx, done_tx);
             }
             Ok(Input::DeliverBatch(from, first_id, msgs)) => {
-                let act = node.on_message_batch(
-                    stamp_now(epoch, offset),
-                    from,
-                    first_id,
-                    msgs,
-                    transport,
-                    &mut trace_out,
-                    &mut SharedHistory(history),
-                );
+                let act = node
+                    .on_message_batch(
+                        stamp_now(epoch, offset),
+                        from,
+                        first_id,
+                        msgs,
+                        transport,
+                        &mut trace_out,
+                        &mut SharedHistory(history),
+                    )
+                    .expect("in-process transport is infallible");
                 finish::<A>(act, pid, history, in_flight, resp_tx, done_tx);
             }
             Err(RecvTimeoutError::Timeout) => {}
@@ -787,6 +808,83 @@ mod tests {
         assert_eq!(history.records()[0].resp(), Some(&42));
         // Three hops of ≥ 1 ms each.
         assert!(history.records()[0].latency().unwrap().as_ticks() >= 3000);
+    }
+
+    /// On invoke, broadcast a `send_batch` to every peer; peers ack the
+    /// whole batch with one message; the origin responds once every
+    /// peer has acked.
+    #[derive(Debug, Default)]
+    struct BatchFlood {
+        acks: u32,
+    }
+
+    impl Actor for BatchFlood {
+        type Msg = i64; // −1 = batch ack, anything else = payload
+        type Op = u32; // batch size
+        type Resp = u32; // acks received
+        type Timer = ();
+
+        fn on_invoke(&mut self, op: u32, ctx: &mut Context<'_, Self>) {
+            for p in 0..ctx.n() as u32 {
+                let p = ProcessId::new(p);
+                if p != ctx.pid() {
+                    ctx.send_batch(p, (0..i64::from(op)).collect());
+                }
+            }
+        }
+
+        fn on_message(&mut self, _from: ProcessId, msg: i64, ctx: &mut Context<'_, Self>) {
+            if msg == -1 {
+                self.acks += 1;
+                if self.acks == ctx.n() as u32 - 1 {
+                    ctx.respond(self.acks);
+                }
+            }
+        }
+
+        fn on_message_batch(
+            &mut self,
+            from: ProcessId,
+            msgs: Vec<i64>,
+            ctx: &mut Context<'_, Self>,
+        ) {
+            assert!(!msgs.is_empty());
+            ctx.send(from, -1);
+        }
+
+        fn on_timer(&mut self, _t: (), _ctx: &mut Context<'_, Self>) {}
+    }
+
+    /// Regression: tearing the cluster down with zero settle while
+    /// batches (and the acks they trigger) are still queued inside the
+    /// router must not drop them. The router used to break out of its
+    /// loop the moment it saw the shutdown marker, silently discarding
+    /// its delivery heap; now it drains to quiescence first, so the
+    /// flooded run still completes.
+    #[test]
+    fn shutdown_drains_in_flight_batches() {
+        let bounds = DelayBounds::new(
+            SimDuration::from_ticks(2000), // 2 ms
+            SimDuration::from_ticks(1000),
+        );
+        let cluster = RtCluster::start(
+            vec![
+                BatchFlood::default(),
+                BatchFlood::default(),
+                BatchFlood::default(),
+            ],
+            &ClockAssignment::zero(3),
+            bounds,
+            11,
+        );
+        cluster.invoke_async(ProcessId::new(0), 64);
+        // No settle: the 64-message batches are still in flight.
+        let history = cluster.shutdown(Duration::ZERO);
+        assert!(
+            history.is_complete(),
+            "teardown dropped in-flight batches: {history:?}"
+        );
+        assert_eq!(history.records()[0].resp(), Some(&2));
     }
 
     /// Timer-driven response with injected delay bounds honoured.

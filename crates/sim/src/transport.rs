@@ -19,6 +19,7 @@
 //! choke point, which is what makes delay injection, trace pairing and
 //! future drop/duplicate fault hooks land once for both backends.
 
+use core::fmt;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender};
@@ -38,6 +39,43 @@ use crate::ids::{MsgId, OpId, ProcessId, TimerId};
 use crate::slab::{Slab, SlabRef};
 use crate::time::{ticks_to_duration, SimDuration, SimTime};
 
+/// Why a transport failed to accept a send.
+///
+/// The in-process backends (the engine's `VirtualTransport`, the rt
+/// runtime's `ChannelTransport`)
+/// never fail — their queues are unbounded and intra-process — so every
+/// path through them returns `Ok` unconditionally and stays
+/// bit-identical to the infallible days. Byte-oriented cross-process
+/// backends surface real failures: an unreachable peer, a codec reject,
+/// a closed mesh.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// No live connection to `to` and reconnection is not (yet)
+    /// possible.
+    PeerUnreachable {
+        /// The unreachable destination.
+        to: ProcessId,
+    },
+    /// The payload could not be encoded for (or decoded from) the wire.
+    Codec(String),
+    /// The transport has been shut down; no further sends are accepted.
+    Closed,
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::PeerUnreachable { to } => {
+                write!(f, "peer {to} is unreachable")
+            }
+            TransportError::Codec(reason) => write!(f, "wire codec error: {reason}"),
+            TransportError::Closed => write!(f, "transport is closed"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
 /// A backend that schedules message deliveries and timer expiries.
 ///
 /// Implementations decide the *delivery time* of each message (the
@@ -46,12 +84,21 @@ use crate::time::{ticks_to_duration, SimDuration, SimTime};
 /// [`NodeCore`](crate::node::NodeCore) calls these methods while
 /// draining one activation's effects; it never schedules anything
 /// behind the transport's back.
+///
+/// Sends are fallible: in-process backends always return `Ok` (their
+/// queues cannot fail), while cross-process backends report
+/// [`TransportError`]s which the node core propagates to its scheduler.
 pub trait Transport<A: Actor> {
     /// Assigns a delay to `msg` and enqueues its delivery at `to`
     /// (deliver-at-time semantics). Returns the run-unique message id,
     /// allocated in global send order so every `send` trace event pairs
     /// with exactly one later `deliver` carrying the same id.
-    fn send(&mut self, from: ProcessId, to: ProcessId, msg: A::Msg) -> MsgId;
+    fn send(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        msg: A::Msg,
+    ) -> Result<MsgId, TransportError>;
 
     /// Enqueues a delivery *batch*: `msgs` travel to `to` together,
     /// under one delay draw, and arrive as a single
@@ -67,13 +114,18 @@ pub trait Transport<A: Actor> {
     /// # Panics
     ///
     /// Panics if `msgs` is empty.
-    fn send_batch(&mut self, from: ProcessId, to: ProcessId, msgs: Vec<A::Msg>) -> MsgId {
+    fn send_batch(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        msgs: Vec<A::Msg>,
+    ) -> Result<MsgId, TransportError> {
         let mut first = None;
         for msg in msgs {
-            let id = self.send(from, to, msg);
+            let id = self.send(from, to, msg)?;
             first.get_or_insert(id);
         }
-        first.expect("empty delivery batch")
+        Ok(first.expect("empty delivery batch"))
     }
 
     /// Enqueues the expiry of timer `id` at `pid`, `delay` *local
@@ -92,6 +144,38 @@ pub trait Transport<A: Actor> {
     fn cancel_timer(&mut self, pid: ProcessId, id: TimerId) {
         let _ = (pid, id);
     }
+}
+
+/// The byte-oriented half of the transport split: an object-safe
+/// carrier of already-encoded frames.
+///
+/// [`Transport`] is generic over the actor — ideal in-process, where
+/// messages move by value and never touch bytes — but a cross-process
+/// backend (`skewbound-net`'s TCP mesh) can't be: it moves opaque
+/// frames, and its codec lives above it. `WireTransport` is that lower
+/// layer. A typed adapter encodes each `A::Msg` into a frame (the
+/// `wire` codec in `skewbound-net`), hands the bytes here, and decodes
+/// frames arriving from peers back into typed messages.
+///
+/// Object safety is the point: binaries hold a
+/// `Box<dyn WireTransport>` chosen by config, without rebuilding the
+/// replica stack per backend.
+pub trait WireTransport: Send {
+    /// Queues one encoded frame for delivery to `to`. Queuing is
+    /// asynchronous: `Ok` means the frame was accepted for
+    /// (re)transmission, not that the peer received it. Delivery is
+    /// at-least-once under reconnects; receivers deduplicate by the
+    /// frame header's message id.
+    fn send_frame(&mut self, to: ProcessId, frame: &[u8]) -> Result<(), TransportError>;
+
+    /// Requests that buffered frames be pushed to the wire now (a
+    /// batching backend may coalesce sends until flushed). In-order
+    /// per-destination delivery of previously accepted frames must be
+    /// preserved.
+    fn flush(&mut self) -> Result<(), TransportError>;
+
+    /// The local process id this endpoint speaks as.
+    fn local_pid(&self) -> ProcessId;
 }
 
 /// Above this process count, per-pair send counters move from a dense
@@ -311,7 +395,12 @@ impl<A: Actor, D: DelayModel> VirtualTransport<A, D> {
 }
 
 impl<A: Actor, D: DelayModel> Transport<A> for VirtualTransport<A, D> {
-    fn send(&mut self, from: ProcessId, to: ProcessId, msg: A::Msg) -> MsgId {
+    fn send(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        msg: A::Msg,
+    ) -> Result<MsgId, TransportError> {
         let pair_seq = self.pair_seq.next(from, to);
         let meta = MsgMeta {
             from,
@@ -356,10 +445,15 @@ impl<A: Actor, D: DelayModel> Transport<A> for VirtualTransport<A, D> {
                 slot,
             },
         );
-        id
+        Ok(id)
     }
 
-    fn send_batch(&mut self, from: ProcessId, to: ProcessId, msgs: Vec<A::Msg>) -> MsgId {
+    fn send_batch(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        msgs: Vec<A::Msg>,
+    ) -> Result<MsgId, TransportError> {
         assert!(!msgs.is_empty(), "empty delivery batch {from}->{to}");
         // One pair-seq tick and one delay draw for the whole batch: the
         // batch is one wire-level message as far as the delay model is
@@ -411,7 +505,7 @@ impl<A: Actor, D: DelayModel> Transport<A> for VirtualTransport<A, D> {
                 slot,
             },
         );
-        first_id
+        Ok(first_id)
     }
 
     fn set_timer(&mut self, pid: ProcessId, id: TimerId, delay: SimDuration, timer: A::Timer) {
@@ -505,13 +599,19 @@ impl<A: Actor> ChannelTransport<A> {
 }
 
 impl<A: Actor> Transport<A> for ChannelTransport<A> {
-    fn send(&mut self, from: ProcessId, to: ProcessId, msg: A::Msg) -> MsgId {
+    fn send(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        msg: A::Msg,
+    ) -> Result<MsgId, TransportError> {
         let ticks = self
             .rng
             .gen_range(self.bounds.min().as_ticks()..=self.bounds.max().as_ticks());
         let deliver_at = Instant::now() + ticks_to_duration(SimDuration::from_ticks(ticks));
         let id = MsgId::new(self.msg_ids.fetch_add(1, Ordering::Relaxed));
-        // A closed router means shutdown is in progress.
+        // A closed router means shutdown is in progress; that is not an
+        // error (the cluster is draining), so this path stays infallible.
         let _ = self.router_tx.send(RouterMsg::Send {
             from,
             to,
@@ -519,10 +619,15 @@ impl<A: Actor> Transport<A> for ChannelTransport<A> {
             msg,
             deliver_at,
         });
-        id
+        Ok(id)
     }
 
-    fn send_batch(&mut self, from: ProcessId, to: ProcessId, msgs: Vec<A::Msg>) -> MsgId {
+    fn send_batch(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        msgs: Vec<A::Msg>,
+    ) -> Result<MsgId, TransportError> {
         assert!(!msgs.is_empty(), "empty delivery batch {from}->{to}");
         let ticks = self
             .rng
@@ -537,7 +642,7 @@ impl<A: Actor> Transport<A> for ChannelTransport<A> {
             msgs,
             deliver_at,
         });
-        first_id
+        Ok(first_id)
     }
 
     fn set_timer(&mut self, _pid: ProcessId, id: TimerId, delay: SimDuration, timer: A::Timer) {
@@ -598,22 +703,40 @@ impl<M> Ord for HeapEntry<M> {
     }
 }
 
+/// After a shutdown request, how long the router lingers with an empty
+/// heap waiting for follow-up sends. Workers are still running at that
+/// point, and a delivery the router forwards can cause a worker to send
+/// again (e.g. a token making its way around a ring); any such send
+/// re-arms the drain. Only a full grace window with nothing in flight
+/// ends it.
+const DRAIN_GRACE: Duration = Duration::from_millis(40);
+
 /// The delay-injecting router: receives [`RouterMsg::Send`]s from every
 /// [`ChannelTransport`], holds each message until its wall-clock
 /// `deliver_at`, then forwards it to the destination worker's inbox in
 /// deterministic `(deliver_at, seq)` order. Runs on its own thread
 /// until shutdown or until all senders hang up.
+///
+/// Shutdown *drains*: after [`RouterMsg::Shutdown`] (or after every
+/// sender hangs up) the router keeps holding and forwarding everything
+/// already accepted — plus any follow-up sends workers make in response
+/// — and only exits once the heap has been empty for a full
+/// [`DRAIN_GRACE`] with no new sends arriving. Breaking out immediately
+/// would silently drop in-flight messages and batches on cluster
+/// teardown.
 pub(crate) fn run_router<A: Actor>(
     router_rx: &Receiver<RouterMsg<A::Msg>>,
     proc_txs: &[SyncSender<Input<A>>],
 ) {
     let mut heap: BinaryHeap<HeapEntry<A::Msg>> = BinaryHeap::new();
     let mut seq = 0u64;
+    let mut draining = false;
     loop {
-        let timeout = heap
-            .peek()
-            .map(|e| e.deliver_at.saturating_duration_since(Instant::now()))
-            .unwrap_or(Duration::from_secs(3600));
+        let timeout = match heap.peek() {
+            Some(e) => e.deliver_at.saturating_duration_since(Instant::now()),
+            None if draining => DRAIN_GRACE,
+            None => Duration::from_secs(3600),
+        };
         match router_rx.recv_timeout(timeout) {
             Ok(RouterMsg::Send {
                 from,
@@ -649,9 +772,24 @@ pub(crate) fn run_router<A: Actor>(
                 });
                 seq += 1;
             }
-            Ok(RouterMsg::Shutdown) => break,
+            Ok(RouterMsg::Shutdown) => draining = true,
+            Err(RecvTimeoutError::Timeout) if draining && heap.is_empty() => break,
             Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => break,
+            Err(RecvTimeoutError::Disconnected) => {
+                // No sender can ever enqueue again; deliver the backlog
+                // synchronously (sleeping to each deadline) and exit.
+                while let Some(e) = heap.pop() {
+                    let wait = e.deliver_at.saturating_duration_since(Instant::now());
+                    if !wait.is_zero() {
+                        std::thread::sleep(wait);
+                    }
+                    let _ = proc_txs[e.to.index()].send(match e.wire {
+                        Wire::One(msg) => Input::Deliver(e.from, e.id, msg),
+                        Wire::Batch(msgs) => Input::DeliverBatch(e.from, e.id, msgs),
+                    });
+                }
+                break;
+            }
         }
         while let Some(e) = heap.peek() {
             if e.deliver_at > Instant::now() {

@@ -1,0 +1,95 @@
+//! Named object kinds servable over the wire.
+//!
+//! Cross-process binaries (`skewbound-serve`, `skewbound-load`) pick
+//! the replicated object from a command-line string; both sides of the
+//! connection must agree on it because the wire codec is not
+//! self-describing. [`ObjectKind`] is that shared name table: the
+//! subset of the spec catalog with a stable wire encoding for ops and
+//! responses.
+
+use core::fmt;
+use core::str::FromStr;
+
+/// The object kinds the wire-format binaries can serve.
+///
+/// Each kind names a per-key base specification; servers wrap it in a
+/// [`Namespace`](crate::namespace::Namespace) so clients address
+/// independent instances by `u64` key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ObjectKind {
+    /// A read/write register of `i64`
+    /// ([`RwRegister`](crate::register::RwRegister)).
+    Register,
+    /// A FIFO queue of `i64` ([`Queue`](crate::queue::Queue)).
+    Queue,
+    /// An `i64 → i64` map ([`KvStore`](crate::kv::KvStore)).
+    Kv,
+}
+
+impl ObjectKind {
+    /// Every servable kind.
+    pub const ALL: [ObjectKind; 3] = [ObjectKind::Register, ObjectKind::Queue, ObjectKind::Kv];
+
+    /// The command-line name (`register`, `queue`, `kv`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ObjectKind::Register => "register",
+            ObjectKind::Queue => "queue",
+            ObjectKind::Kv => "kv",
+        }
+    }
+}
+
+impl fmt::Display for ObjectKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error for an unrecognized object-kind name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownObjectKind(pub String);
+
+impl fmt::Display for UnknownObjectKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown object kind {:?} (expected register, queue, or kv)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for UnknownObjectKind {}
+
+impl FromStr for ObjectKind {
+    type Err = UnknownObjectKind;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ObjectKind::ALL
+            .into_iter()
+            .find(|k| k.name() == s)
+            .ok_or_else(|| UnknownObjectKind(s.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for kind in ObjectKind::ALL {
+            assert_eq!(kind.name().parse::<ObjectKind>().unwrap(), kind);
+            assert_eq!(format!("{kind}"), kind.name());
+        }
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        let err = "stack".parse::<ObjectKind>().unwrap_err();
+        assert_eq!(err, UnknownObjectKind("stack".to_owned()));
+        assert!(err.to_string().contains("stack"));
+    }
+}

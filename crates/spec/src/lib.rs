@@ -41,6 +41,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod array;
+pub mod catalog;
 pub mod classify;
 pub mod combinators;
 pub mod counter;
@@ -59,6 +60,7 @@ pub mod tree;
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use crate::array::{ArrayOp, ArrayResp, UpdateNextArray};
+    pub use crate::catalog::ObjectKind;
     pub use crate::combinators::{EitherOp, EitherResp, IndexedOp, MultiObject, ProductSpec};
     pub use crate::counter::{Counter, CounterOp, CounterResp};
     pub use crate::deque::{Deque, DequeOp, DequeResp};
